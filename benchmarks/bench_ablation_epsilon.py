@@ -1,0 +1,86 @@
+"""Ablation — the ε / edge-budget trade-off (Theorem 2.7's accuracy knob).
+
+The sketch's edge budget scales as ``1/ε³`` in theory (``~ n log n / ε`` in
+the scaled mode used here).  The ablation sweeps ε and reports, for each
+value: the realised edge budget, the peak stored edges, the estimator error
+of Lemma 2.2 on the greedy solution, and the end-to-end approximation ratio
+of Algorithm 3 against the planted optimum.  Expected shape: smaller ε ⇒
+larger sketch ⇒ smaller estimation error and ratio closer to 1; even large ε
+stays above the 1 − 1/e − ε floor.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from benchmarks.common import print_table, write_table
+from repro.core import StreamingKCover
+from repro.core.kcover import default_kcover_params
+from repro.datasets import planted_kcover_instance
+from repro.offline.greedy import greedy_k_cover
+from repro.streaming import EdgeStream, StreamingRunner
+from repro.utils.tables import Table
+
+EPSILONS = (0.8, 0.4, 0.2, 0.1)
+K = 8
+
+
+def _run_sweep() -> Table:
+    instance = planted_kcover_instance(
+        100, 5000, k=K, planted_coverage=0.9, noise_set_size=45, seed=600
+    )
+    reference = greedy_k_cover(instance.graph, K).coverage
+    table = Table(
+        [
+            "epsilon",
+            "edge_budget",
+            "space_peak",
+            "approx_ratio",
+            "floor_1_1e_eps",
+            "estimator_rel_error",
+        ]
+    )
+    for index, epsilon in enumerate(EPSILONS):
+        params = default_kcover_params(
+            instance.n, instance.m, K, epsilon, mode="scaled", scale=0.12
+        )
+        algo = StreamingKCover(
+            instance.n, instance.m, k=K, epsilon=epsilon, params=params, seed=600 + index
+        )
+        report = StreamingRunner(instance.graph).run(
+            algo, EdgeStream.from_graph(instance.graph, order="random", seed=index)
+        )
+        estimate = algo.estimated_coverage()
+        table.add_row(
+            epsilon=epsilon,
+            edge_budget=params.edge_budget,
+            space_peak=report.space_peak,
+            approx_ratio=report.coverage / reference,
+            floor_1_1e_eps=max(0.0, 1 - 1 / math.e - epsilon),
+            estimator_rel_error=abs(estimate - report.coverage) / max(1, report.coverage),
+        )
+    return table
+
+
+@pytest.mark.benchmark(group="ablation-epsilon")
+def test_epsilon_budget_tradeoff(benchmark):
+    """Smaller ε buys a bigger sketch and better accuracy."""
+    table = benchmark.pedantic(_run_sweep, rounds=1, iterations=1)
+    print_table("Ablation — ε vs budget vs accuracy", table)
+    write_table(
+        "ablation_epsilon",
+        "Ablation — ε / edge-budget trade-off (Theorem 2.7)",
+        table,
+        notes=["Scaled budgets (scale = 0.12) so the sweep actually changes the sketch size."],
+    )
+    budgets = table.column("edge_budget")
+    ratios = table.column("approx_ratio")
+    floors = table.column("floor_1_1e_eps")
+    # Budget increases monotonically as ε decreases.
+    assert all(a <= b for a, b in zip(budgets, budgets[1:]))
+    # Every run clears its theoretical floor.
+    assert all(r >= f for r, f in zip(ratios, floors))
+    # The tightest ε is (weakly) the most accurate.
+    assert ratios[-1] >= ratios[0] - 0.02

@@ -1,0 +1,113 @@
+"""Figure 1 — the H_p / H'_p construction on the worked example.
+
+Figure 1 of the paper shows a small bipartite graph, the subgraph ``H_p``
+obtained by keeping the elements whose hash falls below ``p = 0.5`` (solid
+edges), and the further-thinned ``H'_p`` after the element degree cap.
+
+This benchmark reconstructs the figure programmatically: a 4-set / 8-element
+example with prescribed hash values, ``p = 0.5`` and a degree cap of 2, and
+reports per-element membership in ``H_p`` / ``H'_p`` alongside the edge
+counts, so the output can be compared edge-for-edge with the figure's
+solid/dotted distinction.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import print_table, write_table
+from repro.coverage.bipartite import BipartiteGraph
+from repro.core.params import SketchParams
+from repro.core.sketch import apply_degree_cap, build_hp
+from repro.utils.tables import Table
+
+#: Hash values in the style of the figure (the number printed under each
+#: element vertex).
+ELEMENT_HASHES = {0: 0.1, 1: 0.7, 2: 0.3, 3: 0.9, 4: 0.2, 5: 0.8, 6: 0.4, 7: 0.6}
+P = 0.5
+DEGREE_CAP = 2
+
+MEMBERSHIPS = {
+    0: [0, 1, 2, 3],
+    1: [2, 3, 4, 5],
+    2: [4, 5, 6, 7],
+    3: [0, 3, 5, 7],
+}
+
+
+class _FixedHash:
+    """Hash function pinned to the figure's printed values."""
+
+    def value(self, element: int) -> float:
+        return ELEMENT_HASHES[element]
+
+    def rank(self, element: int) -> int:
+        return int(ELEMENT_HASHES[element] * 2**64)
+
+
+def _build() -> tuple[BipartiteGraph, BipartiteGraph, BipartiteGraph]:
+    graph = BipartiteGraph(4)
+    for set_id, members in MEMBERSHIPS.items():
+        for element in members:
+            graph.add_edge(set_id, element)
+    hp = build_hp(graph, P, _FixedHash())
+    hp_prime, _ = apply_degree_cap(hp, DEGREE_CAP)
+    return graph, hp, hp_prime
+
+
+@pytest.mark.benchmark(group="figure1")
+def test_figure1_hp_and_hp_prime(benchmark):
+    """Regenerate Figure 1's H_p and H'_p membership table."""
+    graph, hp, hp_prime = benchmark.pedantic(_build, rounds=1, iterations=1)
+
+    table = Table(["element", "hash", "in_Hp", "degree_G", "degree_Hp", "degree_Hp_prime"])
+    for element in sorted(graph.elements()):
+        table.add_row(
+            element=element,
+            hash=ELEMENT_HASHES[element],
+            in_Hp=hp.has_element(element),
+            degree_G=graph.element_degree(element),
+            degree_Hp=hp.element_degree(element),
+            degree_Hp_prime=hp_prime.element_degree(element),
+        )
+    print_table("Figure 1 — H_p and H'_p (p = 0.5, degree cap 2)", table)
+    write_table(
+        "figure1_sketch",
+        "Figure 1 — H_p and H'_p on the worked example",
+        table,
+        notes=[
+            f"p = {P}, degree cap = {DEGREE_CAP} "
+            "(solid edges of the figure = edges kept in the sketch).",
+            f"Edges: G has {graph.num_edges}, H_p has {hp.num_edges}, "
+            f"H'_p has {hp_prime.num_edges}.",
+        ],
+    )
+
+    # The figure's defining properties.
+    kept = {e for e in graph.elements() if ELEMENT_HASHES[e] <= P}
+    assert set(hp.elements()) == kept
+    assert all(hp.element_degree(e) == graph.element_degree(e) for e in kept)
+    assert all(hp_prime.element_degree(e) <= DEGREE_CAP for e in hp_prime.elements())
+    assert hp_prime.num_edges <= hp.num_edges <= graph.num_edges
+
+
+@pytest.mark.benchmark(group="figure1")
+def test_figure1_definition_2_1_budget_construction(benchmark):
+    """The H_{<=n} variant of the figure: admit by hash order until the budget."""
+    from repro.core.sketch import build_h_leq_n
+
+    graph = BipartiteGraph(4)
+    for set_id, members in MEMBERSHIPS.items():
+        for element in members:
+            graph.add_edge(set_id, element)
+    params = SketchParams.explicit(4, 8, 2, 0.5, edge_budget=6, degree_cap=DEGREE_CAP)
+
+    sketch = benchmark.pedantic(
+        build_h_leq_n, args=(graph, params, _FixedHash()), rounds=1, iterations=1
+    )
+    # Elements are admitted in hash order (0, 4, 2, 6, ...) until >= 6 edges.
+    admitted = sorted(sketch.graph.elements(), key=lambda e: ELEMENT_HASHES[e])
+    assert admitted[0] == 0
+    assert sketch.num_edges >= 6
+    assert sketch.num_edges <= 6 + DEGREE_CAP
+    assert sketch.threshold <= max(ELEMENT_HASHES.values())

@@ -1,0 +1,52 @@
+"""Throughput microbenchmarks for the offline reference path.
+
+Not a paper artifact, but the harness relies on the offline greedy as its
+reference on every workload, so its cost matters.  Two implementations are
+timed on the same instance:
+
+* the lazy, heap-based set greedy (:mod:`repro.offline.greedy`), and
+* the vectorised packed-bitset greedy (:class:`repro.coverage.bitset`),
+
+together with the one-off packing cost.  The quality of the two is asserted
+to be identical; the timing columns in the pytest-benchmark output document
+the speed-up (roughly 2x end-to-end for greedy on this workload, and far more
+for sweeps that re-evaluate many families against one fixed graph).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.coverage.bitset import BitsetCoverage
+from repro.datasets import zipf_instance
+from repro.offline.greedy import greedy_k_cover
+
+K = 12
+
+
+@pytest.fixture(scope="module")
+def dense_instance():
+    return zipf_instance(250, 4000, edges_per_set=150, k=K, seed=1400)
+
+
+@pytest.mark.benchmark(group="offline-throughput")
+def test_set_based_greedy_throughput(benchmark, dense_instance):
+    """Baseline: the lazy heap greedy on Python sets."""
+    result = benchmark(greedy_k_cover, dense_instance.graph, K)
+    assert result.coverage > 0
+
+
+@pytest.mark.benchmark(group="offline-throughput")
+def test_bitset_greedy_throughput(benchmark, dense_instance):
+    """Vectorised greedy on packed bitsets (same value, much faster)."""
+    evaluator = BitsetCoverage(dense_instance.graph)
+    selection, coverage = benchmark(evaluator.greedy_k_cover, K)
+    assert coverage == greedy_k_cover(dense_instance.graph, K).coverage
+    assert len(selection) <= K
+
+
+@pytest.mark.benchmark(group="offline-throughput")
+def test_bitset_construction_cost(benchmark, dense_instance):
+    """One-off packing cost paid before the fast evaluations."""
+    evaluator = benchmark(BitsetCoverage, dense_instance.graph)
+    assert evaluator.num_sets == dense_instance.n

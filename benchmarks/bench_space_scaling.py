@@ -1,0 +1,101 @@
+"""Theorem 3.1's space claim — sketch size is O~(n), independent of m.
+
+The benchmark sweeps the ground-set size ``m`` with ``n`` fixed and, for each
+point, measures the peak number of stored edges of (a) the paper's sketch and
+(b) a set-arrival baseline that keeps covered elements.  It then sweeps ``n``
+with ``m`` fixed to show the sketch's space *does* grow with ``n`` (linearly,
+as the bound says).  Expected shape: flat in m, linear in n.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import print_table, write_table
+from repro.baselines import SieveStreamingKCover
+from repro.core import StreamingKCover
+from repro.core.params import SketchParams
+from repro.datasets import planted_kcover_instance
+from repro.streaming import EdgeStream, SetStream, StreamingRunner
+from repro.utils.tables import Table
+
+K = 8
+M_SWEEP = (1500, 3000, 6000, 12_000)
+N_SWEEP = (40, 80, 160)
+
+
+def _space_for(instance, seed: int) -> tuple[int, int]:
+    params = SketchParams.explicit(
+        instance.n, instance.m, K, 0.2, edge_budget=6 * instance.n, degree_cap=40
+    )
+    sketch_algo = StreamingKCover(instance.n, instance.m, k=K, params=params, seed=seed)
+    sketch_report = StreamingRunner(instance.graph).run(
+        sketch_algo, EdgeStream.from_graph(instance.graph, order="random", seed=seed)
+    )
+    baseline = SieveStreamingKCover(k=K, epsilon=0.2)
+    baseline_report = StreamingRunner(instance.graph).run(
+        baseline, SetStream.from_graph(instance.graph, order="random", seed=seed)
+    )
+    return sketch_report.space_peak, baseline_report.space_peak
+
+
+def _run_m_sweep() -> Table:
+    table = Table(["n", "m", "input_edges", "sketch_space", "baseline_space"])
+    for index, m in enumerate(M_SWEEP):
+        instance = planted_kcover_instance(80, m, k=K, seed=400 + index)
+        sketch_space, baseline_space = _space_for(instance, seed=index)
+        table.add_row(
+            n=instance.n,
+            m=instance.m,
+            input_edges=instance.num_edges,
+            sketch_space=sketch_space,
+            baseline_space=baseline_space,
+        )
+    return table
+
+
+def _run_n_sweep() -> Table:
+    table = Table(["n", "m", "input_edges", "sketch_space", "sketch_space_per_n"])
+    for index, n in enumerate(N_SWEEP):
+        instance = planted_kcover_instance(n, 6000, k=K, seed=500 + index)
+        sketch_space, _ = _space_for(instance, seed=index)
+        table.add_row(
+            n=instance.n,
+            m=instance.m,
+            input_edges=instance.num_edges,
+            sketch_space=sketch_space,
+            sketch_space_per_n=sketch_space / instance.n,
+        )
+    return table
+
+
+@pytest.mark.benchmark(group="space-scaling")
+def test_space_flat_in_m(benchmark):
+    """Peak sketch space stays flat while m quadruples (Theorem 3.1)."""
+    table = benchmark.pedantic(_run_m_sweep, rounds=1, iterations=1)
+    print_table("Sketch space vs ground-set size m (n = 80 fixed)", table)
+    write_table(
+        "space_scaling_m",
+        "Theorem 3.1 — sketch space is independent of m",
+        table,
+        notes=["Budget 6·n edges; the baseline stores covered elements so it tracks m."],
+    )
+    sketch = table.column("sketch_space")
+    baseline = table.column("baseline_space")
+    assert max(sketch) <= 1.1 * min(sketch)  # flat in m
+    assert baseline[-1] >= 2.0 * baseline[0]  # baseline grows with m
+
+
+@pytest.mark.benchmark(group="space-scaling")
+def test_space_linear_in_n(benchmark):
+    """Peak sketch space grows (roughly linearly) with n."""
+    table = benchmark.pedantic(_run_n_sweep, rounds=1, iterations=1)
+    print_table("Sketch space vs number of sets n (m = 6000 fixed)", table)
+    write_table(
+        "space_scaling_n",
+        "Theorem 3.1 — sketch space grows linearly with n",
+        table,
+        notes=["The per-n normalised column should be approximately constant."],
+    )
+    per_n = table.column("sketch_space_per_n")
+    assert max(per_n) <= 1.6 * min(per_n)

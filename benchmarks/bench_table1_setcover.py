@@ -1,0 +1,143 @@
+"""Table 1 — set cover rows.
+
+Paper's claim (Table 1):
+
+=====================  ======  ==================  ======================  =======
+algorithm              passes  approximation       space                   arrival
+=====================  ======  ==================  ======================  =======
+Demaine et al. [18]    4r      4r · log m          O~(n·m^{1/r} + m)       set
+Har-Peled et al. [25]  p       O(p · log m)        O~(n·m^{O(1/p)} + m)    set
+**This paper**         p       (1 + ε) · log m     O~(n·m^{O(1/p)} + m)    edge
+=====================  ======  ==================  ======================  =======
+
+This benchmark runs Algorithm 6 against the Demaine-style and Har-Peled-style
+multi-pass baselines (and the offline greedy reference) on planted set cover
+workloads, reporting measured cover sizes, blow-up over the planted optimum,
+passes and space.  Expected shape: every algorithm reaches a full cover; the
+paper's algorithm needs the fewest (or comparable) sets for the same pass
+budget, and its blow-up stays near log m.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from benchmarks.common import print_table, write_table
+from repro.analysis.metrics import setcover_blowup
+from repro.baselines import DemaineSetCover, HarPeledSetCover
+from repro.core import StreamingSetCover
+from repro.datasets import planted_setcover_instance
+from repro.offline.greedy import greedy_set_cover
+from repro.streaming import EdgeStream, SetStream, StreamingRunner
+from repro.utils.tables import Table
+
+ROUNDS = (2, 3, 4)
+EPSILON = 0.5
+
+
+def _run_rows() -> Table:
+    table = Table(
+        [
+            "rounds",
+            "algorithm",
+            "passes",
+            "cover_size",
+            "size_blowup",
+            "paper_bound",
+            "covered_fraction",
+            "space_peak",
+        ]
+    )
+    for index, rounds in enumerate(ROUNDS):
+        instance = planted_setcover_instance(80, 2500, cover_size=12, seed=300 + index)
+        optimum = len(instance.planted_solution)
+        runner = StreamingRunner(instance.graph)
+        log_m_bound = (1 + EPSILON) * math.log(instance.m)
+
+        greedy = greedy_set_cover(instance.graph)
+        table.add_row(
+            rounds=rounds,
+            algorithm="offline-greedy",
+            passes=0,
+            cover_size=greedy.size,
+            size_blowup=setcover_blowup(greedy.size, optimum),
+            paper_bound=math.log(instance.m),
+            covered_fraction=1.0,
+            space_peak=instance.num_edges,
+        )
+
+        ours = StreamingSetCover(
+            instance.n, instance.m, epsilon=EPSILON, rounds=rounds,
+            seed=300 + index, max_guesses=14,
+        )
+        ours_report = runner.run(
+            ours, EdgeStream.from_graph(instance.graph, order="random", seed=index)
+        )
+        table.add_row(
+            rounds=rounds,
+            algorithm="this-paper-sketch",
+            passes=ours_report.passes,
+            cover_size=ours_report.solution_size,
+            size_blowup=setcover_blowup(ours_report.solution_size, optimum),
+            paper_bound=log_m_bound,
+            covered_fraction=ours_report.coverage_fraction,
+            space_peak=ours_report.space_peak,
+        )
+
+        demaine = DemaineSetCover(instance.m, rounds=rounds)
+        demaine_report = runner.run(
+            demaine, SetStream.from_graph(instance.graph, order="random", seed=index)
+        )
+        table.add_row(
+            rounds=rounds,
+            algorithm="demaine-style",
+            passes=demaine_report.passes,
+            cover_size=demaine_report.solution_size,
+            size_blowup=setcover_blowup(demaine_report.solution_size, optimum),
+            paper_bound=4 * rounds * math.log(instance.m),
+            covered_fraction=demaine_report.coverage_fraction,
+            space_peak=demaine_report.space_peak,
+        )
+
+        harpeled = HarPeledSetCover(instance.m, passes=2 * rounds - 1)
+        harpeled_report = runner.run(
+            harpeled, SetStream.from_graph(instance.graph, order="random", seed=index)
+        )
+        table.add_row(
+            rounds=rounds,
+            algorithm="har-peled-style",
+            passes=harpeled_report.passes,
+            cover_size=harpeled_report.solution_size,
+            size_blowup=setcover_blowup(harpeled_report.solution_size, optimum),
+            paper_bound=(2 * rounds - 1) * math.log(instance.m),
+            covered_fraction=harpeled_report.coverage_fraction,
+            space_peak=harpeled_report.space_peak,
+        )
+    return table
+
+
+@pytest.mark.benchmark(group="table1-setcover")
+def test_table1_setcover_rows(benchmark):
+    """Regenerate the set cover rows of Table 1."""
+    table = benchmark.pedantic(_run_rows, rounds=1, iterations=1)
+    print_table("Table 1 — set cover (measured)", table)
+    write_table(
+        "table1_setcover",
+        "Table 1 — set cover (measured)",
+        table,
+        notes=[
+            f"ε = {EPSILON}; planted minimum cover of size 12 over m = 2500 elements.",
+            "Paper's claim: (1 + ε) log m blow-up in p passes; exponentially better than 4r log m.",
+        ],
+    )
+    ours_rows = [r for r in table.rows if r["algorithm"] == "this-paper-sketch"]
+    greedy_rows = [r for r in table.rows if r["algorithm"] == "offline-greedy"]
+    for row in ours_rows:
+        assert row["covered_fraction"] == pytest.approx(1.0)
+        assert row["size_blowup"] <= row["paper_bound"]
+    # Our algorithm's cover is within a small factor of the offline greedy cover.
+    mean_ours = sum(r["cover_size"] for r in ours_rows) / len(ours_rows)
+    mean_greedy = sum(r["cover_size"] for r in greedy_rows) / len(greedy_rows)
+    assert mean_ours <= 2.5 * mean_greedy

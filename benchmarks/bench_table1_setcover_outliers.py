@@ -1,0 +1,119 @@
+"""Table 1 — set cover with outliers rows.
+
+Paper's claim (Table 1):
+
+=====================  ======  ==============================  =========  =======
+algorithm              passes  approximation                   space      arrival
+=====================  ======  ==============================  =========  =======
+prior work [19, 13]    p       O(min(n^{1/(p+1)}, e^{-1/p}))   O~(m)      set
+**This paper**         1       (1 + ε) log(1/λ)                O~_λ(n)    edge
+=====================  ======  ==============================  =========  =======
+
+This benchmark runs the paper's single-pass Algorithm 5 against the
+multi-pass threshold baseline on planted partial-cover workloads for several
+outlier rates λ, and reports measured cover-size blow-up (solution size over
+the planted minimum cover), covered fraction, passes and space.  Expected
+shape: the sketch reaches the 1 − λ coverage target in one pass with a
+cover-size blow-up near (1+ε)·log(1/λ), while the baseline needs several
+passes and O~(m) space.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from benchmarks.common import print_table, write_table
+from repro.analysis import ExperimentSuite
+from repro.analysis.metrics import setcover_blowup
+from repro.baselines import ThresholdPartialSetCover
+from repro.core import StreamingSetCoverOutliers
+from repro.datasets import planted_setcover_instance
+from repro.streaming import EdgeStream, SetStream, StreamingRunner
+from repro.utils.tables import Table
+
+LAMBDAS = (0.05, 0.1, 0.2)
+EPSILON = 0.5
+
+
+def _run_rows() -> Table:
+    table = Table(
+        [
+            "lambda",
+            "algorithm",
+            "passes",
+            "covered_fraction",
+            "target_fraction",
+            "size_blowup",
+            "paper_bound",
+            "space_peak",
+        ]
+    )
+    for index, lam in enumerate(LAMBDAS):
+        instance = planted_setcover_instance(80, 2500, cover_size=12, seed=200 + index)
+        optimum = len(instance.planted_solution)
+        runner = StreamingRunner(instance.graph)
+
+        sketch_algo = StreamingSetCoverOutliers(
+            instance.n, instance.m, outlier_fraction=lam, epsilon=EPSILON,
+            seed=200 + index, max_guesses=16,
+        )
+        sketch_report = runner.run(
+            sketch_algo, EdgeStream.from_graph(instance.graph, order="random", seed=index)
+        )
+        table.add_row(
+            **{
+                "lambda": lam,
+                "algorithm": "this-paper-sketch",
+                "passes": sketch_report.passes,
+                "covered_fraction": sketch_report.coverage_fraction,
+                "target_fraction": 1 - lam,
+                "size_blowup": setcover_blowup(sketch_report.solution_size, optimum),
+                "paper_bound": (1 + EPSILON) * math.log(1 / lam),
+                "space_peak": sketch_report.space_peak,
+            }
+        )
+
+        baseline = ThresholdPartialSetCover(instance.m, outlier_fraction=lam, passes=3)
+        baseline_report = runner.run(
+            baseline, SetStream.from_graph(instance.graph, order="random", seed=index)
+        )
+        table.add_row(
+            **{
+                "lambda": lam,
+                "algorithm": "threshold-baseline",
+                "passes": baseline_report.passes,
+                "covered_fraction": baseline_report.coverage_fraction,
+                "target_fraction": 1 - lam,
+                "size_blowup": setcover_blowup(baseline_report.solution_size, optimum),
+                "paper_bound": float("nan"),
+                "space_peak": baseline_report.space_peak,
+            }
+        )
+    return table
+
+
+@pytest.mark.benchmark(group="table1-setcover-outliers")
+def test_table1_setcover_outliers_rows(benchmark):
+    """Regenerate the set-cover-with-outliers rows of Table 1."""
+    table = benchmark.pedantic(_run_rows, rounds=1, iterations=1)
+    print_table("Table 1 — set cover with outliers (measured)", table)
+    write_table(
+        "table1_setcover_outliers",
+        "Table 1 — set cover with λ outliers (measured)",
+        table,
+        notes=[
+            f"ε = {EPSILON}; planted minimum cover of size 12 over m = 2500 elements.",
+            "Paper's claim: single pass, (1 + ε) log(1/λ) blow-up, O~_λ(n) space (edge arrival).",
+        ],
+    )
+    sketch_rows = [r for r in table.rows if r["algorithm"] == "this-paper-sketch"]
+    for row in sketch_rows:
+        assert row["passes"] == 1
+        # Coverage reaches the 1 − λ target (small slack for scaled constants).
+        assert row["covered_fraction"] >= row["target_fraction"] - 0.05
+        # Size blow-up within the paper's bound (plus one set of rounding slack).
+        assert row["size_blowup"] <= row["paper_bound"] + 1.0
+    baseline_rows = [r for r in table.rows if r["algorithm"] == "threshold-baseline"]
+    assert all(row["passes"] >= 3 for row in baseline_rows)

@@ -1,0 +1,93 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's evaluation artifacts (see
+DESIGN.md §4) on laptop-scale synthetic workloads.  The helpers here keep the
+workload definitions, the algorithm factories and the result-table plumbing
+in one place so each ``bench_*.py`` file reads like the experiment it
+reproduces.
+
+Results are printed (visible with ``pytest -s``) *and* written as Markdown
+fragments under ``benchmarks/results/`` so EXPERIMENTS.md can be refreshed
+from actual runs.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.analysis import ExperimentSuite, run_streaming_comparison
+from repro.coverage.instance import CoverageInstance
+from repro.utils.tables import Table
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Benchmark-scale knobs: small enough for pytest-benchmark, large enough that
+#: the space/quality trade-offs are visible.
+KCOVER_SIZES = {"n": 120, "m": 6000, "k": 10}
+SETCOVER_SIZES = {"n": 80, "m": 2500, "cover_size": 12}
+
+
+def results_path(name: str) -> Path:
+    """Path of the Markdown fragment a benchmark writes its table to."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR / f"{name}.md"
+
+
+def write_table(name: str, title: str, table: Table, notes: Iterable[str] = ()) -> Path:
+    """Write a result table (with title and notes) to ``benchmarks/results``."""
+    lines = [f"### {title}", ""]
+    lines += [f"- {note}" for note in notes]
+    if notes:
+        lines.append("")
+    lines.append(table.to_markdown())
+    lines.append("")
+    path = results_path(name)
+    path.write_text("\n".join(lines), encoding="utf-8")
+    return path
+
+
+def print_table(title: str, table: Table) -> None:
+    """Print a result table to stdout (shown with ``pytest -s``)."""
+    print(f"\n=== {title} ===")
+    print(table.to_grid())
+
+
+def comparison_suite(
+    name: str,
+    instance: CoverageInstance,
+    instance_name: str,
+    algorithms: Sequence[tuple[str, Callable[[], Any]]],
+    *,
+    seed: int = 0,
+    reference_value: float | None = None,
+) -> ExperimentSuite:
+    """Run a set of streaming algorithms on one instance into a fresh suite."""
+    suite = ExperimentSuite(name)
+    run_streaming_comparison(
+        suite,
+        instance,
+        instance_name,
+        algorithms,
+        seed=seed,
+        reference_value=reference_value,
+    )
+    return suite
+
+
+def suite_to_table(
+    suite: ExperimentSuite,
+    columns: Sequence[str] = (
+        "algorithm",
+        "instance",
+        "arrival_model",
+        "passes",
+        "approx_ratio",
+        "coverage_fraction",
+        "solution_size",
+        "space_peak",
+        "input_edges",
+    ),
+) -> Table:
+    """Standard column selection for Table 1-style comparisons."""
+    return suite.to_table(columns)

@@ -1,0 +1,56 @@
+"""Benchmark fixtures.
+
+The benchmark instances are module-scoped so pytest-benchmark's repeated
+timing rounds do not regenerate workloads, and seeded so the tables in
+EXPERIMENTS.md are reproducible run to run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import KCOVER_SIZES, SETCOVER_SIZES
+from repro.datasets import (
+    blog_watch_instance,
+    planted_kcover_instance,
+    planted_setcover_instance,
+    zipf_instance,
+)
+
+
+@pytest.fixture(scope="session")
+def kcover_planted():
+    """Planted k-cover instance with a known optimum (Table 1 k-cover rows)."""
+    return planted_kcover_instance(
+        KCOVER_SIZES["n"], KCOVER_SIZES["m"], k=KCOVER_SIZES["k"], planted_coverage=0.9, seed=101
+    )
+
+
+@pytest.fixture(scope="session")
+def kcover_zipf():
+    """Heavy-tailed k-cover instance (exercises the degree cap)."""
+    return zipf_instance(
+        KCOVER_SIZES["n"], KCOVER_SIZES["m"], edges_per_set=80, k=KCOVER_SIZES["k"], seed=102
+    )
+
+
+@pytest.fixture(scope="session")
+def kcover_blogwatch():
+    """Blog-watch workload (the introduction's motivating application)."""
+    return blog_watch_instance(
+        num_blogs=KCOVER_SIZES["n"],
+        num_stories=KCOVER_SIZES["m"],
+        k=KCOVER_SIZES["k"],
+        seed=103,
+    )
+
+
+@pytest.fixture(scope="session")
+def setcover_planted():
+    """Planted set cover instance with a known minimum cover."""
+    return planted_setcover_instance(
+        SETCOVER_SIZES["n"],
+        SETCOVER_SIZES["m"],
+        cover_size=SETCOVER_SIZES["cover_size"],
+        seed=104,
+    )

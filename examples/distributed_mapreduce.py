@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Distributed coverage maximisation with composable sketches (two rounds).
+
+The paper's conclusion points to a companion work applying the same sketch to
+MapReduce-style computation.  This example simulates that pipeline:
+
+* round 1 — the membership edges are sharded across machines; every machine
+  builds the H_{<=n} sketch of its shard with a *shared* hash function;
+* round 2 — the coordinator merges the shard sketches (which, by
+  composability, yields a sketch of the whole input) and runs the classical
+  greedy on the merge.
+
+Run with::
+
+    python examples/distributed_mapreduce.py
+"""
+
+from __future__ import annotations
+
+from repro.core.params import SketchParams
+from repro.datasets import blog_watch_instance
+from repro.distributed import DistributedKCover
+from repro.offline import greedy_k_cover
+from repro.utils.tables import Table
+
+K = 10
+
+
+def main() -> None:
+    instance = blog_watch_instance(num_blogs=150, num_stories=12_000, k=K, seed=13)
+    edges = list(instance.graph.edges())
+    reference = greedy_k_cover(instance.graph, K).coverage
+    params = SketchParams.explicit(
+        instance.n, instance.m, K, 0.2, edge_budget=6 * instance.n, degree_cap=40
+    )
+    print(
+        f"workload: {instance.n} blogs x {instance.m} stories, {len(edges)} edges; "
+        f"centralised greedy covers {reference}\n"
+    )
+
+    table = Table(
+        ["machines", "coverage", "vs_central_greedy", "max_machine_edges", "shipped_edges"]
+    )
+    for machines in (1, 4, 8, 16):
+        runner = DistributedKCover(
+            instance.n, instance.m, k=K, num_machines=machines, params=params, seed=13
+        )
+        report = runner.run(edges)
+        coverage = instance.graph.coverage(report.solution)
+        table.add_row(
+            machines=machines,
+            coverage=coverage,
+            vs_central_greedy=coverage / reference,
+            max_machine_edges=report.max_machine_load,
+            shipped_edges=report.communication_edges,
+        )
+    print(table.to_grid())
+    print(
+        "\nevery machine's memory is capped by the sketch budget regardless of its "
+        "shard size, and the merged sketch keeps the solution quality flat — the "
+        "composability property the companion paper builds on."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Multi-pass streaming set cover over an edge-list file.
+
+This example shows the full production-style pipeline:
+
+1. a workload is generated and written to disk as a ``set<TAB>element`` edge
+   list (the natural on-disk form of an edge-arrival stream);
+2. the file is replayed as an :class:`EdgeStream` — once per pass — through
+   Algorithm 6 (multi-pass set cover) for several pass budgets ``r``;
+3. the resulting cover sizes, pass counts and peak space are compared against
+   the offline greedy and the planted minimum cover.
+
+Run with::
+
+    python examples/streaming_set_cover_pipeline.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro import EdgeStream, StreamingRunner
+from repro.core import StreamingSetCover
+from repro.coverage.io import read_edge_list, write_edge_list
+from repro.datasets import planted_setcover_instance
+from repro.offline import greedy_set_cover
+from repro.utils.tables import Table
+
+
+def main() -> None:
+    # 1. Generate and persist the workload.
+    instance = planted_setcover_instance(120, 4000, cover_size=15, seed=21)
+    workdir = Path(tempfile.mkdtemp(prefix="repro_setcover_"))
+    edge_file = workdir / "memberships.tsv"
+    write_edge_list(
+        ((set_id, element) for set_id, element in instance.graph.edges()), edge_file
+    )
+    print(
+        f"wrote {instance.num_edges} membership edges for n={instance.n}, m={instance.m} "
+        f"to {edge_file}"
+    )
+    print(f"planted minimum cover: {len(instance.planted_solution)} sets\n")
+
+    # 2. Replay the file as an edge stream (one replay per pass).
+    edges = [(int(s), int(e)) for s, e in read_edge_list(edge_file)]
+
+    runner = StreamingRunner(instance.graph)
+    table = Table(["method", "rounds_r", "passes", "cover_size", "covered", "space_edges"])
+
+    offline = greedy_set_cover(instance.graph)
+    table.add_row(
+        method="offline greedy",
+        rounds_r="-",
+        passes="-",
+        cover_size=offline.size,
+        covered="100%",
+        space_edges=instance.num_edges,
+    )
+
+    for rounds in (2, 3, 4):
+        stream = EdgeStream(
+            edges, num_sets=instance.n, num_elements_hint=instance.m, order="random", seed=rounds
+        )
+        algorithm = StreamingSetCover(
+            instance.n, instance.m, epsilon=0.5, rounds=rounds, seed=rounds, max_guesses=14
+        )
+        report = runner.run(algorithm, stream)
+        table.add_row(
+            method="Algorithm 6 (sketch)",
+            rounds_r=rounds,
+            passes=report.passes,
+            cover_size=report.solution_size,
+            covered=f"{report.coverage_fraction:.1%}",
+            space_edges=report.space_peak,
+        )
+
+    print(table.to_grid())
+    print(
+        "\nmore rounds = more passes but smaller per-pass sketches; "
+        "all configurations finish with a complete cover."
+    )
+
+
+if __name__ == "__main__":
+    main()

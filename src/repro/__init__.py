@@ -1,0 +1,99 @@
+"""repro — reproduction of *Almost Optimal Streaming Algorithms for Coverage Problems*.
+
+Bateni, Esfandiari, Mirrokni (SPAA 2017, arXiv:1610.08096).
+
+The package is organised as:
+
+* :mod:`repro.coverage` — set systems, bipartite graphs, coverage functions.
+* :mod:`repro.streaming` — edge/set-arrival streams, space metering, passes.
+* :mod:`repro.core` — the paper's contribution: the ``H_{<=n}`` sketch and
+  the streaming algorithms for k-cover, set cover with outliers and set
+  cover, plus the oracle-hardness and lower-bound constructions.
+* :mod:`repro.offline` — greedy / exact / local-search reference algorithms.
+* :mod:`repro.baselines` — prior streaming algorithms from Table 1.
+* :mod:`repro.datasets` — synthetic workload generators.
+* :mod:`repro.analysis` — metrics, experiment runner, report rendering.
+
+Quickstart
+----------
+>>> from repro import datasets, StreamingKCover, StreamingRunner, EdgeStream
+>>> instance = datasets.planted_kcover_instance(100, 2000, k=5, seed=1)
+>>> algo = StreamingKCover(instance.n, instance.m, k=5, epsilon=0.2, seed=1)
+>>> report = StreamingRunner(instance.graph).run(
+...     algo, EdgeStream.from_graph(instance.graph, order="random", seed=1))
+>>> report.solution_size
+5
+"""
+
+from repro import (
+    analysis,
+    baselines,
+    coverage,
+    core,
+    datasets,
+    distributed,
+    offline,
+    streaming,
+    utils,
+)
+from repro.core import (
+    CoverageSketch,
+    SketchParams,
+    StreamingKCover,
+    StreamingSetCover,
+    StreamingSetCoverOutliers,
+    StreamingSketchBuilder,
+    build_h_leq_n,
+)
+from repro.coverage import BipartiteGraph, CoverageFunction, CoverageInstance, SetSystem
+from repro.errors import (
+    InfeasibleError,
+    InvalidInstanceError,
+    PassBudgetExceeded,
+    ReproError,
+    SpaceBudgetExceeded,
+    StreamExhausted,
+)
+from repro.offline import greedy_k_cover, greedy_set_cover
+from repro.streaming import EdgeStream, SetStream, SpaceMeter, StreamingRunner
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # subpackages
+    "analysis",
+    "baselines",
+    "coverage",
+    "core",
+    "datasets",
+    "distributed",
+    "offline",
+    "streaming",
+    "utils",
+    # most-used classes re-exported at top level
+    "BipartiteGraph",
+    "CoverageFunction",
+    "CoverageInstance",
+    "SetSystem",
+    "CoverageSketch",
+    "SketchParams",
+    "StreamingSketchBuilder",
+    "build_h_leq_n",
+    "StreamingKCover",
+    "StreamingSetCover",
+    "StreamingSetCoverOutliers",
+    "EdgeStream",
+    "SetStream",
+    "SpaceMeter",
+    "StreamingRunner",
+    "greedy_k_cover",
+    "greedy_set_cover",
+    # errors
+    "ReproError",
+    "InvalidInstanceError",
+    "SpaceBudgetExceeded",
+    "PassBudgetExceeded",
+    "InfeasibleError",
+    "StreamExhausted",
+]

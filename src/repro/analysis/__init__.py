@@ -1,0 +1,35 @@
+"""Metrics, experiment running and reporting."""
+
+from repro.analysis.experiments import (
+    ExperimentRow,
+    ExperimentSuite,
+    run_streaming_comparison,
+)
+from repro.analysis.metrics import (
+    SummaryStats,
+    approximation_ratio,
+    coverage_shortfall,
+    kcover_reference_value,
+    setcover_blowup,
+    summarize,
+)
+from repro.analysis.plots import bar_chart, labeled_sparkline, sparkline
+from repro.analysis.reporting import render_comparison, render_suite_markdown, write_report
+
+__all__ = [
+    "ExperimentRow",
+    "ExperimentSuite",
+    "run_streaming_comparison",
+    "SummaryStats",
+    "approximation_ratio",
+    "coverage_shortfall",
+    "kcover_reference_value",
+    "setcover_blowup",
+    "summarize",
+    "render_comparison",
+    "render_suite_markdown",
+    "write_report",
+    "bar_chart",
+    "labeled_sparkline",
+    "sparkline",
+]

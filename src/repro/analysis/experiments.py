@@ -1,0 +1,165 @@
+"""Experiment runner: drives algorithm/instance grids and collects rows.
+
+Every benchmark in ``benchmarks/`` and every example script builds its table
+through this module so the output format is uniform: one
+:class:`ExperimentRow` per (algorithm, instance, repetition), convertible to
+:class:`repro.utils.tables.Table` for printing and to plain dicts for
+persistence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.analysis.metrics import approximation_ratio, kcover_reference_value, summarize
+from repro.coverage.instance import CoverageInstance
+from repro.streaming.runner import StreamingReport, StreamingRunner
+from repro.streaming.stream import EdgeStream, SetStream
+from repro.utils.tables import Table
+
+__all__ = ["ExperimentRow", "ExperimentSuite", "run_streaming_comparison"]
+
+
+@dataclass
+class ExperimentRow:
+    """One measured row: algorithm x instance x repetition."""
+
+    experiment: str
+    algorithm: str
+    instance: str
+    metrics: dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, Any]:
+        """Flatten into a single dict for tables."""
+        return {
+            "experiment": self.experiment,
+            "algorithm": self.algorithm,
+            "instance": self.instance,
+            **self.metrics,
+        }
+
+
+class ExperimentSuite:
+    """Accumulates rows and renders them as tables / aggregates."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.rows: list[ExperimentRow] = []
+
+    def add(self, row: ExperimentRow) -> None:
+        """Add a single row."""
+        self.rows.append(row)
+
+    def add_report(
+        self,
+        algorithm: str,
+        instance_name: str,
+        report: StreamingReport,
+        *,
+        extra: dict[str, Any] | None = None,
+    ) -> ExperimentRow:
+        """Add a row derived from a :class:`StreamingReport`."""
+        metrics = report.as_dict()
+        metrics.pop("algorithm", None)
+        if extra:
+            metrics.update(extra)
+        row = ExperimentRow(
+            experiment=self.name, algorithm=algorithm, instance=instance_name, metrics=metrics
+        )
+        self.add(row)
+        return row
+
+    def algorithms(self) -> list[str]:
+        """Distinct algorithm names, in first-seen order."""
+        return list(dict.fromkeys(row.algorithm for row in self.rows))
+
+    def filter(self, **conditions: Any) -> list[ExperimentRow]:
+        """Rows whose metrics (or fields) match all the given values."""
+        out = []
+        for row in self.rows:
+            flat = row.as_dict()
+            if all(flat.get(key) == value for key, value in conditions.items()):
+                out.append(row)
+        return out
+
+    def aggregate(self, metric: str, by: str = "algorithm") -> dict[str, dict[str, float]]:
+        """Summary statistics of one metric grouped by a field."""
+        groups: dict[str, list[float]] = {}
+        for row in self.rows:
+            flat = row.as_dict()
+            if metric not in flat or flat[metric] is None:
+                continue
+            groups.setdefault(str(flat.get(by)), []).append(float(flat[metric]))
+        return {key: summarize(values).as_dict() for key, values in groups.items() if values}
+
+    def to_table(self, columns: Sequence[str] | None = None) -> Table:
+        """Render all rows as a :class:`Table` (columns inferred if omitted)."""
+        if columns is None:
+            seen: dict[str, None] = {}
+            for row in self.rows:
+                for key in row.as_dict():
+                    seen.setdefault(key, None)
+            columns = list(seen)
+        table = Table(list(columns))
+        for row in self.rows:
+            flat = row.as_dict()
+            table.add_row(**{c: flat.get(c, "") for c in columns})
+        return table
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+def run_streaming_comparison(
+    suite: ExperimentSuite,
+    instance: CoverageInstance,
+    instance_name: str,
+    algorithms: Iterable[tuple[str, Callable[[], Any]]],
+    *,
+    edge_order: str = "random",
+    set_order: str = "random",
+    seed: int = 0,
+    reference_value: float | None = None,
+) -> list[ExperimentRow]:
+    """Run several streaming algorithms on one instance and record their rows.
+
+    Parameters
+    ----------
+    suite:
+        The suite rows are appended to.
+    instance:
+        The coverage instance; streams are generated from its graph.
+    instance_name:
+        Label used in the rows.
+    algorithms:
+        Pairs ``(label, factory)`` where the factory builds a *fresh*
+        algorithm object (implementing the StreamingAlgorithm protocol).
+    edge_order / set_order:
+        Stream orders for edge-arrival and set-arrival consumers.
+    reference_value:
+        Reference ``Opt_k`` (defaults to the planted/greedy reference).
+    """
+    runner = StreamingRunner(instance.graph)
+    reference = (
+        reference_value
+        if reference_value is not None
+        else kcover_reference_value(instance)
+    )
+    rows = []
+    for label, factory in algorithms:
+        algorithm = factory()
+        if algorithm.arrival_model == "edge":
+            stream = EdgeStream.from_graph(instance.graph, order=edge_order, seed=seed)
+        else:
+            stream = SetStream.from_graph(instance.graph, order=set_order, seed=seed)
+        report = runner.run(algorithm, stream)
+        extra = {
+            "reference_value": reference,
+            "approx_ratio": approximation_ratio(report.coverage, reference),
+            "n": instance.n,
+            "m": instance.m,
+            "input_edges": instance.num_edges,
+        }
+        rows.append(suite.add_report(label, instance_name, report, extra=extra))
+    return rows

@@ -1,0 +1,98 @@
+"""Metrics used to compare algorithms against references.
+
+The paper's claims are about three axes — approximation quality, space and
+passes — so every experiment reports all three.  This module computes the
+quality side: approximation ratios against planted optima, greedy, or exact
+solutions, plus summary statistics across repetitions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.coverage.bipartite import BipartiteGraph
+from repro.coverage.instance import CoverageInstance
+from repro.offline.greedy import greedy_k_cover
+
+__all__ = [
+    "approximation_ratio",
+    "kcover_reference_value",
+    "setcover_blowup",
+    "coverage_shortfall",
+    "SummaryStats",
+    "summarize",
+]
+
+
+def kcover_reference_value(instance: CoverageInstance, *, use_planted: bool = True) -> int:
+    """The best available reference value for ``Opt_k``.
+
+    The planted value is used when the generator provided one (it is exact or
+    a lower bound on the optimum); otherwise the offline greedy value is used
+    (a ``1 − 1/e`` lower bound on the optimum, the customary yardstick).
+    """
+    if use_planted and instance.planted_value is not None:
+        return int(instance.planted_value)
+    return greedy_k_cover(instance.graph, instance.k).coverage
+
+
+def approximation_ratio(achieved: float, reference: float) -> float:
+    """``achieved / reference`` guarded against a zero reference."""
+    if reference <= 0:
+        return 1.0 if achieved <= 0 else math.inf
+    return achieved / reference
+
+
+def setcover_blowup(solution_size: int, reference_size: int) -> float:
+    """Size blow-up of a cover relative to the reference cover (≥ 1 is worse)."""
+    if reference_size <= 0:
+        return math.inf if solution_size > 0 else 1.0
+    return solution_size / reference_size
+
+
+def coverage_shortfall(
+    graph: BipartiteGraph, solution: Iterable[int], target_fraction: float
+) -> float:
+    """How far below the target covered fraction the solution falls (0 if met)."""
+    achieved = graph.coverage_fraction(solution)
+    return max(0.0, target_fraction - achieved)
+
+
+@dataclass
+class SummaryStats:
+    """Mean / min / max / stdev of a sample of measurements."""
+
+    count: int
+    mean: float
+    minimum: float
+    maximum: float
+    stdev: float
+
+    def as_dict(self) -> dict[str, float | int]:
+        """Flatten for table rows."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.minimum,
+            "max": self.maximum,
+            "stdev": self.stdev,
+        }
+
+
+def summarize(values: Sequence[float]) -> SummaryStats:
+    """Summary statistics of a non-empty sequence of floats."""
+    values = [float(v) for v in values]
+    if not values:
+        raise ValueError("cannot summarise an empty sequence")
+    count = len(values)
+    mean = sum(values) / count
+    variance = sum((v - mean) ** 2 for v in values) / count
+    return SummaryStats(
+        count=count,
+        mean=mean,
+        minimum=min(values),
+        maximum=max(values),
+        stdev=math.sqrt(variance),
+    )

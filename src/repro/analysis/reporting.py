@@ -1,0 +1,70 @@
+"""Rendering experiment suites into human-readable reports.
+
+``EXPERIMENTS.md`` is regenerated from the benchmark runs through these
+helpers, so the document's tables always match what the code produces.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.experiments import ExperimentSuite
+from repro.utils.tables import Table
+
+__all__ = ["render_suite_markdown", "render_comparison", "write_report"]
+
+
+def render_suite_markdown(
+    suite: ExperimentSuite,
+    *,
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+    notes: Iterable[str] = (),
+) -> str:
+    """Render one suite as a Markdown section (title, notes, table)."""
+    lines: list[str] = []
+    lines.append(f"### {title or suite.name}")
+    lines.append("")
+    for note in notes:
+        lines.append(f"- {note}")
+    if notes:
+        lines.append("")
+    lines.append(suite.to_table(columns).to_markdown())
+    lines.append("")
+    return "\n".join(lines)
+
+
+def render_comparison(
+    suite: ExperimentSuite,
+    metric: str,
+    *,
+    by: str = "algorithm",
+    title: str | None = None,
+) -> str:
+    """Render the per-group summary of one metric as a Markdown table."""
+    aggregates = suite.aggregate(metric, by=by)
+    table = Table([by, "count", "mean", "min", "max", "stdev"])
+    for group in sorted(aggregates):
+        stats = aggregates[group]
+        table.add_row(
+            **{
+                by: group,
+                "count": stats["count"],
+                "mean": stats["mean"],
+                "min": stats["min"],
+                "max": stats["max"],
+                "stdev": stats["stdev"],
+            }
+        )
+    header = title or f"{suite.name}: {metric} by {by}"
+    return f"### {header}\n\n{table.to_markdown()}\n"
+
+
+def write_report(path: str | Path, sections: Iterable[str], *, header: str = "") -> Path:
+    """Write a sequence of Markdown sections to a file and return the path."""
+    path = Path(path)
+    body = "\n".join(sections)
+    content = f"{header}\n\n{body}" if header else body
+    path.write_text(content, encoding="utf-8")
+    return path

@@ -1,0 +1,17 @@
+"""Prior-work streaming baselines used in the Table 1 comparison."""
+
+from repro.baselines.demaine import DemaineSetCover
+from repro.baselines.emek_rosen import ThresholdPartialSetCover
+from repro.baselines.harpeled import HarPeledSetCover
+from repro.baselines.mcgregor_vu import McGregorVuKCover
+from repro.baselines.saha_getoor import SahaGetoorKCover
+from repro.baselines.sieve_streaming import SieveStreamingKCover
+
+__all__ = [
+    "DemaineSetCover",
+    "ThresholdPartialSetCover",
+    "HarPeledSetCover",
+    "McGregorVuKCover",
+    "SahaGetoorKCover",
+    "SieveStreamingKCover",
+]

@@ -1,0 +1,137 @@
+"""Sieve-Streaming (Badanidiyuru et al., KDD 2014) for k-cover.
+
+The second streaming max-coverage baseline of Table 1 ("k-cover [9]"): a
+single-pass **set-arrival** algorithm for monotone submodular maximisation
+with a ``1/2 − ε`` guarantee using ``O~(n + m)`` space (for coverage it must
+remember the union covered by each thresholded candidate solution, hence the
+``m`` term).
+
+Algorithm
+---------
+Maintain ``v_max``, the best singleton value seen so far.  For every
+threshold ``v = (1+ε)^i`` within ``[v_max, 2·k·v_max]`` keep an independent
+candidate solution; an arriving set is added to a candidate iff the candidate
+still has room and the set's marginal gain is at least
+``(v/2 − current) / (k − |candidate|)``.  The best candidate at the end of
+the stream is returned.  Thresholds are instantiated lazily as ``v_max``
+grows, exactly as in the original paper.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.streaming.events import SetArrival
+from repro.streaming.space import SpaceMeter
+from repro.utils.validation import check_open_unit, check_positive_int
+
+__all__ = ["SieveStreamingKCover"]
+
+
+class _Candidate:
+    """One thresholded candidate solution."""
+
+    __slots__ = ("threshold", "selected", "covered")
+
+    def __init__(self, threshold: float) -> None:
+        self.threshold = threshold
+        self.selected: list[int] = []
+        self.covered: set[int] = set()
+
+
+class SieveStreamingKCover:
+    """Single-pass sieve-streaming k-cover (set-arrival, ½−ε approx)."""
+
+    def __init__(self, k: int, epsilon: float = 0.1) -> None:
+        check_positive_int(k, "k")
+        check_open_unit(epsilon, "epsilon")
+        self.name = "sieve-streaming"
+        self.arrival_model = "set"
+        self.k = k
+        self.epsilon = epsilon
+        self.space = SpaceMeter(unit="stored items")
+        self._candidates: dict[int, _Candidate] = {}
+        self._v_max = 0.0
+
+    # ------------------------------------------------------------------ #
+    # threshold management
+    # ------------------------------------------------------------------ #
+    def _active_indices(self) -> range:
+        """Indices i with (1+ε)^i in [v_max, 2 k v_max]."""
+        if self._v_max <= 0:
+            return range(0)
+        base = 1.0 + self.epsilon
+        low = math.floor(math.log(self._v_max, base))
+        high = math.ceil(math.log(2.0 * self.k * self._v_max, base))
+        return range(low, high + 1)
+
+    def _sync_candidates(self) -> None:
+        """Create newly active candidates and drop obsolete ones."""
+        active = set(self._active_indices())
+        base = 1.0 + self.epsilon
+        for index in list(self._candidates):
+            if index not in active:
+                dropped = self._candidates.pop(index)
+                self.space.release(len(dropped.covered) + len(dropped.selected))
+        for index in active:
+            if index not in self._candidates:
+                self._candidates[index] = _Candidate(threshold=base**index)
+
+    # ------------------------------------------------------------------ #
+    # StreamingAlgorithm protocol
+    # ------------------------------------------------------------------ #
+    def start_pass(self, pass_index: int) -> None:
+        """Single-pass algorithm."""
+        if pass_index > 0:  # pragma: no cover - defensive
+            raise RuntimeError("SieveStreamingKCover is a single-pass algorithm")
+
+    def process(self, event: SetArrival) -> None:
+        """Offer one arriving set to every active thresholded candidate."""
+        members = set(event.elements)
+        singleton_value = float(len(members))
+        if singleton_value > self._v_max:
+            self._v_max = singleton_value
+            self._sync_candidates()
+        for candidate in self._candidates.values():
+            if len(candidate.selected) >= self.k:
+                continue
+            gain = len(members - candidate.covered)
+            remaining = self.k - len(candidate.selected)
+            required = (candidate.threshold / 2.0 - len(candidate.covered)) / remaining
+            if gain >= required and gain > 0:
+                candidate.selected.append(event.set_id)
+                new_elements = members - candidate.covered
+                candidate.covered |= new_elements
+                self.space.charge(len(new_elements) + 1)
+
+    def finish_pass(self, pass_index: int) -> None:
+        """Nothing to finalise."""
+
+    def wants_another_pass(self) -> bool:
+        """Always ``False``: single pass."""
+        return False
+
+    def result(self) -> list[int]:
+        """The best candidate solution by its own covered-set bookkeeping."""
+        if not self._candidates:
+            return []
+        best = max(self._candidates.values(), key=lambda c: len(c.covered))
+        return list(best.selected)
+
+    # ------------------------------------------------------------------ #
+    # extras
+    # ------------------------------------------------------------------ #
+    def num_candidates(self) -> int:
+        """Number of currently active thresholded candidates."""
+        return len(self._candidates)
+
+    def describe(self) -> dict[str, object]:
+        """Diagnostics for reports."""
+        return {
+            "algorithm": self.name,
+            "k": self.k,
+            "epsilon": self.epsilon,
+            "v_max": self._v_max,
+            "candidates": len(self._candidates),
+            "space_peak": self.space.peak,
+        }

@@ -1,0 +1,248 @@
+"""Command-line interface.
+
+``python -m repro.cli <command>`` exposes the main workflows without writing
+any Python:
+
+* ``kcover`` — run the streaming k-cover sketch (and optionally the
+  baselines) on a generated workload or an edge-list file.
+* ``setcover`` — run the multi-pass streaming set cover.
+* ``outliers`` — run set cover with λ outliers.
+* ``generate`` — generate a synthetic workload and write it as an edge list.
+* ``sketch`` — build the sketch of an edge-list file and report its size.
+
+Every command prints a small aligned table and exits with a non-zero status
+on invalid input, so the CLI is scriptable in pipelines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.baselines import SahaGetoorKCover, SieveStreamingKCover
+from repro.core import StreamingKCover, StreamingSetCover, StreamingSetCoverOutliers
+from repro.coverage.bipartite import BipartiteGraph
+from repro.coverage.io import read_edge_list, write_edge_list
+from repro.datasets import (
+    blog_watch_instance,
+    planted_kcover_instance,
+    planted_setcover_instance,
+    uniform_random_instance,
+    zipf_instance,
+)
+from repro.offline.greedy import greedy_k_cover, greedy_set_cover
+from repro.streaming import EdgeStream, SetStream, StreamingRunner
+from repro.utils.tables import Table
+
+__all__ = ["main", "build_parser"]
+
+_GENERATORS = {
+    "planted_kcover": lambda args: planted_kcover_instance(
+        args.num_sets, args.num_elements, k=args.k, seed=args.seed
+    ),
+    "planted_setcover": lambda args: planted_setcover_instance(
+        args.num_sets, args.num_elements, cover_size=max(2, args.k), seed=args.seed
+    ),
+    "uniform": lambda args: uniform_random_instance(
+        args.num_sets, args.num_elements, density=args.density, k=args.k, seed=args.seed
+    ),
+    "zipf": lambda args: zipf_instance(
+        args.num_sets, args.num_elements, k=args.k, seed=args.seed
+    ),
+    "blog_watch": lambda args: blog_watch_instance(
+        num_blogs=args.num_sets, num_stories=args.num_elements, k=args.k, seed=args.seed
+    ),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing and documentation)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Streaming coverage algorithms (Bateni-Esfandiari-Mirrokni, SPAA 2017)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_instance_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--edges", type=Path, default=None,
+                       help="edge-list file (set<TAB>element); overrides --generator")
+        p.add_argument("--generator", choices=sorted(_GENERATORS), default="planted_kcover")
+        p.add_argument("--num-sets", type=int, default=100)
+        p.add_argument("--num-elements", type=int, default=5000)
+        p.add_argument("--density", type=float, default=0.05)
+        p.add_argument("--seed", type=int, default=0)
+
+    kcover = sub.add_parser("kcover", help="single-pass streaming k-cover (Algorithm 3)")
+    add_instance_options(kcover)
+    kcover.add_argument("--k", type=int, default=10)
+    kcover.add_argument("--epsilon", type=float, default=0.2)
+    kcover.add_argument("--scale", type=float, default=0.1,
+                        help="edge-budget scale factor (see SketchParams.scaled)")
+    kcover.add_argument("--baselines", action="store_true",
+                        help="also run the Saha-Getoor and sieve-streaming baselines")
+
+    setcover = sub.add_parser("setcover", help="multi-pass streaming set cover (Algorithm 6)")
+    add_instance_options(setcover)
+    setcover.add_argument("--k", type=int, default=10)
+    setcover.add_argument("--epsilon", type=float, default=0.5)
+    setcover.add_argument("--rounds", type=int, default=3)
+    setcover.add_argument("--scale", type=float, default=0.1)
+
+    outliers = sub.add_parser("outliers", help="set cover with λ outliers (Algorithm 5)")
+    add_instance_options(outliers)
+    outliers.add_argument("--k", type=int, default=10)
+    outliers.add_argument("--epsilon", type=float, default=0.5)
+    outliers.add_argument("--outlier-fraction", type=float, default=0.1)
+    outliers.add_argument("--scale", type=float, default=0.1)
+
+    generate = sub.add_parser("generate", help="generate a workload as an edge-list file")
+    add_instance_options(generate)
+    generate.add_argument("--k", type=int, default=10)
+    generate.add_argument("--output", type=Path, required=True)
+
+    sketch = sub.add_parser("sketch", help="build the H_{<=n} sketch of an instance")
+    add_instance_options(sketch)
+    sketch.add_argument("--k", type=int, default=10)
+    sketch.add_argument("--epsilon", type=float, default=0.2)
+    sketch.add_argument("--scale", type=float, default=0.1)
+    return parser
+
+
+def _load_graph(args: argparse.Namespace) -> BipartiteGraph:
+    """Build the input graph from a file or a generator."""
+    if args.edges is not None:
+        pairs = read_edge_list(args.edges)
+        num_sets = max(int(s) for s, _ in pairs) + 1 if pairs else 1
+        graph = BipartiteGraph(num_sets)
+        for set_label, element_label in pairs:
+            graph.add_edge(int(set_label), int(element_label))
+        return graph
+    instance = _GENERATORS[args.generator](args)
+    return instance.graph
+
+
+def _print(table: Table, stream) -> None:
+    print(table.to_grid(), file=stream)
+
+
+def _cmd_kcover(args: argparse.Namespace, out) -> int:
+    graph = _load_graph(args)
+    runner = StreamingRunner(graph)
+    table = Table(["algorithm", "coverage", "fraction", "size", "passes", "space"])
+    algo = StreamingKCover(
+        graph.num_sets, max(1, graph.num_elements), k=args.k,
+        epsilon=args.epsilon, scale=args.scale, seed=args.seed,
+    )
+    report = runner.run(algo, EdgeStream.from_graph(graph, order="random", seed=args.seed))
+    table.add_row(algorithm="sketch-kcover", coverage=report.coverage,
+                  fraction=report.coverage_fraction, size=report.solution_size,
+                  passes=report.passes, space=report.space_peak)
+    if args.baselines:
+        for name, baseline in (
+            ("saha-getoor", SahaGetoorKCover(k=args.k)),
+            ("sieve-streaming", SieveStreamingKCover(k=args.k, epsilon=0.1)),
+        ):
+            rep = runner.run(baseline, SetStream.from_graph(graph, order="random", seed=args.seed))
+            table.add_row(algorithm=name, coverage=rep.coverage, fraction=rep.coverage_fraction,
+                          size=rep.solution_size, passes=rep.passes, space=rep.space_peak)
+    greedy = greedy_k_cover(graph, args.k)
+    table.add_row(algorithm="offline-greedy", coverage=greedy.coverage,
+                  fraction=graph.coverage_fraction(greedy.selected),
+                  size=greedy.size, passes="-", space=graph.num_edges)
+    _print(table, out)
+    return 0
+
+
+def _cmd_setcover(args: argparse.Namespace, out) -> int:
+    graph = _load_graph(args)
+    runner = StreamingRunner(graph)
+    algo = StreamingSetCover(
+        graph.num_sets, max(1, graph.num_elements), epsilon=args.epsilon,
+        rounds=args.rounds, scale=args.scale, seed=args.seed, max_guesses=14,
+    )
+    report = runner.run(algo, EdgeStream.from_graph(graph, order="random", seed=args.seed))
+    greedy = greedy_set_cover(graph, allow_partial=True)
+    table = Table(["algorithm", "cover_size", "fraction", "passes", "space"])
+    table.add_row(algorithm="sketch-setcover", cover_size=report.solution_size,
+                  fraction=report.coverage_fraction, passes=report.passes,
+                  space=report.space_peak)
+    table.add_row(algorithm="offline-greedy", cover_size=greedy.size, fraction=1.0,
+                  passes="-", space=graph.num_edges)
+    _print(table, out)
+    return 0
+
+
+def _cmd_outliers(args: argparse.Namespace, out) -> int:
+    graph = _load_graph(args)
+    runner = StreamingRunner(graph)
+    algo = StreamingSetCoverOutliers(
+        graph.num_sets, max(1, graph.num_elements), outlier_fraction=args.outlier_fraction,
+        epsilon=args.epsilon, scale=args.scale, seed=args.seed, max_guesses=16,
+    )
+    report = runner.run(algo, EdgeStream.from_graph(graph, order="random", seed=args.seed))
+    table = Table(["algorithm", "cover_size", "fraction", "target", "passes", "space"])
+    table.add_row(algorithm="sketch-outliers", cover_size=report.solution_size,
+                  fraction=report.coverage_fraction, target=1 - args.outlier_fraction,
+                  passes=report.passes, space=report.space_peak)
+    _print(table, out)
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace, out) -> int:
+    instance = _GENERATORS[args.generator](args)
+    count = write_edge_list(instance.graph.edges(), args.output)
+    print(
+        f"wrote {count} edges (n={instance.n}, m={instance.m}) to {args.output}",
+        file=out,
+    )
+    return 0
+
+
+def _cmd_sketch(args: argparse.Namespace, out) -> int:
+    from repro.core import StreamingSketchBuilder
+    from repro.core.params import SketchParams
+
+    graph = _load_graph(args)
+    params = SketchParams.scaled(
+        graph.num_sets, max(1, graph.num_elements), args.k, args.epsilon, scale=args.scale
+    )
+    builder = StreamingSketchBuilder(params, seed=args.seed)
+    builder.consume(graph.edges())
+    sketch = builder.sketch()
+    table = Table(["quantity", "value"])
+    table.add_row(quantity="input edges", value=graph.num_edges)
+    table.add_row(quantity="edge budget", value=params.edge_budget)
+    table.add_row(quantity="degree cap", value=params.degree_cap)
+    table.add_row(quantity="stored edges", value=sketch.num_edges)
+    table.add_row(quantity="sampled elements", value=sketch.num_elements)
+    table.add_row(quantity="threshold p*", value=sketch.threshold)
+    table.add_row(quantity="estimated m", value=sketch.estimate_total_elements())
+    _print(table, out)
+    return 0
+
+
+_COMMANDS = {
+    "kcover": _cmd_kcover,
+    "setcover": _cmd_setcover,
+    "outliers": _cmd_outliers,
+    "generate": _cmd_generate,
+    "sketch": _cmd_sketch,
+}
+
+
+def main(argv: Sequence[str] | None = None, out=None) -> int:
+    """Entry point; returns the process exit code."""
+    out = out if out is not None else sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args, out)
+    except (ValueError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

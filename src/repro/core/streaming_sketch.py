@@ -1,0 +1,249 @@
+"""Streaming construction of ``H_{<=n}`` over an edge-arrival stream.
+
+This is Algorithm 2 of the paper.  The offline construction (Algorithm 1)
+admits elements in increasing hash order until the edge budget is hit; in the
+stream, edges arrive in arbitrary order, so the builder instead:
+
+1. hashes each arriving element to a rank in ``[0, 1)``;
+2. keeps edges only for elements whose rank is below the current *admission
+   threshold* (initially 1.0);
+3. caps the per-element degree at ``degree_cap``;
+4. whenever the number of stored edges exceeds
+   ``edge_budget + eviction_slack`` (the paper allows the slack of one
+   element's degree cap), evicts the tracked element with the **largest**
+   rank and lowers the admission threshold to that rank — so the evicted
+   element, and any element hashed above it, can never re-enter.
+
+The final content is exactly the offline sketch up to the boundary element:
+elements whose rank is below the final threshold keep all their (capped)
+edges, elements above it keep none.  Rule 4 guarantees monotonicity (an
+element is never re-admitted after losing edges), which is what makes the
+streaming sketch equivalent to the offline one; the unit tests verify this
+equivalence on random inputs.
+
+Two rank sources are supported, mirroring the paper's discussion of
+randomness:
+
+* ``"hash"`` (default): ranks come from a :class:`UniformHash`, requiring no
+  knowledge of the ground set.
+* ``"permutation"``: the ground set size ``m`` is known; Algorithm 2's
+  explicit trick of pre-sampling ``edge_budget + degree_cap`` elements and
+  ranking them by a random permutation is used, and *unsampled* elements are
+  discarded outright.  This variant uses only ``O~(|H_{<=n}|)`` random bits,
+  as the paper notes.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable
+
+from repro.coverage.bipartite import BipartiteGraph
+from repro.core.hashing import HashFamily, UniformHash
+from repro.core.params import SketchParams
+from repro.core.sketch import CoverageSketch
+from repro.streaming.events import EdgeArrival
+from repro.streaming.space import SpaceMeter
+from repro.utils.rng import spawn_rng
+
+__all__ = ["StreamingSketchBuilder"]
+
+
+class StreamingSketchBuilder:
+    """Incrementally builds a :class:`CoverageSketch` from edge arrivals.
+
+    Parameters
+    ----------
+    params:
+        The sketch budgets (edge budget, degree cap, eviction slack).
+    hash_fn:
+        Rank source for the ``"hash"`` mode; defaults to
+        :class:`UniformHash` seeded with ``seed``.
+    seed:
+        Seed for the default hash function / the permutation sampling.
+    rank_source:
+        ``"hash"`` or ``"permutation"`` (see module docstring).
+    space:
+        Optional external :class:`SpaceMeter` to charge; a fresh one is
+        created otherwise.  One unit is charged per stored edge.
+    """
+
+    def __init__(
+        self,
+        params: SketchParams,
+        *,
+        hash_fn: HashFamily | None = None,
+        seed: int = 0,
+        rank_source: str = "hash",
+        space: SpaceMeter | None = None,
+    ) -> None:
+        if rank_source not in ("hash", "permutation"):
+            raise ValueError("rank_source must be 'hash' or 'permutation'")
+        self.params = params
+        self.hash_fn = hash_fn or UniformHash(seed)
+        self.rank_source = rank_source
+        self.seed = seed
+        self.space = space if space is not None else SpaceMeter(unit="edges")
+        self._graph = BipartiteGraph(params.num_sets)
+        self._ranks: dict[int, float] = {}
+        # Max-heap over (negated rank, element) of currently tracked elements.
+        self._heap: list[tuple[float, int]] = []
+        self._truncated: set[int] = set()
+        self._admission_threshold = 1.0
+        self._edges_seen = 0
+        self._edges_discarded = 0
+        self._evictions = 0
+        self._permutation_ranks: dict[int, float] | None = None
+        if rank_source == "permutation":
+            self._permutation_ranks = self._sample_permutation()
+
+    # ------------------------------------------------------------------ #
+    # rank handling
+    # ------------------------------------------------------------------ #
+    def _sample_permutation(self) -> dict[int, float]:
+        """Pre-sample Algorithm 2's element set Π and rank it by position.
+
+        Π has ``edge_budget + degree_cap`` elements drawn uniformly without
+        replacement from the ground set ``0 .. m-1``; the rank of a sampled
+        element is its (normalised) position in a random permutation of Π.
+        Unsampled elements get rank ``inf`` and are always discarded.
+        """
+        rng = spawn_rng(self.seed, "algorithm2-permutation")
+        population = self.params.num_elements
+        size = min(self.params.sample_size, population)
+        sample = rng.choice(population, size=size, replace=False)
+        permutation = rng.permutation(size)
+        denom = max(1, population)
+        return {
+            int(element): (int(position) + 1) / (denom + 1)
+            for element, position in zip(sample, permutation)
+        }
+
+    def _rank(self, element: int) -> float:
+        if self._permutation_ranks is not None:
+            return self._permutation_ranks.get(element, float("inf"))
+        return self.hash_fn.value(element)
+
+    # ------------------------------------------------------------------ #
+    # stream interface
+    # ------------------------------------------------------------------ #
+    @property
+    def stored_edges(self) -> int:
+        """Number of edges currently stored."""
+        return self._graph.num_edges
+
+    @property
+    def evictions(self) -> int:
+        """Number of element evictions performed so far."""
+        return self._evictions
+
+    @property
+    def edges_seen(self) -> int:
+        """Number of stream edges observed so far."""
+        return self._edges_seen
+
+    @property
+    def edges_discarded(self) -> int:
+        """Number of stream edges discarded on arrival."""
+        return self._edges_discarded
+
+    @property
+    def admission_threshold(self) -> float:
+        """Current rank threshold below which new elements are admitted."""
+        return self._admission_threshold
+
+    def add_edge(self, set_id: int, element: int) -> bool:
+        """Process one membership edge; returns whether it was stored."""
+        self._edges_seen += 1
+        rank = self._rank(element)
+        if rank >= self._admission_threshold:
+            self._edges_discarded += 1
+            return False
+        tracked = element in self._ranks
+        if tracked:
+            if self._graph.element_degree(element) >= self.params.degree_cap:
+                self._truncated.add(element)
+                self._edges_discarded += 1
+                return False
+            if not self._graph.add_edge(set_id, element):
+                self._edges_discarded += 1
+                return False
+            self.space.charge(1)
+        else:
+            self._ranks[element] = rank
+            heapq.heappush(self._heap, (-rank, element))
+            self._graph.add_edge(set_id, element)
+            self.space.charge(1)
+        self._evict_if_needed()
+        return True
+
+    def process(self, event: EdgeArrival) -> bool:
+        """Process an :class:`EdgeArrival` event (same as :meth:`add_edge`)."""
+        return self.add_edge(event.set_id, event.element)
+
+    def consume(self, events: Iterable[EdgeArrival | tuple[int, int]]) -> None:
+        """Feed a whole iterable of edges / events through the builder."""
+        for event in events:
+            if isinstance(event, EdgeArrival):
+                self.add_edge(event.set_id, event.element)
+            else:
+                set_id, element = event
+                self.add_edge(set_id, element)
+
+    def _evict_if_needed(self) -> None:
+        """Evict highest-ranked elements while over the transient edge limit."""
+        limit = self.params.edge_budget + self.params.eviction_slack
+        while self._graph.num_edges > limit and len(self._ranks) > 1:
+            while self._heap:
+                neg_rank, element = self._heap[0]
+                if element in self._ranks and -neg_rank == self._ranks[element]:
+                    break
+                heapq.heappop(self._heap)  # stale entry
+            if not self._heap:
+                break
+            neg_rank, element = heapq.heappop(self._heap)
+            rank = -neg_rank
+            del self._ranks[element]
+            removed = self._graph.remove_element(element)
+            self.space.release(removed)
+            self._truncated.discard(element)
+            self._admission_threshold = min(self._admission_threshold, rank)
+            self._evictions += 1
+
+    # ------------------------------------------------------------------ #
+    # result
+    # ------------------------------------------------------------------ #
+    def sketch(self) -> CoverageSketch:
+        """Finalize and return the sketch built so far.
+
+        The threshold ``p*`` is the largest rank among retained elements when
+        any eviction (or admission rejection) occurred, and 1.0 when the
+        whole stream fit in the budget — mirroring the offline convention.
+        """
+        saw_rejection = self._evictions > 0 or self._admission_threshold < 1.0
+        if self._ranks and saw_rejection:
+            threshold = max(self._ranks.values())
+        elif self._ranks:
+            threshold = 1.0
+        else:
+            threshold = self._admission_threshold
+        return CoverageSketch(
+            graph=self._graph.copy(),
+            params=self.params,
+            threshold=threshold,
+            element_hashes=dict(self._ranks),
+            truncated_elements=frozenset(self._truncated),
+        )
+
+    def describe(self) -> dict[str, float | int | str]:
+        """Diagnostics for logging and tests."""
+        return {
+            "rank_source": self.rank_source,
+            "stored_edges": self.stored_edges,
+            "tracked_elements": len(self._ranks),
+            "edges_seen": self._edges_seen,
+            "edges_discarded": self._edges_discarded,
+            "evictions": self._evictions,
+            "admission_threshold": self._admission_threshold,
+            "space_peak": self.space.peak,
+        }

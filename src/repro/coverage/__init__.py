@@ -1,0 +1,30 @@
+"""Coverage substrate: set systems, bipartite graphs, coverage functions."""
+
+from repro.coverage.bipartite import BipartiteGraph
+from repro.coverage.bitset import BitsetCoverage
+from repro.coverage.coverage_fn import CoverageFunction
+from repro.coverage.instance import CoverageInstance, ProblemKind
+from repro.coverage.io import (
+    load_system,
+    read_edge_list,
+    save_system,
+    system_from_json,
+    system_to_json,
+    write_edge_list,
+)
+from repro.coverage.setsystem import SetSystem
+
+__all__ = [
+    "BipartiteGraph",
+    "BitsetCoverage",
+    "CoverageFunction",
+    "CoverageInstance",
+    "ProblemKind",
+    "SetSystem",
+    "load_system",
+    "read_edge_list",
+    "save_system",
+    "system_from_json",
+    "system_to_json",
+    "write_edge_list",
+]

@@ -1,0 +1,277 @@
+"""Bipartite set/element graph — the paper's model of a coverage instance.
+
+The paper models a coverage instance as a bipartite graph ``G`` with the
+family of sets :math:`\\mathcal{S}` on one side and the ground set of
+elements :math:`\\mathcal{E}` on the other; a set vertex is adjacent to the
+elements it contains, and the coverage function is
+``C(S) = |Γ(G, S)|`` (Section 1.1).
+
+:class:`BipartiteGraph` is the low-level, integer-id representation used by
+every algorithm in the library: sets are ``0 .. num_sets-1`` and elements are
+arbitrary non-negative integers (so a sketch that keeps only a few elements
+does not need to re-index them).  Label handling lives one level up in
+:class:`repro.coverage.setsystem.SetSystem`.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Iterable, Iterator, Mapping
+
+from repro.errors import InvalidInstanceError
+from repro.utils.validation import check_non_negative_int, check_positive_int
+
+__all__ = ["BipartiteGraph"]
+
+
+class BipartiteGraph:
+    """Adjacency structure between ``num_sets`` sets and integer elements.
+
+    The structure is mutable (edges can be added and elements removed) so the
+    same class backs both full input instances and the paper's sketches,
+    which are themselves subgraphs with some elements and edges discarded.
+
+    Parameters
+    ----------
+    num_sets:
+        Number of set vertices; set ids are ``0 .. num_sets - 1``.
+
+    Notes
+    -----
+    * Parallel edges are ignored: adding the same (set, element) edge twice
+      leaves the graph unchanged and reports that nothing was added.
+    * ``num_elements`` counts elements incident to at least one edge, which
+      matches the paper's convention that "there is no isolated vertex in
+      :math:`\\mathcal{E}`".
+    """
+
+    __slots__ = ("_num_sets", "_set_adj", "_elem_adj", "_num_edges")
+
+    def __init__(self, num_sets: int) -> None:
+        check_positive_int(num_sets, "num_sets")
+        self._num_sets = num_sets
+        self._set_adj: list[set[int]] = [set() for _ in range(num_sets)]
+        self._elem_adj: dict[int, set[int]] = {}
+        self._num_edges = 0
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_sets(
+        cls, sets: Mapping[int, Iterable[int]] | Iterable[Iterable[int]], num_sets: int | None = None
+    ) -> "BipartiteGraph":
+        """Build a graph from a mapping (or list) of set id → member elements.
+
+        When ``sets`` is a plain iterable its position is the set id.  The
+        number of set vertices defaults to the number of entries (or the
+        largest key + 1 for mappings) but can be forced larger with
+        ``num_sets`` so empty sets at the tail are representable.
+        """
+        if isinstance(sets, Mapping):
+            items = list(sets.items())
+            inferred = (max(sets) + 1) if sets else 0
+        else:
+            items = list(enumerate(sets))
+            inferred = len(items)
+        total = num_sets if num_sets is not None else inferred
+        if total <= 0:
+            raise InvalidInstanceError("a coverage instance needs at least one set")
+        graph = cls(total)
+        for set_id, members in items:
+            for element in members:
+                graph.add_edge(set_id, element)
+        return graph
+
+    def copy(self) -> "BipartiteGraph":
+        """Return a deep copy (adjacency sets are copied)."""
+        clone = BipartiteGraph(self._num_sets)
+        clone._set_adj = [set(members) for members in self._set_adj]
+        clone._elem_adj = {e: set(s) for e, s in self._elem_adj.items()}
+        clone._num_edges = self._num_edges
+        return clone
+
+    # ------------------------------------------------------------------ #
+    # mutation
+    # ------------------------------------------------------------------ #
+    def add_edge(self, set_id: int, element: int) -> bool:
+        """Add the membership edge (set_id, element).
+
+        Returns ``True`` when the edge is new, ``False`` when it already
+        existed (duplicate arrivals in a stream are a no-op).
+        """
+        self._check_set_id(set_id)
+        check_non_negative_int(element, "element")
+        members = self._set_adj[set_id]
+        if element in members:
+            return False
+        members.add(element)
+        self._elem_adj.setdefault(element, set()).add(set_id)
+        self._num_edges += 1
+        return True
+
+    def remove_element(self, element: int) -> int:
+        """Remove an element vertex and all its edges; return #edges removed."""
+        owners = self._elem_adj.pop(element, None)
+        if owners is None:
+            return 0
+        for set_id in owners:
+            self._set_adj[set_id].discard(element)
+        removed = len(owners)
+        self._num_edges -= removed
+        return removed
+
+    def remove_edge(self, set_id: int, element: int) -> bool:
+        """Remove one membership edge; returns ``True`` if it was present."""
+        self._check_set_id(set_id)
+        members = self._set_adj[set_id]
+        if element not in members:
+            return False
+        members.discard(element)
+        owners = self._elem_adj[element]
+        owners.discard(set_id)
+        if not owners:
+            del self._elem_adj[element]
+        self._num_edges -= 1
+        return True
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    @property
+    def num_sets(self) -> int:
+        """Number of set vertices (``n`` in the paper)."""
+        return self._num_sets
+
+    @property
+    def num_elements(self) -> int:
+        """Number of non-isolated element vertices currently present."""
+        return len(self._elem_adj)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of membership edges currently stored."""
+        return self._num_edges
+
+    def elements(self) -> Iterator[int]:
+        """Iterate over the element ids with at least one edge."""
+        return iter(self._elem_adj)
+
+    def set_ids(self) -> range:
+        """The range of valid set ids."""
+        return range(self._num_sets)
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """Iterate over all (set_id, element) edges."""
+        for set_id, members in enumerate(self._set_adj):
+            for element in members:
+                yield (set_id, element)
+
+    def elements_of(self, set_id: int) -> frozenset[int]:
+        """The elements contained in one set."""
+        self._check_set_id(set_id)
+        return frozenset(self._set_adj[set_id])
+
+    def sets_of(self, element: int) -> frozenset[int]:
+        """The sets containing one element (empty if the element is absent)."""
+        return frozenset(self._elem_adj.get(element, frozenset()))
+
+    def set_degree(self, set_id: int) -> int:
+        """Size of one set (its degree on the set side)."""
+        self._check_set_id(set_id)
+        return len(self._set_adj[set_id])
+
+    def element_degree(self, element: int) -> int:
+        """Number of sets containing the element (0 if absent)."""
+        return len(self._elem_adj.get(element, ()))
+
+    def has_element(self, element: int) -> bool:
+        """Whether the element currently has at least one edge."""
+        return element in self._elem_adj
+
+    def neighbors(self, set_ids: Iterable[int]) -> set[int]:
+        """``Γ(G, S)``: the union of the member elements of ``set_ids``."""
+        covered: set[int] = set()
+        for set_id in set_ids:
+            self._check_set_id(set_id)
+            covered |= self._set_adj[set_id]
+        return covered
+
+    def coverage(self, set_ids: Iterable[int]) -> int:
+        """``|Γ(G, S)|``: the coverage value of a subfamily of sets."""
+        return len(self.neighbors(set_ids))
+
+    def coverage_fraction(self, set_ids: Iterable[int]) -> float:
+        """Fraction of the current elements covered by ``set_ids``."""
+        total = self.num_elements
+        if total == 0:
+            return 1.0
+        return self.coverage(set_ids) / total
+
+    def uncovered_elements(self, set_ids: Iterable[int]) -> set[int]:
+        """Elements not covered by the given sets."""
+        covered = self.neighbors(set_ids)
+        return {element for element in self._elem_adj if element not in covered}
+
+    # ------------------------------------------------------------------ #
+    # derived graphs
+    # ------------------------------------------------------------------ #
+    def induced_on_elements(self, elements: Iterable[int]) -> "BipartiteGraph":
+        """Subgraph keeping all sets but only the given elements.
+
+        This is how ``H_p`` is defined in Section 2: keep every set vertex
+        and the elements whose hash is at most ``p``.
+        """
+        keep = set(elements)
+        sub = BipartiteGraph(self._num_sets)
+        for element in keep:
+            for set_id in self._elem_adj.get(element, ()):
+                sub.add_edge(set_id, element)
+        return sub
+
+    def without_elements(self, elements: Iterable[int]) -> "BipartiteGraph":
+        """Subgraph with the given elements removed (residual instance).
+
+        Algorithm 6 peels covered elements off between passes; this helper
+        builds the residual graph ``G_{i+1}``.
+        """
+        drop = set(elements)
+        sub = BipartiteGraph(self._num_sets)
+        for element, owners in self._elem_adj.items():
+            if element in drop:
+                continue
+            for set_id in owners:
+                sub.add_edge(set_id, element)
+        return sub
+
+    # ------------------------------------------------------------------ #
+    # misc
+    # ------------------------------------------------------------------ #
+    def as_dict(self) -> dict[int, frozenset[int]]:
+        """Mapping set id → frozenset of member elements."""
+        return {set_id: frozenset(members) for set_id, members in enumerate(self._set_adj)}
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BipartiteGraph):
+            return NotImplemented
+        return self._num_sets == other._num_sets and self._set_adj == other._set_adj
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BipartiteGraph(num_sets={self._num_sets}, "
+            f"num_elements={self.num_elements}, num_edges={self._num_edges})"
+        )
+
+    def _check_set_id(self, set_id: int) -> None:
+        if isinstance(set_id, bool):
+            raise TypeError("set_id must be an integer, got bool")
+        try:
+            set_id = operator.index(set_id)
+        except TypeError as exc:
+            raise TypeError(
+                f"set_id must be an integer, got {type(set_id).__name__}"
+            ) from exc
+        if not 0 <= set_id < self._num_sets:
+            raise InvalidInstanceError(
+                f"set id {set_id} out of range [0, {self._num_sets})"
+            )

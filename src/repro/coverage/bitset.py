@@ -1,0 +1,134 @@
+"""Vectorised coverage evaluation with packed bitsets.
+
+Greedy, local search and the experiment sweeps evaluate ``C(S)`` thousands of
+times; the pure-Python set unions in :class:`BipartiteGraph` are fine for
+streaming-sized sketches but become the bottleneck for large offline
+reference runs.  Following the HPC guidance (vectorise the hot loop, keep the
+algorithmic code unchanged), :class:`BitsetCoverage` packs every set's
+membership into a ``numpy`` bit array (``np.packbits``) so that
+
+* union of a family  = bitwise OR over rows,
+* coverage value     = ``popcount`` of the union (via ``bincount`` on bytes),
+* marginal gain      = popcount of ``candidate AND NOT covered``,
+
+all as whole-array operations.  The evaluator is a drop-in read-only
+companion to a :class:`BipartiteGraph`: results are bit-for-bit identical
+(property-tested) and substantially faster on dense instances, especially for
+workloads that evaluate many families against the same graph
+(``benchmarks/bench_offline_throughput.py`` quantifies the difference).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.coverage.bipartite import BipartiteGraph
+
+__all__ = ["BitsetCoverage"]
+
+#: Lookup table with the popcount of every byte value.
+_POPCOUNT_TABLE = np.array([bin(value).count("1") for value in range(256)], dtype=np.int64)
+
+
+class BitsetCoverage:
+    """Packed-bitset evaluator of the coverage function of a fixed graph.
+
+    Parameters
+    ----------
+    graph:
+        The bipartite membership graph; it is snapshotted at construction
+        (later mutations of the graph are not reflected).
+    """
+
+    def __init__(self, graph: BipartiteGraph) -> None:
+        self._num_sets = graph.num_sets
+        elements = sorted(graph.elements())
+        self._element_index = {element: i for i, element in enumerate(elements)}
+        self._num_elements = len(elements)
+        width = max(1, self._num_elements)
+        dense = np.zeros((graph.num_sets, width), dtype=bool)
+        for set_id in graph.set_ids():
+            for element in graph.elements_of(set_id):
+                dense[set_id, self._element_index[element]] = True
+        # Rows are packed along the element axis: shape (n, ceil(m/8)) bytes.
+        self._packed = np.packbits(dense, axis=1)
+        self._set_sizes = dense.sum(axis=1).astype(np.int64)
+
+    # ------------------------------------------------------------------ #
+    # basic facts
+    # ------------------------------------------------------------------ #
+    @property
+    def num_sets(self) -> int:
+        """Number of sets."""
+        return self._num_sets
+
+    @property
+    def num_elements(self) -> int:
+        """Number of elements in the snapshot."""
+        return self._num_elements
+
+    def set_size(self, set_id: int) -> int:
+        """``|S|`` for one set."""
+        return int(self._set_sizes[set_id])
+
+    # ------------------------------------------------------------------ #
+    # evaluation
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _popcount(row: np.ndarray) -> int:
+        return int(_POPCOUNT_TABLE[row].sum())
+
+    def union_bits(self, set_ids: Iterable[int]) -> np.ndarray:
+        """The packed union bit-row of a family of sets."""
+        ids = [int(s) for s in set_ids]
+        if not ids:
+            return np.zeros(self._packed.shape[1], dtype=np.uint8)
+        return np.bitwise_or.reduce(self._packed[ids], axis=0)
+
+    def coverage(self, set_ids: Iterable[int]) -> int:
+        """``C(S) = |∪ S|``."""
+        return self._popcount(self.union_bits(set_ids))
+
+    def coverage_fraction(self, set_ids: Iterable[int]) -> float:
+        """Fraction of the snapshot's elements covered."""
+        if self._num_elements == 0:
+            return 1.0
+        return self.coverage(set_ids) / self._num_elements
+
+    def marginal_gains(self, covered_bits: np.ndarray) -> np.ndarray:
+        """Marginal gain of *every* set against an already-covered bit-row.
+
+        This is the vectorised inner step of greedy: one call evaluates all
+        ``n`` candidates.
+        """
+        remaining = np.bitwise_and(self._packed, np.bitwise_not(covered_bits))
+        return _POPCOUNT_TABLE[remaining].sum(axis=1)
+
+    def greedy_k_cover(self, k: int) -> tuple[list[int], int]:
+        """Vectorised greedy k-cover; returns (selection, coverage).
+
+        Matches the selection quality of
+        :func:`repro.offline.greedy.greedy_k_cover` (ties may break
+        differently; the achieved coverage is the same up to ties).
+        """
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        covered = np.zeros(self._packed.shape[1], dtype=np.uint8)
+        chosen: list[int] = []
+        available = np.ones(self._num_sets, dtype=bool)
+        for _ in range(min(k, self._num_sets)):
+            gains = self.marginal_gains(covered)
+            gains[~available] = -1
+            best = int(np.argmax(gains))
+            if gains[best] <= 0:
+                break
+            chosen.append(best)
+            available[best] = False
+            covered = np.bitwise_or(covered, self._packed[best])
+        return chosen, self._popcount(covered)
+
+    def evaluate_many(self, families: Sequence[Iterable[int]]) -> list[int]:
+        """Coverage of several families (convenience for sweeps)."""
+        return [self.coverage(family) for family in families]

@@ -1,0 +1,91 @@
+"""Serialisation of set systems and instances.
+
+Two formats are supported:
+
+* **Edge list** (text): one ``set<TAB>element`` pair per line — exactly the
+  edge-arrival stream format, so a file can be replayed as a stream.
+* **JSON**: a self-describing document with labels, used for fixtures and for
+  exchanging generated workloads between machines.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Hashable, Iterable
+
+from repro.coverage.bipartite import BipartiteGraph
+from repro.coverage.setsystem import SetSystem
+
+__all__ = [
+    "write_edge_list",
+    "read_edge_list",
+    "system_to_json",
+    "system_from_json",
+    "save_system",
+    "load_system",
+]
+
+
+def write_edge_list(
+    edges: Iterable[tuple[Hashable, Hashable]], path: str | Path, *, sep: str = "\t"
+) -> int:
+    """Write (set, element) pairs to a text file; return the number written."""
+    path = Path(path)
+    count = 0
+    with path.open("w", encoding="utf-8") as handle:
+        for set_label, element_label in edges:
+            handle.write(f"{set_label}{sep}{element_label}\n")
+            count += 1
+    return count
+
+
+def read_edge_list(path: str | Path, *, sep: str = "\t") -> list[tuple[str, str]]:
+    """Read (set, element) string pairs from a text file.
+
+    Blank lines and lines starting with ``#`` are skipped.
+    """
+    path = Path(path)
+    edges: list[tuple[str, str]] = []
+    with path.open("r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split(sep)
+            if len(parts) != 2:
+                raise ValueError(f"{path}:{lineno}: expected 2 fields, got {len(parts)}")
+            edges.append((parts[0], parts[1]))
+    return edges
+
+
+def system_to_json(system: SetSystem) -> str:
+    """Serialise a :class:`SetSystem` to a JSON document (labels preserved)."""
+    payload = {
+        "format": "repro.setsystem.v1",
+        "sets": {str(label): sorted(map(str, system.members(label))) for label in system.set_labels()},
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def system_from_json(document: str) -> SetSystem:
+    """Deserialise a :class:`SetSystem` from :func:`system_to_json` output."""
+    payload = json.loads(document)
+    if payload.get("format") != "repro.setsystem.v1":
+        raise ValueError("not a repro.setsystem.v1 document")
+    return SetSystem.from_dict(payload["sets"])
+
+
+def save_system(system: SetSystem, path: str | Path) -> None:
+    """Write a set system to a ``.json`` file."""
+    Path(path).write_text(system_to_json(system), encoding="utf-8")
+
+
+def load_system(path: str | Path) -> SetSystem:
+    """Read a set system from a ``.json`` file."""
+    return system_from_json(Path(path).read_text(encoding="utf-8"))
+
+
+def graph_to_edge_lines(graph: BipartiteGraph) -> list[str]:
+    """Render a graph's edges as ``set<TAB>element`` text lines (sorted)."""
+    return [f"{s}\t{e}" for s, e in sorted(graph.edges())]

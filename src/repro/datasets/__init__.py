@@ -1,0 +1,41 @@
+"""Synthetic workload generators."""
+
+from repro.datasets.adversarial import (
+    disjointness_family,
+    purification_family,
+    uniform_sampling_trap,
+)
+from repro.datasets.graphs import (
+    barabasi_albert_instance,
+    dominating_set_instance,
+    erdos_renyi_instance,
+    watts_strogatz_instance,
+)
+from repro.datasets.random_instances import (
+    planted_kcover_instance,
+    planted_setcover_instance,
+    uniform_random_instance,
+    zipf_instance,
+)
+from repro.datasets.realworld_like import (
+    blog_watch_instance,
+    data_summarization_instance,
+    labeled_blog_watch_system,
+)
+
+__all__ = [
+    "disjointness_family",
+    "purification_family",
+    "uniform_sampling_trap",
+    "barabasi_albert_instance",
+    "dominating_set_instance",
+    "erdos_renyi_instance",
+    "watts_strogatz_instance",
+    "planted_kcover_instance",
+    "planted_setcover_instance",
+    "uniform_random_instance",
+    "zipf_instance",
+    "blog_watch_instance",
+    "data_summarization_instance",
+    "labeled_blog_watch_system",
+]

@@ -1,0 +1,103 @@
+"""Adversarial instance families used by the hardness experiments.
+
+* :func:`disjointness_family` — the Appendix E reduction instances (two
+  elements, ``n`` sets), balanced between intersecting and disjoint draws.
+* :func:`purification_family` — Appendix A's gold/brass instances together
+  with their reduction graphs.
+* :func:`uniform_sampling_trap` — an instance on which naive *uniform*
+  element sampling (without the paper's careful budgeting) badly
+  misestimates coverage: one planted set covers a huge block of elements
+  while many decoys each cover a few popular elements, so a sample that is
+  too small ranks decoys above the planted set.
+"""
+
+from __future__ import annotations
+
+from repro.core.lowerbound import DisjointnessInstance
+from repro.core.oracle import purification_to_kcover_instance
+from repro.core.purification import KPurificationInstance
+from repro.coverage.bipartite import BipartiteGraph
+from repro.coverage.instance import CoverageInstance, ProblemKind
+from repro.utils.rng import spawn_rng
+from repro.utils.validation import check_positive_int
+
+__all__ = ["disjointness_family", "purification_family", "uniform_sampling_trap"]
+
+
+def disjointness_family(
+    num_sets: int, count: int, *, density: float = 0.1, seed: int = 0
+) -> list[DisjointnessInstance]:
+    """A balanced family of disjointness instances (half intersecting)."""
+    check_positive_int(num_sets, "num_sets")
+    check_positive_int(count, "count")
+    instances = []
+    for index in range(count):
+        instances.append(
+            DisjointnessInstance.random(
+                num_sets,
+                density=density,
+                force_intersecting=(index % 2 == 0),
+                seed=seed + index,
+            )
+        )
+    return instances
+
+
+def purification_family(
+    num_items: int, num_gold: int, count: int, *, seed: int = 0
+) -> list[tuple[KPurificationInstance, BipartiteGraph]]:
+    """k-purification instances paired with their Theorem 1.3 reduction graphs."""
+    check_positive_int(num_items, "num_items")
+    check_positive_int(num_gold, "num_gold")
+    check_positive_int(count, "count")
+    family = []
+    for index in range(count):
+        instance = KPurificationInstance.random(num_items, num_gold, seed=seed + index)
+        family.append((instance, purification_to_kcover_instance(instance)))
+    return family
+
+
+def uniform_sampling_trap(
+    num_sets: int = 50,
+    *,
+    big_set_size: int = 2000,
+    decoy_popular_elements: int = 10,
+    decoy_extra: int = 5,
+    k: int = 1,
+    seed: int = 0,
+) -> CoverageInstance:
+    """An instance where small uniform element samples mis-rank the sets.
+
+    Set 0 covers ``big_set_size`` exclusive elements.  Every other set covers
+    the same tiny block of ``decoy_popular_elements`` shared elements plus a
+    few exclusive ones — so each decoy's coverage is tiny, but under an
+    aggressive uniform subsample the popular block survives while the big
+    set's exclusive elements are mostly dropped, and the decoys look
+    competitive.  The planted optimum for ``k = 1`` is set 0.
+    """
+    check_positive_int(num_sets, "num_sets")
+    check_positive_int(big_set_size, "big_set_size")
+    rng = spawn_rng(seed, "sampling-trap")
+    graph = BipartiteGraph(num_sets)
+    element = 0
+    # The big planted set.
+    for _ in range(big_set_size):
+        graph.add_edge(0, element)
+        element += 1
+    # Popular shared block.
+    popular = list(range(element, element + decoy_popular_elements))
+    element += decoy_popular_elements
+    for set_id in range(1, num_sets):
+        for shared in popular:
+            graph.add_edge(set_id, shared)
+        extras = max(0, int(rng.poisson(decoy_extra)))
+        for _ in range(extras):
+            graph.add_edge(set_id, element)
+            element += 1
+    return CoverageInstance(
+        graph=graph,
+        kind=ProblemKind.K_COVER,
+        k=k,
+        planted_solution=(0,),
+        metadata={"generator": "uniform_sampling_trap", "big_set_size": big_set_size, "seed": seed},
+    )

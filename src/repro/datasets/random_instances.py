@@ -1,0 +1,228 @@
+"""Synthetic random coverage instances.
+
+The paper's empirical evaluation lives in the companion paper on real data
+sets; here we generate synthetic workloads that exercise the same regimes
+(DESIGN.md §3 documents this substitution):
+
+* :func:`uniform_random_instance` — every (set, element) membership present
+  independently with probability ``density`` (Erdős–Rényi bipartite).
+* :func:`zipf_instance` — element popularity follows a Zipf law, producing
+  the heavy-tailed element degrees that make the degree cap of ``H'_p``
+  matter.
+* :func:`planted_kcover_instance` — ``k`` planted sets tile most of the
+  ground set while the remaining sets are small and noisy, so the optimum is
+  known by construction and approximation ratios can be measured exactly
+  even at scales where exhaustive search is impossible.
+* :func:`planted_setcover_instance` — a hidden partition of the ground set
+  into ``cover_size`` sets plus noise sets, giving a known minimum cover.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.coverage.bipartite import BipartiteGraph
+from repro.coverage.instance import CoverageInstance, ProblemKind
+from repro.errors import InvalidInstanceError
+from repro.utils.rng import spawn_rng
+from repro.utils.validation import check_fraction, check_open_unit, check_positive_int
+
+__all__ = [
+    "uniform_random_instance",
+    "zipf_instance",
+    "planted_kcover_instance",
+    "planted_setcover_instance",
+]
+
+
+def _ensure_no_isolated_elements(graph: BipartiteGraph, num_elements: int, rng) -> None:
+    """Attach any isolated element to a random set (paper assumes none exist)."""
+    for element in range(num_elements):
+        if not graph.has_element(element):
+            graph.add_edge(int(rng.integers(graph.num_sets)), element)
+
+
+def uniform_random_instance(
+    num_sets: int,
+    num_elements: int,
+    density: float = 0.05,
+    *,
+    k: int = 5,
+    seed: int = 0,
+) -> CoverageInstance:
+    """Bipartite Erdős–Rényi instance: each membership present w.p. ``density``."""
+    check_positive_int(num_sets, "num_sets")
+    check_positive_int(num_elements, "num_elements")
+    check_open_unit(density, "density")
+    rng = spawn_rng(seed, "uniform-instance")
+    graph = BipartiteGraph(num_sets)
+    # Vectorised sampling of the adjacency matrix, row by row to bound memory.
+    for set_id in range(num_sets):
+        mask = rng.random(num_elements) < density
+        for element in np.nonzero(mask)[0]:
+            graph.add_edge(set_id, int(element))
+    _ensure_no_isolated_elements(graph, num_elements, rng)
+    return CoverageInstance(
+        graph=graph,
+        kind=ProblemKind.K_COVER,
+        k=min(k, num_sets),
+        metadata={"generator": "uniform", "density": density, "seed": seed},
+    )
+
+
+def zipf_instance(
+    num_sets: int,
+    num_elements: int,
+    *,
+    edges_per_set: int = 50,
+    zipf_exponent: float = 1.2,
+    k: int = 5,
+    seed: int = 0,
+) -> CoverageInstance:
+    """Heavy-tailed instance: sets sample elements from a Zipf popularity law.
+
+    A few elements are wildly popular (appearing in many sets — exactly the
+    high-degree elements the ``H'_p`` degree cap truncates) while the tail is
+    sparse.
+    """
+    check_positive_int(num_sets, "num_sets")
+    check_positive_int(num_elements, "num_elements")
+    check_positive_int(edges_per_set, "edges_per_set")
+    if zipf_exponent <= 0:
+        raise ValueError("zipf_exponent must be positive")
+    rng = spawn_rng(seed, "zipf-instance")
+    ranks = np.arange(1, num_elements + 1, dtype=float)
+    weights = ranks ** (-zipf_exponent)
+    weights /= weights.sum()
+    graph = BipartiteGraph(num_sets)
+    for set_id in range(num_sets):
+        size = min(num_elements, max(1, int(rng.poisson(edges_per_set))))
+        members = rng.choice(num_elements, size=size, replace=False, p=weights)
+        for element in members:
+            graph.add_edge(set_id, int(element))
+    _ensure_no_isolated_elements(graph, num_elements, rng)
+    return CoverageInstance(
+        graph=graph,
+        kind=ProblemKind.K_COVER,
+        k=min(k, num_sets),
+        metadata={
+            "generator": "zipf",
+            "edges_per_set": edges_per_set,
+            "zipf_exponent": zipf_exponent,
+            "seed": seed,
+        },
+    )
+
+
+def planted_kcover_instance(
+    num_sets: int,
+    num_elements: int,
+    k: int,
+    *,
+    planted_coverage: float = 0.9,
+    noise_set_size: int = 20,
+    overlap: float = 0.05,
+    seed: int = 0,
+) -> CoverageInstance:
+    """Instance with ``k`` planted sets jointly covering ``planted_coverage·m``.
+
+    The planted sets partition a ``planted_coverage`` fraction of the ground
+    set (plus a small random ``overlap`` so they are not exactly disjoint);
+    the other ``n − k`` sets are small uniform "noise" sets.  The planted
+    family is therefore an (essentially) optimal k-cover with known value,
+    enabling exact approximation-ratio measurements at any scale.
+    """
+    check_positive_int(num_sets, "num_sets")
+    check_positive_int(num_elements, "num_elements")
+    check_positive_int(k, "k")
+    check_fraction(planted_coverage, "planted_coverage")
+    check_fraction(overlap, "overlap")
+    if k > num_sets:
+        raise InvalidInstanceError("k cannot exceed the number of sets")
+    rng = spawn_rng(seed, "planted-kcover")
+    graph = BipartiteGraph(num_sets)
+    covered_target = int(planted_coverage * num_elements)
+    planted_elements = rng.permutation(num_elements)[:covered_target]
+    shares = np.array_split(planted_elements, k)
+    planted_ids = list(range(k))
+    for set_id, share in zip(planted_ids, shares):
+        for element in share:
+            graph.add_edge(set_id, int(element))
+        # Small overlap with the full planted region keeps the optimum known
+        # (the union is unchanged) while making the sets non-disjoint.
+        extra = rng.choice(planted_elements, size=max(1, int(overlap * len(share))), replace=False)
+        for element in extra:
+            graph.add_edge(set_id, int(element))
+    for set_id in range(k, num_sets):
+        size = max(1, int(rng.poisson(noise_set_size)))
+        members = rng.choice(num_elements, size=min(size, num_elements), replace=False)
+        for element in members:
+            graph.add_edge(set_id, int(element))
+    _ensure_no_isolated_elements(graph, num_elements, rng)
+    planted_value = graph.coverage(planted_ids)
+    return CoverageInstance(
+        graph=graph,
+        kind=ProblemKind.K_COVER,
+        k=k,
+        planted_solution=tuple(planted_ids),
+        planted_value=planted_value,
+        metadata={
+            "generator": "planted_kcover",
+            "planted_coverage": planted_coverage,
+            "noise_set_size": noise_set_size,
+            "seed": seed,
+        },
+    )
+
+
+def planted_setcover_instance(
+    num_sets: int,
+    num_elements: int,
+    cover_size: int,
+    *,
+    noise_set_size: int = 15,
+    outlier_fraction: float = 0.0,
+    seed: int = 0,
+) -> CoverageInstance:
+    """Instance whose minimum set cover has a known (planted) size.
+
+    The ground set is partitioned into ``cover_size`` planted sets (so they
+    form a cover of exactly that size); the remaining sets are small noise
+    sets that can never beat the planted cover by more than a trivial amount.
+    With ``outlier_fraction > 0`` the instance is posed as set cover with
+    outliers.
+    """
+    check_positive_int(num_sets, "num_sets")
+    check_positive_int(num_elements, "num_elements")
+    check_positive_int(cover_size, "cover_size")
+    check_fraction(outlier_fraction, "outlier_fraction")
+    if cover_size > num_sets:
+        raise InvalidInstanceError("cover_size cannot exceed the number of sets")
+    rng = spawn_rng(seed, "planted-setcover")
+    graph = BipartiteGraph(num_sets)
+    permutation = rng.permutation(num_elements)
+    shares = np.array_split(permutation, cover_size)
+    planted_ids = list(range(cover_size))
+    for set_id, share in zip(planted_ids, shares):
+        for element in share:
+            graph.add_edge(set_id, int(element))
+    for set_id in range(cover_size, num_sets):
+        size = max(1, int(rng.poisson(noise_set_size)))
+        members = rng.choice(num_elements, size=min(size, num_elements), replace=False)
+        for element in members:
+            graph.add_edge(set_id, int(element))
+    kind = ProblemKind.SET_COVER_OUTLIERS if outlier_fraction > 0 else ProblemKind.SET_COVER
+    return CoverageInstance(
+        graph=graph,
+        kind=kind,
+        k=cover_size,
+        outlier_fraction=outlier_fraction,
+        planted_solution=tuple(planted_ids),
+        planted_value=graph.coverage(planted_ids),
+        metadata={
+            "generator": "planted_setcover",
+            "cover_size": cover_size,
+            "noise_set_size": noise_set_size,
+            "seed": seed,
+        },
+    )

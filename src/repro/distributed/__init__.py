@@ -1,0 +1,32 @@
+"""Distributed (MapReduce-style) coverage maximisation via composable sketches.
+
+This subpackage implements the companion-paper application the SPAA paper
+mentions in §1.3.2 and its conclusion: because every machine sketches its
+shard with a shared hash function, the coordinator can merge the shard
+sketches into a sketch of the full input and solve there — two rounds, with
+per-machine space and communication both bounded by the sketch size.
+"""
+
+from repro.distributed.coordinator import (
+    DistributedKCover,
+    DistributedRunReport,
+    merge_machine_sketches,
+)
+from repro.distributed.partition import PARTITION_STRATEGIES, partition_edges, shard_sizes
+from repro.distributed.worker import (
+    MachineSketch,
+    build_all_machine_sketches,
+    build_machine_sketch,
+)
+
+__all__ = [
+    "DistributedKCover",
+    "DistributedRunReport",
+    "merge_machine_sketches",
+    "PARTITION_STRATEGIES",
+    "partition_edges",
+    "shard_sizes",
+    "MachineSketch",
+    "build_all_machine_sketches",
+    "build_machine_sketch",
+]

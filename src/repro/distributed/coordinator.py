@@ -1,0 +1,183 @@
+"""Coordinator: merge machine sketches and solve coverage problems on the merge.
+
+The merge rule exploits the structure of ``H_{<=n}``:
+
+1. Every machine used the **same** hash function, so an element's rank is
+   global.  A machine's sketch contains, for every element below its local
+   threshold, *all* of that element's shard edges (up to the degree cap).
+2. The coordinator therefore keeps only elements whose rank is below the
+   **minimum** of the machines' thresholds — for those elements the union of
+   the shard edges is the element's full (capped) global edge set.
+3. The union is then re-capped and re-trimmed to the global edge budget in
+   rank order, exactly as the offline Algorithm 1 would, yielding a sketch of
+   the *whole* input.
+
+This is the composability property the companion paper builds its MapReduce
+algorithms on; :class:`DistributedKCover` packages it into a two-round
+distributed k-cover: round 1 — machines sketch their shards; round 2 — the
+coordinator merges and runs the offline greedy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.coverage.bipartite import BipartiteGraph
+from repro.core.hashing import UniformHash
+from repro.core.params import SketchParams
+from repro.core.sketch import CoverageSketch
+from repro.distributed.partition import partition_edges
+from repro.distributed.worker import MachineSketch, build_all_machine_sketches
+from repro.offline.greedy import greedy_k_cover
+from repro.utils.validation import check_positive_int
+
+__all__ = ["merge_machine_sketches", "DistributedRunReport", "DistributedKCover"]
+
+
+def merge_machine_sketches(
+    machine_sketches: Sequence[MachineSketch],
+    params: SketchParams,
+    *,
+    hash_seed: int = 0,
+) -> CoverageSketch:
+    """Merge per-shard sketches into a sketch of the union of the shards."""
+    if not machine_sketches:
+        raise ValueError("need at least one machine sketch to merge")
+    hash_fn = UniformHash(hash_seed)
+    global_threshold = min(ms.sketch.threshold for ms in machine_sketches)
+
+    # Union of the shard edges restricted to globally-admitted elements.
+    union = BipartiteGraph(params.num_sets)
+    for machine in machine_sketches:
+        for set_id, element in machine.sketch.graph.edges():
+            if hash_fn.value(element) <= global_threshold:
+                union.add_edge(set_id, element)
+
+    # Re-run the offline admission (rank order, degree cap, edge budget) on
+    # the union — this is exactly Algorithm 1 applied to the merged content.
+    order = sorted(union.elements(), key=lambda e: (hash_fn.value(e), e))
+    merged = BipartiteGraph(params.num_sets)
+    hashes: dict[int, float] = {}
+    truncated: set[int] = set()
+    threshold = global_threshold
+    for element in order:
+        if merged.num_edges >= params.edge_budget:
+            threshold = min(threshold, hash_fn.value(element))
+            break
+        owners = sorted(union.sets_of(element))
+        if len(owners) > params.degree_cap:
+            truncated.add(element)
+            owners = owners[: params.degree_cap]
+        for set_id in owners:
+            merged.add_edge(set_id, element)
+        hashes[element] = hash_fn.value(element)
+    return CoverageSketch(
+        graph=merged,
+        params=params,
+        threshold=threshold,
+        element_hashes=hashes,
+        truncated_elements=frozenset(truncated),
+    )
+
+
+@dataclass
+class DistributedRunReport:
+    """Everything measured about one distributed run."""
+
+    solution: list[int]
+    coverage_estimate: float
+    num_machines: int
+    strategy: str
+    rounds: int
+    shard_edges: list[int] = field(default_factory=list)
+    machine_stored_edges: list[int] = field(default_factory=list)
+    coordinator_edges: int = 0
+    communication_edges: int = 0
+
+    @property
+    def max_machine_load(self) -> int:
+        """Largest number of edges any machine had to store."""
+        return max(self.machine_stored_edges, default=0)
+
+    def as_dict(self) -> dict[str, object]:
+        """Flatten for experiment tables."""
+        return {
+            "num_machines": self.num_machines,
+            "strategy": self.strategy,
+            "rounds": self.rounds,
+            "solution_size": len(self.solution),
+            "coverage_estimate": self.coverage_estimate,
+            "max_machine_load": self.max_machine_load,
+            "coordinator_edges": self.coordinator_edges,
+            "communication_edges": self.communication_edges,
+        }
+
+
+class DistributedKCover:
+    """Two-round distributed (MapReduce-style) k-cover via composable sketches.
+
+    Parameters
+    ----------
+    num_sets, num_elements:
+        Instance dimensions (known to every machine, as in the paper).
+    k, epsilon:
+        Problem and accuracy parameters.
+    num_machines:
+        Number of simulated machines.
+    strategy:
+        Edge partitioning strategy (see :mod:`repro.distributed.partition`).
+    params:
+        Explicit sketch budgets (defaults to Algorithm 3's choice).
+    """
+
+    def __init__(
+        self,
+        num_sets: int,
+        num_elements: int,
+        k: int,
+        epsilon: float = 0.2,
+        *,
+        num_machines: int = 4,
+        strategy: str = "random",
+        params: SketchParams | None = None,
+        mode: str = "scaled",
+        scale: float = 1.0,
+        seed: int = 0,
+    ) -> None:
+        from repro.core.kcover import default_kcover_params
+
+        check_positive_int(num_machines, "num_machines")
+        check_positive_int(k, "k")
+        self.num_sets = num_sets
+        self.num_elements = num_elements
+        self.k = k
+        self.epsilon = epsilon
+        self.num_machines = num_machines
+        self.strategy = strategy
+        self.seed = seed
+        self.params = params or default_kcover_params(
+            num_sets, num_elements, k, epsilon, mode=mode, scale=scale
+        )
+
+    def run(self, edges: Sequence[tuple[int, int]]) -> DistributedRunReport:
+        """Execute the two distributed rounds on the given edge set."""
+        shards = partition_edges(
+            edges, self.num_machines, strategy=self.strategy, seed=self.seed
+        )
+        machine_sketches = build_all_machine_sketches(
+            shards, self.params, hash_seed=self.seed
+        )
+        merged = merge_machine_sketches(machine_sketches, self.params, hash_seed=self.seed)
+        solution = greedy_k_cover(merged.graph, self.k).selected
+        return DistributedRunReport(
+            solution=solution,
+            coverage_estimate=merged.estimate_coverage(solution),
+            num_machines=self.num_machines,
+            strategy=self.strategy,
+            rounds=2,
+            shard_edges=[len(shard) for shard in shards],
+            machine_stored_edges=[ms.edges_stored for ms in machine_sketches],
+            coordinator_edges=merged.num_edges,
+            communication_edges=sum(ms.edges_stored for ms in machine_sketches),
+        )

@@ -1,0 +1,70 @@
+"""Edge partitioning across simulated machines.
+
+The paper's conclusion and §1.3.2 point to a companion work applying the same
+sketch to distributed (MapReduce-style) computation; the key enabler is that
+the sketch is **composable**: machines build sketches of their shards with a
+*shared* hash function, and the coordinator's merge of those sketches is a
+sketch of the whole input.  This module provides the sharding strategies the
+simulation uses:
+
+* ``"random"`` — each edge goes to a uniformly random machine (the standard
+  MapReduce shuffle model);
+* ``"by_set"`` — all edges of one set go to the same machine (the set-arrival
+  / partitioned-family model used by core-set approaches);
+* ``"by_element"`` — all edges of one element go to the same machine;
+* ``"round_robin"`` — deterministic balanced assignment (for tests).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.utils.rng import mix64, spawn_rng
+from repro.utils.validation import check_positive_int
+
+__all__ = ["PARTITION_STRATEGIES", "partition_edges", "shard_sizes"]
+
+PARTITION_STRATEGIES = ("random", "by_set", "by_element", "round_robin")
+
+
+def partition_edges(
+    edges: Iterable[tuple[int, int]],
+    num_machines: int,
+    *,
+    strategy: str = "random",
+    seed: int = 0,
+) -> list[list[tuple[int, int]]]:
+    """Split an edge list into ``num_machines`` shards.
+
+    Returns a list of shards (lists of ``(set_id, element)`` pairs); every
+    input edge appears in exactly one shard.
+    """
+    check_positive_int(num_machines, "num_machines")
+    if strategy not in PARTITION_STRATEGIES:
+        raise ValueError(
+            f"unknown strategy {strategy!r}; expected one of {PARTITION_STRATEGIES}"
+        )
+    shards: list[list[tuple[int, int]]] = [[] for _ in range(num_machines)]
+    if strategy == "random":
+        rng = spawn_rng(seed, "edge-partition")
+        for edge in edges:
+            shards[int(rng.integers(num_machines))].append((int(edge[0]), int(edge[1])))
+    elif strategy == "by_set":
+        for edge in edges:
+            shards[mix64(int(edge[0]), seed=seed) % num_machines].append(
+                (int(edge[0]), int(edge[1]))
+            )
+    elif strategy == "by_element":
+        for edge in edges:
+            shards[mix64(int(edge[1]), seed=seed) % num_machines].append(
+                (int(edge[0]), int(edge[1]))
+            )
+    else:  # round_robin
+        for index, edge in enumerate(edges):
+            shards[index % num_machines].append((int(edge[0]), int(edge[1])))
+    return shards
+
+
+def shard_sizes(shards: Sequence[Sequence[tuple[int, int]]]) -> list[int]:
+    """Convenience: the number of edges per shard."""
+    return [len(shard) for shard in shards]

@@ -1,0 +1,70 @@
+"""Per-machine sketch workers.
+
+Each simulated machine owns one shard of the edge set and builds the paper's
+``H_{<=n}`` sketch of that shard using a hash function **shared with every
+other machine** (same seed).  Sharing the hash is what makes the per-machine
+sketches composable: an element's rank is a global property, so the
+coordinator can merge shard sketches by taking unions and re-applying the
+global threshold/budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.hashing import UniformHash
+from repro.core.params import SketchParams
+from repro.core.sketch import CoverageSketch
+from repro.core.streaming_sketch import StreamingSketchBuilder
+
+__all__ = ["MachineSketch", "build_machine_sketch", "build_all_machine_sketches"]
+
+
+@dataclass
+class MachineSketch:
+    """The outcome of one machine's local pass over its shard."""
+
+    machine_id: int
+    sketch: CoverageSketch
+    edges_processed: int
+    edges_stored: int
+
+    @property
+    def compression(self) -> float:
+        """Stored / processed edges (1.0 when the shard fit in the budget)."""
+        if self.edges_processed == 0:
+            return 1.0
+        return self.edges_stored / self.edges_processed
+
+
+def build_machine_sketch(
+    machine_id: int,
+    shard: Sequence[tuple[int, int]],
+    params: SketchParams,
+    *,
+    hash_seed: int = 0,
+) -> MachineSketch:
+    """Build one machine's sketch of its shard (single local pass)."""
+    builder = StreamingSketchBuilder(params, hash_fn=UniformHash(hash_seed))
+    builder.consume(shard)
+    sketch = builder.sketch()
+    return MachineSketch(
+        machine_id=machine_id,
+        sketch=sketch,
+        edges_processed=len(shard),
+        edges_stored=sketch.num_edges,
+    )
+
+
+def build_all_machine_sketches(
+    shards: Iterable[Sequence[tuple[int, int]]],
+    params: SketchParams,
+    *,
+    hash_seed: int = 0,
+) -> list[MachineSketch]:
+    """Build every machine's sketch (sequentially — the shards are independent)."""
+    return [
+        build_machine_sketch(machine_id, shard, params, hash_seed=hash_seed)
+        for machine_id, shard in enumerate(shards)
+    ]

@@ -1,0 +1,35 @@
+"""Offline reference algorithms: greedy, exact, local search."""
+
+from repro.offline.exact import (
+    exact_k_cover,
+    exact_partial_cover,
+    exact_set_cover,
+    optimum_k_cover_value,
+)
+from repro.offline.ilp import IlpResult, ilp_k_cover, ilp_partial_cover, ilp_set_cover
+from repro.offline.greedy import (
+    GreedyResult,
+    greedy_k_cover,
+    greedy_order,
+    greedy_partial_cover,
+    greedy_set_cover,
+)
+from repro.offline.local_search import LocalSearchResult, local_search_k_cover
+
+__all__ = [
+    "GreedyResult",
+    "greedy_k_cover",
+    "greedy_order",
+    "greedy_partial_cover",
+    "greedy_set_cover",
+    "exact_k_cover",
+    "exact_partial_cover",
+    "exact_set_cover",
+    "optimum_k_cover_value",
+    "IlpResult",
+    "ilp_k_cover",
+    "ilp_partial_cover",
+    "ilp_set_cover",
+    "LocalSearchResult",
+    "local_search_k_cover",
+]

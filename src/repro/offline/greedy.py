@@ -1,0 +1,179 @@
+"""Offline greedy algorithms for coverage problems.
+
+These are the classical algorithms the paper composes with its sketch:
+
+* :func:`greedy_k_cover` — the ``1 − 1/e`` greedy for maximum coverage
+  (Nemhauser–Wolsey–Fisher), implemented lazily with a max-heap so each set's
+  marginal gain is re-evaluated only when it might be the best.
+* :func:`greedy_set_cover` — the ``ln m`` greedy for set cover.
+* :func:`greedy_partial_cover` — greedy until a ``1 − λ`` fraction of
+  elements is covered (the paper's ``Greedy(k log(1/λ), G)`` covering at
+  least ``(1 − λ) Opt_k``).
+
+All functions operate directly on a :class:`BipartiteGraph` — the same code
+path is used whether the graph is a full instance or one of the paper's
+sketches (that composability is precisely Theorem 2.7's point).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.coverage.bipartite import BipartiteGraph
+from repro.errors import InfeasibleError
+from repro.utils.validation import check_fraction, check_positive_int
+
+__all__ = [
+    "GreedyResult",
+    "greedy_k_cover",
+    "greedy_set_cover",
+    "greedy_partial_cover",
+    "greedy_order",
+]
+
+
+@dataclass
+class GreedyResult:
+    """Outcome of a greedy run.
+
+    Attributes
+    ----------
+    selected:
+        Chosen set ids, in selection order.
+    coverage:
+        Number of elements covered on the graph the greedy ran on.
+    gains:
+        The marginal gain realised at each selection step.
+    evaluations:
+        Number of marginal-gain evaluations performed (a proxy for time).
+    """
+
+    selected: list[int]
+    coverage: int
+    gains: list[int] = field(default_factory=list)
+    evaluations: int = 0
+
+    @property
+    def size(self) -> int:
+        """Number of selected sets."""
+        return len(self.selected)
+
+
+def _lazy_greedy(
+    graph: BipartiteGraph,
+    *,
+    max_sets: int | None,
+    target_coverage: int | None,
+    forbidden: frozenset[int] = frozenset(),
+) -> GreedyResult:
+    """Core lazy-greedy loop shared by the public greedy entry points.
+
+    Runs until either ``max_sets`` sets are chosen, ``target_coverage``
+    elements are covered, or no remaining set has positive marginal gain.
+    """
+    covered: set[int] = set()
+    selected: list[int] = []
+    gains: list[int] = []
+    evaluations = 0
+
+    # Max-heap of (-cached_gain, set_id, version). Python's heapq is a
+    # min-heap, hence the negation. ``version`` is the number of selections
+    # made when the gain was computed; a stale entry is re-evaluated lazily.
+    heap: list[tuple[int, int, int]] = []
+    for set_id in graph.set_ids():
+        if set_id in forbidden:
+            continue
+        gain = graph.set_degree(set_id)
+        evaluations += 1
+        heap.append((-gain, set_id, 0))
+    heapq.heapify(heap)
+
+    def done() -> bool:
+        if max_sets is not None and len(selected) >= max_sets:
+            return True
+        if target_coverage is not None and len(covered) >= target_coverage:
+            return True
+        return False
+
+    while heap and not done():
+        neg_gain, set_id, version = heapq.heappop(heap)
+        if version == len(selected):
+            gain = -neg_gain
+        else:
+            gain = len(graph.elements_of(set_id) - covered)
+            evaluations += 1
+            # If it is still at least as good as the next candidate, take it;
+            # otherwise push it back with the refreshed gain.
+            if heap and gain < -heap[0][0]:
+                heapq.heappush(heap, (-gain, set_id, len(selected)))
+                continue
+        if gain <= 0:
+            break
+        selected.append(set_id)
+        gains.append(gain)
+        covered |= graph.elements_of(set_id)
+
+    return GreedyResult(
+        selected=selected, coverage=len(covered), gains=gains, evaluations=evaluations
+    )
+
+
+def greedy_k_cover(
+    graph: BipartiteGraph, k: int, *, forbidden: Iterable[int] = ()
+) -> GreedyResult:
+    """The ``1 − 1/e`` greedy for k-cover (``Greedy(k, G)`` in the paper).
+
+    Parameters
+    ----------
+    graph:
+        The instance (or sketch) to maximise coverage on.
+    k:
+        Number of sets to pick.  Fewer may be returned if coverage saturates.
+    forbidden:
+        Set ids the greedy is not allowed to pick (used by tests and by
+        residual constructions).
+    """
+    check_positive_int(k, "k")
+    return _lazy_greedy(
+        graph, max_sets=k, target_coverage=None, forbidden=frozenset(forbidden)
+    )
+
+
+def greedy_set_cover(graph: BipartiteGraph, *, allow_partial: bool = False) -> GreedyResult:
+    """The ``ln m`` greedy for set cover.
+
+    Raises :class:`InfeasibleError` when the family does not cover the ground
+    set, unless ``allow_partial`` is true (then the maximal achievable
+    coverage is returned).
+    """
+    result = _lazy_greedy(graph, max_sets=None, target_coverage=graph.num_elements)
+    if result.coverage < graph.num_elements and not allow_partial:
+        raise InfeasibleError(
+            f"the family covers only {result.coverage} of {graph.num_elements} elements"
+        )
+    return result
+
+
+def greedy_partial_cover(graph: BipartiteGraph, target_fraction: float) -> GreedyResult:
+    """Greedy until at least ``target_fraction`` of the elements are covered.
+
+    Used for set cover with outliers: covering a ``1 − λ`` fraction.
+    The target is rounded up to a whole number of elements.
+    """
+    check_fraction(target_fraction, "target_fraction")
+    target = math.ceil(target_fraction * graph.num_elements - 1e-9)
+    target = min(graph.num_elements, max(0, target))
+    result = _lazy_greedy(graph, max_sets=None, target_coverage=target)
+    if result.coverage < target:
+        raise InfeasibleError(
+            f"cannot cover {target} elements; maximum achievable is {result.coverage}"
+        )
+    return result
+
+
+def greedy_order(graph: BipartiteGraph) -> list[int]:
+    """The full greedy selection order (all sets with positive gain)."""
+    return _lazy_greedy(graph, max_sets=None, target_coverage=None).selected

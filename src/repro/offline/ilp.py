@@ -1,0 +1,182 @@
+"""Integer-programming reference solvers (scipy.optimize.milp).
+
+The branch-and-bound solvers in :mod:`repro.offline.exact` enumerate subsets
+and are limited to ~20 sets.  For medium instances (hundreds of sets, a few
+thousand elements) the standard ILP formulations solved with HiGHS through
+:func:`scipy.optimize.milp` provide exact references:
+
+* **Set cover**: minimise ``Σ x_S`` subject to ``Σ_{S ∋ e} x_S ≥ 1`` for every
+  element ``e``, ``x_S ∈ {0, 1}``.
+* **k-cover**: maximise ``Σ y_e`` subject to ``y_e ≤ Σ_{S ∋ e} x_S``,
+  ``Σ x_S ≤ k``, ``x_S ∈ {0, 1}``, ``y_e ∈ [0, 1]`` (the ``y`` variables are
+  automatically integral at an optimum).
+* **Partial cover** (set cover with λ outliers): minimise ``Σ x_S`` subject to
+  ``Σ y_e ≥ (1 − λ)·m`` and the k-cover linking constraints.
+
+These are references for tests and benchmarks, not streaming algorithms; they
+see the whole instance at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import sparse
+from scipy.optimize import Bounds, LinearConstraint, milp
+
+from repro.coverage.bipartite import BipartiteGraph
+from repro.errors import InfeasibleError
+from repro.utils.validation import check_fraction, check_positive_int
+
+__all__ = ["IlpResult", "ilp_set_cover", "ilp_k_cover", "ilp_partial_cover"]
+
+
+@dataclass
+class IlpResult:
+    """Outcome of an ILP reference solve."""
+
+    selected: list[int]
+    objective: float
+    status: str
+    optimal: bool
+
+
+def _element_index(graph: BipartiteGraph) -> dict[int, int]:
+    return {element: index for index, element in enumerate(sorted(graph.elements()))}
+
+
+def _incidence(graph: BipartiteGraph, element_index: dict[int, int]) -> sparse.csr_matrix:
+    """Sparse element x set incidence matrix A with A[e, S] = 1 iff e ∈ S."""
+    rows, cols = [], []
+    for set_id in graph.set_ids():
+        for element in graph.elements_of(set_id):
+            rows.append(element_index[element])
+            cols.append(set_id)
+    data = np.ones(len(rows))
+    return sparse.csr_matrix(
+        (data, (rows, cols)), shape=(len(element_index), graph.num_sets)
+    )
+
+
+def ilp_set_cover(graph: BipartiteGraph, *, time_limit: float | None = None) -> IlpResult:
+    """Exact minimum set cover via MILP."""
+    element_index = _element_index(graph)
+    if not element_index:
+        return IlpResult(selected=[], objective=0.0, status="empty", optimal=True)
+    matrix = _incidence(graph, element_index)
+    n = graph.num_sets
+    constraints = LinearConstraint(matrix, lb=np.ones(matrix.shape[0]), ub=np.inf)
+    result = milp(
+        c=np.ones(n),
+        constraints=[constraints],
+        integrality=np.ones(n),
+        bounds=Bounds(0, 1),
+        options={"time_limit": time_limit} if time_limit else None,
+    )
+    if result.x is None:
+        raise InfeasibleError(f"set cover ILP failed: {result.message}")
+    selected = [int(i) for i in np.flatnonzero(np.round(result.x) > 0.5)]
+    return IlpResult(
+        selected=selected,
+        objective=float(len(selected)),
+        status=result.message,
+        optimal=bool(result.success),
+    )
+
+
+def _kcover_model(
+    graph: BipartiteGraph, k: int, element_index: dict[int, int]
+) -> tuple[np.ndarray, list[LinearConstraint], np.ndarray, Bounds]:
+    """Shared variables/constraints for the k-cover / partial-cover models.
+
+    Variables are ``[x_0 .. x_{n-1}, y_0 .. y_{m'-1}]``.
+    """
+    n = graph.num_sets
+    m = len(element_index)
+    matrix = _incidence(graph, element_index)
+    # Linking: y_e - Σ_{S ∋ e} x_S <= 0.
+    link = sparse.hstack([-matrix, sparse.eye(m, format="csr")], format="csr")
+    link_constraint = LinearConstraint(link, lb=-np.inf, ub=np.zeros(m))
+    # Cardinality: Σ x_S <= k.
+    cardinality = sparse.hstack(
+        [sparse.csr_matrix(np.ones((1, n))), sparse.csr_matrix((1, m))], format="csr"
+    )
+    cardinality_constraint = LinearConstraint(cardinality, lb=-np.inf, ub=float(k))
+    integrality = np.concatenate([np.ones(n), np.zeros(m)])
+    bounds = Bounds(np.zeros(n + m), np.ones(n + m))
+    objective = np.concatenate([np.zeros(n), -np.ones(m)])  # maximise Σ y_e
+    return objective, [link_constraint, cardinality_constraint], integrality, bounds
+
+
+def ilp_k_cover(
+    graph: BipartiteGraph, k: int, *, time_limit: float | None = None
+) -> IlpResult:
+    """Exact maximum k-cover via MILP (objective = covered elements)."""
+    check_positive_int(k, "k")
+    element_index = _element_index(graph)
+    if not element_index:
+        return IlpResult(selected=[], objective=0.0, status="empty", optimal=True)
+    objective, constraints, integrality, bounds = _kcover_model(graph, k, element_index)
+    result = milp(
+        c=objective,
+        constraints=constraints,
+        integrality=integrality,
+        bounds=bounds,
+        options={"time_limit": time_limit} if time_limit else None,
+    )
+    if result.x is None:
+        raise InfeasibleError(f"k-cover ILP failed: {result.message}")
+    n = graph.num_sets
+    selected = [int(i) for i in np.flatnonzero(np.round(result.x[:n]) > 0.5)][:k]
+    coverage = graph.coverage(selected)
+    return IlpResult(
+        selected=selected,
+        objective=float(coverage),
+        status=result.message,
+        optimal=bool(result.success),
+    )
+
+
+def ilp_partial_cover(
+    graph: BipartiteGraph,
+    outlier_fraction: float,
+    *,
+    time_limit: float | None = None,
+) -> IlpResult:
+    """Exact minimum partial cover (cover at least a ``1 − λ`` fraction)."""
+    check_fraction(outlier_fraction, "outlier_fraction")
+    element_index = _element_index(graph)
+    m = len(element_index)
+    if m == 0:
+        return IlpResult(selected=[], objective=0.0, status="empty", optimal=True)
+    target = float(np.ceil((1.0 - outlier_fraction) * m - 1e-9))
+    if target <= 0:
+        return IlpResult(selected=[], objective=0.0, status="trivial", optimal=True)
+    n = graph.num_sets
+    matrix = _incidence(graph, element_index)
+    link = sparse.hstack([-matrix, sparse.eye(m, format="csr")], format="csr")
+    link_constraint = LinearConstraint(link, lb=-np.inf, ub=np.zeros(m))
+    coverage_row = sparse.hstack(
+        [sparse.csr_matrix((1, n)), sparse.csr_matrix(np.ones((1, m)))], format="csr"
+    )
+    coverage_constraint = LinearConstraint(coverage_row, lb=target, ub=np.inf)
+    integrality = np.concatenate([np.ones(n), np.zeros(m)])
+    bounds = Bounds(np.zeros(n + m), np.ones(n + m))
+    objective = np.concatenate([np.ones(n), np.zeros(m)])  # minimise Σ x_S
+    result = milp(
+        c=objective,
+        constraints=[link_constraint, coverage_constraint],
+        integrality=integrality,
+        bounds=bounds,
+        options={"time_limit": time_limit} if time_limit else None,
+    )
+    if result.x is None:
+        raise InfeasibleError(f"partial cover ILP failed: {result.message}")
+    selected = [int(i) for i in np.flatnonzero(np.round(result.x[:n]) > 0.5)]
+    return IlpResult(
+        selected=selected,
+        objective=float(len(selected)),
+        status=result.message,
+        optimal=bool(result.success),
+    )

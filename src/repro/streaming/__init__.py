@@ -1,0 +1,32 @@
+"""Streaming substrate: streams, events, space metering, pass management."""
+
+from repro.streaming.adapters import (
+    edge_events_to_set_events,
+    edge_stream_from_set_stream,
+    interleave_edges,
+    set_events_to_edge_events,
+    set_stream_from_edge_stream,
+)
+from repro.streaming.events import EdgeArrival, SetArrival
+from repro.streaming.passes import MultiPassDriver
+from repro.streaming.runner import StreamingAlgorithm, StreamingReport, StreamingRunner
+from repro.streaming.space import SpaceMeter
+from repro.streaming.stream import STREAM_ORDERS, EdgeStream, SetStream
+
+__all__ = [
+    "EdgeArrival",
+    "SetArrival",
+    "EdgeStream",
+    "SetStream",
+    "STREAM_ORDERS",
+    "SpaceMeter",
+    "MultiPassDriver",
+    "StreamingAlgorithm",
+    "StreamingReport",
+    "StreamingRunner",
+    "edge_events_to_set_events",
+    "edge_stream_from_set_stream",
+    "interleave_edges",
+    "set_events_to_edge_events",
+    "set_stream_from_edge_stream",
+]

@@ -1,0 +1,47 @@
+"""Stream event types.
+
+The paper's central modelling choice is the **edge-arrival** model: the
+stream consists of membership edges (set, element) in arbitrary order, as
+opposed to the **set-arrival** model where a set arrives together with the
+full list of its elements.  Both event types are defined here so algorithms
+can declare which model they consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+__all__ = ["EdgeArrival", "SetArrival"]
+
+
+@dataclass(frozen=True, slots=True)
+class EdgeArrival:
+    """One membership edge ``(set_id, element)`` arriving on the stream."""
+
+    set_id: int
+    element: int
+
+    def as_tuple(self) -> tuple[int, int]:
+        """The edge as a plain ``(set_id, element)`` tuple."""
+        return (self.set_id, self.element)
+
+
+@dataclass(frozen=True, slots=True)
+class SetArrival:
+    """A whole set arriving with the full list of its member elements."""
+
+    set_id: int
+    elements: tuple[int, ...]
+
+    @classmethod
+    def from_iterable(cls, set_id: int, elements: Iterable[int]) -> "SetArrival":
+        """Build a set-arrival event from any iterable of elements."""
+        return cls(set_id=set_id, elements=tuple(elements))
+
+    def edges(self) -> list[EdgeArrival]:
+        """Expand the set arrival into the equivalent edge arrivals."""
+        return [EdgeArrival(self.set_id, element) for element in self.elements]
+
+    def __len__(self) -> int:
+        return len(self.elements)

@@ -1,0 +1,161 @@
+"""Glue between streams, streaming algorithms and result records.
+
+A *streaming algorithm* in this library is any object implementing the small
+protocol below (``start_pass`` / ``process`` / ``finish_pass`` / ``result`` /
+``wants_another_pass`` and a ``space`` meter).  :class:`StreamingRunner`
+drives such an algorithm over a replayable stream, collects the pass count
+and space usage, evaluates the returned solution on the *original* instance
+and packages everything into a :class:`StreamingReport` — the unit of data
+the analysis layer and the benchmarks consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Protocol, runtime_checkable
+
+from repro.coverage.bipartite import BipartiteGraph
+from repro.streaming.passes import MultiPassDriver
+from repro.streaming.space import SpaceMeter
+from repro.streaming.stream import EdgeStream, SetStream
+from repro.utils.timer import Stopwatch
+
+__all__ = ["StreamingAlgorithm", "StreamingReport", "StreamingRunner"]
+
+
+@runtime_checkable
+class StreamingAlgorithm(Protocol):
+    """Protocol implemented by every streaming algorithm in the library."""
+
+    #: Human-readable algorithm name used in reports.
+    name: str
+    #: Which stream model the algorithm consumes: ``"edge"`` or ``"set"``.
+    arrival_model: str
+    #: Space meter charged by the algorithm while it runs.
+    space: SpaceMeter
+
+    def start_pass(self, pass_index: int) -> None:
+        """Called before each pass with the zero-based pass index."""
+
+    def process(self, event: Any) -> None:
+        """Called once per stream event."""
+
+    def finish_pass(self, pass_index: int) -> None:
+        """Called after each pass."""
+
+    def wants_another_pass(self) -> bool:
+        """Whether the algorithm needs a further pass over the stream."""
+
+    def result(self) -> list[int]:
+        """The chosen set ids once the algorithm has finished."""
+
+
+@dataclass
+class StreamingReport:
+    """Everything measured about one streaming run."""
+
+    algorithm: str
+    arrival_model: str
+    solution: tuple[int, ...]
+    coverage: int
+    coverage_fraction: float
+    solution_size: int
+    passes: int
+    space_peak: int
+    space_budget: int | None
+    stream_events: int
+    timings: dict[str, float] = field(default_factory=dict)
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, Any]:
+        """Flatten the report into a plain dict (for tables / JSON)."""
+        row: dict[str, Any] = {
+            "algorithm": self.algorithm,
+            "arrival_model": self.arrival_model,
+            "coverage": self.coverage,
+            "coverage_fraction": self.coverage_fraction,
+            "solution_size": self.solution_size,
+            "passes": self.passes,
+            "space_peak": self.space_peak,
+            "space_budget": self.space_budget,
+            "stream_events": self.stream_events,
+        }
+        row.update({f"time.{k}": v for k, v in self.timings.items()})
+        row.update(self.extra)
+        return row
+
+
+class StreamingRunner:
+    """Runs a streaming algorithm over a stream and evaluates the outcome.
+
+    Parameters
+    ----------
+    reference_graph:
+        The full input graph used to evaluate the returned solution.  The
+        algorithm itself never touches it — it only sees the stream.
+    """
+
+    def __init__(self, reference_graph: BipartiteGraph) -> None:
+        self._reference = reference_graph
+
+    def run(
+        self,
+        algorithm: StreamingAlgorithm,
+        stream: EdgeStream | SetStream,
+        *,
+        max_passes: int | None = None,
+        extra: dict[str, Any] | None = None,
+    ) -> StreamingReport:
+        """Drive ``algorithm`` over ``stream`` until it stops asking for passes."""
+        self._check_model(algorithm, stream)
+        driver = MultiPassDriver(stream, max_passes=max_passes)
+        stopwatch = Stopwatch()
+        events = 0
+        pass_index = 0
+        while True:
+            with stopwatch.section("stream"):
+                algorithm.start_pass(pass_index)
+                for event in driver.new_pass():
+                    algorithm.process(event)
+                    events += 1
+                algorithm.finish_pass(pass_index)
+            pass_index += 1
+            if not algorithm.wants_another_pass():
+                break
+        with stopwatch.section("solve"):
+            solution = tuple(dict.fromkeys(int(s) for s in algorithm.result()))
+        coverage = self._reference.coverage(solution)
+        total_elements = self._reference.num_elements
+        return StreamingReport(
+            algorithm=algorithm.name,
+            arrival_model=algorithm.arrival_model,
+            solution=solution,
+            coverage=coverage,
+            coverage_fraction=(coverage / total_elements) if total_elements else 1.0,
+            solution_size=len(solution),
+            passes=driver.passes_used,
+            space_peak=algorithm.space.peak,
+            space_budget=algorithm.space.budget,
+            stream_events=events,
+            timings=stopwatch.as_dict(),
+            extra=dict(extra or {}),
+        )
+
+    def evaluate(self, solution: Iterable[int]) -> tuple[int, float]:
+        """Coverage value and fraction of an arbitrary solution."""
+        solution = list(solution)
+        coverage = self._reference.coverage(solution)
+        total = self._reference.num_elements
+        return coverage, (coverage / total if total else 1.0)
+
+    @staticmethod
+    def _check_model(algorithm: StreamingAlgorithm, stream: EdgeStream | SetStream) -> None:
+        is_edge_stream = isinstance(stream, EdgeStream)
+        if algorithm.arrival_model == "edge" and not is_edge_stream:
+            raise TypeError(
+                f"{algorithm.name} consumes edge arrivals but was given a set stream"
+            )
+        if algorithm.arrival_model == "set" and is_edge_stream:
+            raise TypeError(
+                f"{algorithm.name} consumes set arrivals but was given an edge stream"
+            )

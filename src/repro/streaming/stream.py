@@ -1,0 +1,287 @@
+"""Replayable edge-arrival and set-arrival streams.
+
+A stream wraps a coverage instance (or an explicit edge list) and yields its
+events in a chosen order.  Streams are *replayable*: iterating again yields a
+fresh pass, which is what the multi-pass algorithms (Algorithm 6, Demaine- and
+Har-Peled-style baselines) need.  The number of passes taken is tracked so
+experiments can report it.
+
+Orders
+------
+``"given"``
+    Events in the order the edges were provided (deterministic).
+``"random"``
+    A fresh uniformly random permutation per pass (seeded).
+``"set_grouped"``
+    All edges of set 0, then set 1, ... — the edge-arrival encoding of the
+    set-arrival model.
+``"element_grouped"``
+    All edges of one element together — an adversarial order for algorithms
+    that implicitly assume sets arrive intact.
+``"adversarial_tail"``
+    The edges of the planted / largest sets are held back to the very end of
+    the stream, stressing algorithms that commit to early sets.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.coverage.bipartite import BipartiteGraph
+from repro.streaming.events import EdgeArrival, SetArrival
+from repro.utils.rng import spawn_rng
+
+__all__ = ["EdgeStream", "SetStream", "STREAM_ORDERS"]
+
+STREAM_ORDERS = (
+    "given",
+    "random",
+    "set_grouped",
+    "element_grouped",
+    "adversarial_tail",
+)
+
+
+class EdgeStream:
+    """A replayable stream of :class:`EdgeArrival` events.
+
+    Parameters
+    ----------
+    edges:
+        The membership edges as (set_id, element) pairs.
+    num_sets:
+        Number of set vertices ``n`` (known to the algorithm up front, as the
+        paper assumes — space bounds are stated in terms of ``n``).
+    num_elements_hint:
+        Optional upper bound on the number of distinct elements ``m``.  The
+        paper's algorithms only need ``m`` up to a constant factor (it enters
+        through ``log m``); generators provide the exact value.
+    order:
+        One of :data:`STREAM_ORDERS`.
+    seed:
+        Seed for the random orders; each pass re-shuffles deterministically
+        from (seed, pass index).
+    favored_sets:
+        For ``adversarial_tail``: the set ids whose edges are moved to the
+        end of the stream (defaults to the largest set).
+    """
+
+    def __init__(
+        self,
+        edges: Iterable[tuple[int, int]],
+        *,
+        num_sets: int,
+        num_elements_hint: int | None = None,
+        order: str = "given",
+        seed: int = 0,
+        favored_sets: Sequence[int] | None = None,
+    ) -> None:
+        if order not in STREAM_ORDERS:
+            raise ValueError(f"unknown order {order!r}; expected one of {STREAM_ORDERS}")
+        self._edges = [(int(s), int(e)) for s, e in edges]
+        self._num_sets = int(num_sets)
+        self._order = order
+        self._seed = int(seed)
+        self._passes = 0
+        self._favored_sets = tuple(favored_sets) if favored_sets is not None else None
+        if num_elements_hint is not None:
+            self._num_elements_hint = int(num_elements_hint)
+        else:
+            self._num_elements_hint = len({e for _, e in self._edges})
+
+    # ------------------------------------------------------------------ #
+    # construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_graph(
+        cls,
+        graph: BipartiteGraph,
+        *,
+        order: str = "random",
+        seed: int = 0,
+        favored_sets: Sequence[int] | None = None,
+    ) -> "EdgeStream":
+        """Build a stream from a bipartite graph."""
+        return cls(
+            graph.edges(),
+            num_sets=graph.num_sets,
+            num_elements_hint=graph.num_elements,
+            order=order,
+            seed=seed,
+            favored_sets=favored_sets,
+        )
+
+    # ------------------------------------------------------------------ #
+    # stream metadata
+    # ------------------------------------------------------------------ #
+    @property
+    def num_sets(self) -> int:
+        """The number of set vertices ``n`` (known up front)."""
+        return self._num_sets
+
+    @property
+    def num_elements_hint(self) -> int:
+        """Upper bound on the number of distinct elements ``m``."""
+        return self._num_elements_hint
+
+    @property
+    def num_events(self) -> int:
+        """Length of one pass of the stream (number of edges)."""
+        return len(self._edges)
+
+    @property
+    def passes_taken(self) -> int:
+        """How many passes have been fully or partially consumed so far."""
+        return self._passes
+
+    @property
+    def order(self) -> str:
+        """The configured arrival order."""
+        return self._order
+
+    # ------------------------------------------------------------------ #
+    # iteration
+    # ------------------------------------------------------------------ #
+    def _ordered_edges(self, pass_index: int) -> list[tuple[int, int]]:
+        edges = self._edges
+        if self._order == "given":
+            return list(edges)
+        if self._order == "random":
+            rng = spawn_rng(self._seed, f"edge-stream-pass-{pass_index}")
+            permutation = rng.permutation(len(edges))
+            return [edges[i] for i in permutation]
+        if self._order == "set_grouped":
+            return sorted(edges, key=lambda edge: (edge[0], edge[1]))
+        if self._order == "element_grouped":
+            return sorted(edges, key=lambda edge: (edge[1], edge[0]))
+        if self._order == "adversarial_tail":
+            favored = self._favored_tail()
+            head = [edge for edge in edges if edge[0] not in favored]
+            tail = [edge for edge in edges if edge[0] in favored]
+            rng = spawn_rng(self._seed, f"edge-stream-adv-{pass_index}")
+            head_order = rng.permutation(len(head))
+            return [head[i] for i in head_order] + tail
+        raise AssertionError(f"unhandled order {self._order}")  # pragma: no cover
+
+    def _favored_tail(self) -> frozenset[int]:
+        if self._favored_sets is not None:
+            return frozenset(self._favored_sets)
+        # Default: hold back the single largest set.
+        sizes: dict[int, int] = {}
+        for set_id, _ in self._edges:
+            sizes[set_id] = sizes.get(set_id, 0) + 1
+        if not sizes:
+            return frozenset()
+        largest = max(sizes, key=lambda s: (sizes[s], -s))
+        return frozenset({largest})
+
+    def __iter__(self) -> Iterator[EdgeArrival]:
+        pass_index = self._passes
+        self._passes += 1
+        for set_id, element in self._ordered_edges(pass_index):
+            yield EdgeArrival(set_id, element)
+
+    def pass_events(self) -> list[EdgeArrival]:
+        """Materialise one pass as a list (counts as a pass)."""
+        return list(iter(self))
+
+    def reset_pass_count(self) -> None:
+        """Reset the pass counter (e.g. between benchmark repetitions)."""
+        self._passes = 0
+
+    def to_graph(self) -> BipartiteGraph:
+        """Materialise the full underlying graph (for offline reference runs)."""
+        graph = BipartiteGraph(self._num_sets)
+        for set_id, element in self._edges:
+            graph.add_edge(set_id, element)
+        return graph
+
+
+class SetStream:
+    """A replayable stream of :class:`SetArrival` events (set-arrival model).
+
+    Used by the prior-work baselines (Saha–Getoor, sieve-streaming, ...),
+    which assume each set arrives intact with its member list.
+    """
+
+    def __init__(
+        self,
+        sets: Sequence[Sequence[int]] | dict[int, Sequence[int]],
+        *,
+        order: str = "given",
+        seed: int = 0,
+    ) -> None:
+        if order not in ("given", "random"):
+            raise ValueError("SetStream supports orders 'given' and 'random'")
+        if isinstance(sets, dict):
+            items = sorted(sets.items())
+            self._sets = [(int(set_id), tuple(int(e) for e in members)) for set_id, members in items]
+            self._num_sets = (max(sets) + 1) if sets else 0
+        else:
+            self._sets = [
+                (set_id, tuple(int(e) for e in members)) for set_id, members in enumerate(sets)
+            ]
+            self._num_sets = len(self._sets)
+        self._order = order
+        self._seed = int(seed)
+        self._passes = 0
+
+    @classmethod
+    def from_graph(
+        cls, graph: BipartiteGraph, *, order: str = "random", seed: int = 0
+    ) -> "SetStream":
+        """Build a set-arrival stream from a bipartite graph."""
+        sets = {set_id: sorted(graph.elements_of(set_id)) for set_id in graph.set_ids()}
+        stream = cls(sets, order=order, seed=seed)
+        stream._num_sets = graph.num_sets
+        return stream
+
+    @property
+    def num_sets(self) -> int:
+        """Number of sets in the stream."""
+        return self._num_sets
+
+    @property
+    def num_events(self) -> int:
+        """Number of set arrivals in one pass."""
+        return len(self._sets)
+
+    @property
+    def passes_taken(self) -> int:
+        """How many passes have been started so far."""
+        return self._passes
+
+    def __iter__(self) -> Iterator[SetArrival]:
+        pass_index = self._passes
+        self._passes += 1
+        order = list(range(len(self._sets)))
+        if self._order == "random":
+            rng = spawn_rng(self._seed, f"set-stream-pass-{pass_index}")
+            order = list(rng.permutation(len(self._sets)))
+        for index in order:
+            set_id, members = self._sets[index]
+            yield SetArrival(set_id=set_id, elements=members)
+
+    def reset_pass_count(self) -> None:
+        """Reset the pass counter."""
+        self._passes = 0
+
+    def to_graph(self) -> BipartiteGraph:
+        """Materialise the full underlying graph."""
+        graph = BipartiteGraph(max(1, self._num_sets))
+        for set_id, members in self._sets:
+            for element in members:
+                graph.add_edge(set_id, element)
+        return graph
+
+    def to_edge_stream(self, *, order: str = "random", seed: int = 0) -> EdgeStream:
+        """Convert to the edge-arrival model (see also :mod:`repro.streaming.adapters`)."""
+        edges = [(set_id, element) for set_id, members in self._sets for element in members]
+        return EdgeStream(
+            edges,
+            num_sets=max(1, self._num_sets),
+            order=order,
+            seed=seed,
+        )

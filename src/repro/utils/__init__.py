@@ -1,0 +1,51 @@
+"""Shared utilities: RNG, validation, logging, timing, tables, parallel map."""
+
+from repro.utils.logging import configure, get_logger, kv
+from repro.utils.parallel import chunked, cpu_count, parallel_map
+from repro.utils.rng import (
+    SplitMix64,
+    derive_seed,
+    mix64,
+    random_permutation,
+    sample_without_replacement,
+    spawn_rng,
+)
+from repro.utils.tables import Table, render_grid, render_markdown
+from repro.utils.timer import Stopwatch, Timer, timed
+from repro.utils.validation import (
+    check_fraction,
+    check_in_range,
+    check_non_negative_int,
+    check_open_unit,
+    check_positive_int,
+    check_probability,
+    check_type,
+)
+
+__all__ = [
+    "configure",
+    "get_logger",
+    "kv",
+    "chunked",
+    "cpu_count",
+    "parallel_map",
+    "SplitMix64",
+    "derive_seed",
+    "mix64",
+    "random_permutation",
+    "sample_without_replacement",
+    "spawn_rng",
+    "Table",
+    "render_grid",
+    "render_markdown",
+    "Stopwatch",
+    "Timer",
+    "timed",
+    "check_fraction",
+    "check_in_range",
+    "check_non_negative_int",
+    "check_open_unit",
+    "check_positive_int",
+    "check_probability",
+    "check_type",
+]

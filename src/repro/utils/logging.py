@@ -1,0 +1,54 @@
+"""Lightweight structured logging for experiments.
+
+The standard :mod:`logging` module is used under the hood; this wrapper only
+adds (a) a single place to configure the library logger and (b) a tiny
+key=value formatter that experiment scripts use so their output is grep-able.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Any
+
+__all__ = ["get_logger", "configure", "kv"]
+
+_LOGGER_NAME = "repro"
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """Return the library logger (or a child logger if ``name`` is given)."""
+    if name:
+        return logging.getLogger(f"{_LOGGER_NAME}.{name}")
+    return logging.getLogger(_LOGGER_NAME)
+
+
+def configure(level: int = logging.INFO) -> logging.Logger:
+    """Configure the library logger with a terse console handler.
+
+    Safe to call repeatedly; handlers are only installed once.
+    """
+    logger = get_logger()
+    logger.setLevel(level)
+    if not logger.handlers:
+        handler = logging.StreamHandler()
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s")
+        )
+        logger.addHandler(handler)
+    return logger
+
+
+def kv(**fields: Any) -> str:
+    """Format keyword arguments as a stable ``key=value`` string.
+
+    >>> kv(algo="kcover", n=100, ratio=0.95)
+    'algo=kcover n=100 ratio=0.95'
+    """
+    parts = []
+    for key in sorted(fields):
+        value = fields[key]
+        if isinstance(value, float):
+            parts.append(f"{key}={value:.6g}")
+        else:
+            parts.append(f"{key}={value}")
+    return " ".join(parts)

@@ -1,0 +1,70 @@
+"""Process-based parallel map helpers.
+
+Several benchmarks sweep a grid of configurations (Algorithm 5 even asks for
+its guesses of ``k'`` to be "run in parallel").  These helpers provide a
+chunked, process-pool based ``parallel_map`` with a sequential fallback so
+that library code never hard-depends on multiprocessing being available
+(e.g. under restricted sandboxes), matching the HPC guidance of keeping the
+parallel layer thin and optional.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+__all__ = ["cpu_count", "chunked", "parallel_map"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def cpu_count() -> int:
+    """Number of usable CPUs (at least 1)."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return max(1, os.cpu_count() or 1)
+
+
+def chunked(items: Sequence[T], chunk_size: int) -> list[list[T]]:
+    """Split a sequence into consecutive chunks of at most ``chunk_size``."""
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be >= 1")
+    return [list(items[i : i + chunk_size]) for i in range(0, len(items), chunk_size)]
+
+
+def parallel_map(
+    func: Callable[[T], R],
+    items: Iterable[T],
+    *,
+    workers: int | None = None,
+    use_processes: bool = False,
+) -> list[R]:
+    """Map ``func`` over ``items``, optionally with a process pool.
+
+    Parameters
+    ----------
+    func:
+        A picklable callable (when ``use_processes=True``).
+    items:
+        The work items; the result order matches the input order.
+    workers:
+        Pool size; defaults to :func:`cpu_count`.
+    use_processes:
+        When ``False`` (the default) the map is sequential.  Process pools
+        only pay off for coarse-grained work items, so parallelism is opt-in.
+    """
+    items = list(items)
+    if not use_processes or len(items) <= 1:
+        return [func(item) for item in items]
+    workers = workers or cpu_count()
+    workers = max(1, min(workers, len(items)))
+    if workers == 1:
+        return [func(item) for item in items]
+    try:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(func, items))
+    except (OSError, PermissionError):  # pragma: no cover - sandbox fallback
+        return [func(item) for item in items]

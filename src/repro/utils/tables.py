@@ -1,0 +1,104 @@
+"""Plain-text and Markdown table rendering.
+
+The benchmark harness regenerates the paper's Table 1 (and the per-theorem
+experiment tables) as text; this module owns the formatting so reports look
+identical whether they come from an example script, a benchmark or a test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+__all__ = ["Table", "format_value", "render_grid", "render_markdown"]
+
+
+def format_value(value: Any, float_fmt: str = "{:.4g}") -> str:
+    """Render a cell value: floats use ``float_fmt``, everything else ``str``."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return float_fmt.format(value)
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A small column-oriented table with pretty-printing.
+
+    >>> t = Table(["algo", "ratio"])
+    >>> t.add_row(algo="greedy", ratio=1.0)
+    >>> t.add_row(algo="sketch", ratio=0.97)
+    >>> print(t.to_markdown())   # doctest: +SKIP
+    """
+
+    columns: Sequence[str]
+    rows: list[dict[str, Any]] = field(default_factory=list)
+    float_fmt: str = "{:.4g}"
+
+    def add_row(self, **values: Any) -> None:
+        """Append a row given as keyword arguments (missing cells become '')."""
+        unknown = set(values) - set(self.columns)
+        if unknown:
+            raise KeyError(f"unknown columns: {sorted(unknown)}")
+        self.rows.append(dict(values))
+
+    def add_rows(self, rows: Iterable[dict[str, Any]]) -> None:
+        """Append many rows."""
+        for row in rows:
+            self.add_row(**row)
+
+    def column(self, name: str) -> list[Any]:
+        """Return the values of one column (missing cells become ``None``)."""
+        if name not in self.columns:
+            raise KeyError(name)
+        return [row.get(name) for row in self.rows]
+
+    def _cells(self) -> list[list[str]]:
+        out = [[str(c) for c in self.columns]]
+        for row in self.rows:
+            out.append(
+                [format_value(row.get(c, ""), self.float_fmt) for c in self.columns]
+            )
+        return out
+
+    def to_grid(self) -> str:
+        """Render as an aligned plain-text grid."""
+        return render_grid(self._cells())
+
+    def to_markdown(self) -> str:
+        """Render as a GitHub-flavoured Markdown table."""
+        return render_markdown(self._cells())
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+def render_grid(cells: Sequence[Sequence[str]]) -> str:
+    """Render rows of already-formatted cells as an aligned text grid."""
+    if not cells:
+        return ""
+    widths = [0] * max(len(row) for row in cells)
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    for idx, row in enumerate(cells):
+        line = "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)).rstrip()
+        lines.append(line)
+        if idx == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def render_markdown(cells: Sequence[Sequence[str]]) -> str:
+    """Render rows of already-formatted cells as a Markdown table."""
+    if not cells:
+        return ""
+    header, *body = cells
+    lines = ["| " + " | ".join(header) + " |"]
+    lines.append("|" + "|".join("---" for _ in header) + "|")
+    for row in body:
+        padded = list(row) + [""] * (len(header) - len(row))
+        lines.append("| " + " | ".join(padded) + " |")
+    return "\n".join(lines)

@@ -1,0 +1,84 @@
+"""Unit tests for repro.analysis.experiments."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import ExperimentRow, ExperimentSuite, run_streaming_comparison
+from repro.baselines import SahaGetoorKCover
+from repro.core import StreamingKCover
+from repro.datasets import planted_kcover_instance
+
+
+@pytest.fixture
+def instance():
+    return planted_kcover_instance(40, 600, k=3, seed=1)
+
+
+class TestSuite:
+    def test_add_and_filter(self):
+        suite = ExperimentSuite("demo")
+        suite.add(ExperimentRow("demo", "a", "i1", {"ratio": 0.9}))
+        suite.add(ExperimentRow("demo", "b", "i1", {"ratio": 0.5}))
+        assert len(suite) == 2
+        assert suite.algorithms() == ["a", "b"]
+        assert len(suite.filter(algorithm="a")) == 1
+
+    def test_aggregate(self):
+        suite = ExperimentSuite("demo")
+        for ratio in (0.8, 1.0):
+            suite.add(ExperimentRow("demo", "a", "i", {"ratio": ratio}))
+        stats = suite.aggregate("ratio")["a"]
+        assert stats["mean"] == pytest.approx(0.9)
+        assert stats["count"] == 2
+
+    def test_aggregate_skips_missing_metric(self):
+        suite = ExperimentSuite("demo")
+        suite.add(ExperimentRow("demo", "a", "i", {"other": 1}))
+        assert suite.aggregate("ratio") == {}
+
+    def test_to_table_infers_columns(self):
+        suite = ExperimentSuite("demo")
+        suite.add(ExperimentRow("demo", "a", "i", {"x": 1}))
+        table = suite.to_table()
+        assert "x" in table.columns
+        assert len(table) == 1
+
+    def test_row_as_dict(self):
+        row = ExperimentRow("e", "algo", "inst", {"m": 2})
+        flat = row.as_dict()
+        assert flat == {"experiment": "e", "algorithm": "algo", "instance": "inst", "m": 2}
+
+
+class TestRunStreamingComparison:
+    def test_runs_both_arrival_models(self, instance):
+        suite = ExperimentSuite("compare")
+        rows = run_streaming_comparison(
+            suite,
+            instance,
+            "planted",
+            [
+                ("sketch", lambda: StreamingKCover(instance.n, instance.m, k=3, seed=1)),
+                ("saha-getoor", lambda: SahaGetoorKCover(k=3)),
+            ],
+            seed=1,
+        )
+        assert len(rows) == 2
+        assert len(suite) == 2
+        for row in rows:
+            flat = row.as_dict()
+            assert flat["coverage"] > 0
+            assert 0 < flat["approx_ratio"] <= 1.5
+            assert flat["n"] == instance.n
+
+    def test_reference_value_override(self, instance):
+        suite = ExperimentSuite("compare")
+        rows = run_streaming_comparison(
+            suite,
+            instance,
+            "planted",
+            [("sketch", lambda: StreamingKCover(instance.n, instance.m, k=3, seed=2))],
+            reference_value=instance.m,
+            seed=2,
+        )
+        assert rows[0].metrics["reference_value"] == instance.m

@@ -1,0 +1,73 @@
+"""Unit tests for repro.analysis.metrics."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.metrics import (
+    approximation_ratio,
+    coverage_shortfall,
+    kcover_reference_value,
+    setcover_blowup,
+    summarize,
+)
+from repro.offline.greedy import greedy_k_cover
+
+
+class TestApproximationRatio:
+    def test_basic(self):
+        assert approximation_ratio(90, 100) == pytest.approx(0.9)
+
+    def test_zero_reference(self):
+        assert approximation_ratio(0, 0) == 1.0
+        assert approximation_ratio(5, 0) == math.inf
+
+
+class TestReferenceValue:
+    def test_uses_planted_when_available(self, planted_kcover):
+        assert kcover_reference_value(planted_kcover) == planted_kcover.planted_value
+
+    def test_falls_back_to_greedy(self, planted_kcover):
+        value = kcover_reference_value(planted_kcover, use_planted=False)
+        assert value == greedy_k_cover(planted_kcover.graph, planted_kcover.k).coverage
+
+
+class TestSetCoverBlowup:
+    def test_basic(self):
+        assert setcover_blowup(12, 6) == 2.0
+
+    def test_zero_reference(self):
+        assert setcover_blowup(0, 0) == 1.0
+        assert setcover_blowup(3, 0) == math.inf
+
+
+class TestCoverageShortfall:
+    def test_met_target(self, tiny_graph):
+        assert coverage_shortfall(tiny_graph, [0, 2], 0.9) == 0.0
+
+    def test_missed_target(self, tiny_graph):
+        shortfall = coverage_shortfall(tiny_graph, [3], 0.9)
+        assert shortfall == pytest.approx(0.9 - 1 / 6)
+
+
+class TestSummarize:
+    def test_statistics(self):
+        stats = summarize([1.0, 2.0, 3.0, 4.0])
+        assert stats.count == 4
+        assert stats.mean == 2.5
+        assert stats.minimum == 1.0
+        assert stats.maximum == 4.0
+        assert stats.stdev == pytest.approx(math.sqrt(1.25))
+
+    def test_single_value(self):
+        stats = summarize([7.0])
+        assert stats.stdev == 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_as_dict(self):
+        assert set(summarize([1.0]).as_dict()) == {"count", "mean", "min", "max", "stdev"}

@@ -1,0 +1,58 @@
+"""Unit tests for repro.analysis.plots."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.plots import bar_chart, labeled_sparkline, sparkline
+
+
+class TestSparkline:
+    def test_monotone_values(self):
+        line = sparkline([1, 2, 3, 4])
+        assert line[0] == "▁" and line[-1] == "█"
+        # Monotone input gives (weakly) monotone glyph levels.
+        levels = ["▁▂▃▄▅▆▇█".index(ch) for ch in line]
+        assert levels == sorted(levels)
+
+    def test_constant_values(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_length_matches_input(self):
+        assert len(sparkline(range(17))) == 17
+
+    def test_extremes_map_to_extremes(self):
+        line = sparkline([0, 10, 5])
+        assert line[0] == "▁" and line[1] == "█"
+
+
+class TestLabeledSparkline:
+    def test_contains_label_and_range(self):
+        line = labeled_sparkline("space", [10, 20, 30])
+        assert line.startswith("space")
+        assert "[10 .. 30]" in line
+
+    def test_empty_values(self):
+        assert "(no data)" in labeled_sparkline("x", [])
+
+
+class TestBarChart:
+    def test_bars_scale_to_peak(self):
+        chart = bar_chart([("a", 10), ("b", 5)], width=10)
+        lines = chart.splitlines()
+        assert lines[0].count("█") == 10
+        assert lines[1].count("█") == 5
+
+    def test_zero_values_allowed(self):
+        chart = bar_chart([("a", 0.0), ("b", 0.0)])
+        assert "a" in chart and "b" in chart
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart([("a", -1.0)])
+
+    def test_empty(self):
+        assert bar_chart([]) == ""

@@ -1,0 +1,42 @@
+"""Unit tests for repro.analysis.reporting."""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import ExperimentRow, ExperimentSuite
+from repro.analysis.reporting import render_comparison, render_suite_markdown, write_report
+
+
+def _suite() -> ExperimentSuite:
+    suite = ExperimentSuite("table1-kcover")
+    suite.add(ExperimentRow("table1-kcover", "sketch", "zipf", {"ratio": 0.97, "space": 900}))
+    suite.add(ExperimentRow("table1-kcover", "saha", "zipf", {"ratio": 0.81, "space": 4000}))
+    return suite
+
+
+class TestRenderSuite:
+    def test_contains_title_and_rows(self):
+        text = render_suite_markdown(_suite(), title="Table 1 (k-cover)", notes=["note a"])
+        assert "### Table 1 (k-cover)" in text
+        assert "- note a" in text
+        assert "sketch" in text and "saha" in text
+
+    def test_column_selection(self):
+        text = render_suite_markdown(_suite(), columns=["algorithm", "ratio"])
+        assert "space" not in text.splitlines()[2]
+
+
+class TestRenderComparison:
+    def test_grouped_stats(self):
+        text = render_comparison(_suite(), "ratio")
+        assert "mean" in text
+        assert "sketch" in text and "saha" in text
+
+
+class TestWriteReport:
+    def test_writes_file(self, tmp_path):
+        path = write_report(
+            tmp_path / "report.md", ["### a\n", "### b\n"], header="# Experiments"
+        )
+        content = path.read_text()
+        assert content.startswith("# Experiments")
+        assert "### a" in content and "### b" in content

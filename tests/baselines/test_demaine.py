@@ -1,0 +1,69 @@
+"""Unit tests for repro.baselines.demaine."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.baselines.demaine import DemaineSetCover
+from repro.streaming.runner import StreamingRunner
+from repro.streaming.stream import SetStream
+
+
+class TestDemaineSetCover:
+    def test_produces_full_cover(self, planted_setcover):
+        algo = DemaineSetCover(planted_setcover.m, rounds=3)
+        report = StreamingRunner(planted_setcover.graph).run(
+            algo, SetStream.from_graph(planted_setcover.graph, order="random", seed=1)
+        )
+        assert report.coverage_fraction == pytest.approx(1.0)
+
+    def test_pass_count_is_rounds_plus_one(self, planted_setcover):
+        for rounds in (2, 3, 4):
+            algo = DemaineSetCover(planted_setcover.m, rounds=rounds)
+            report = StreamingRunner(planted_setcover.graph).run(
+                algo, SetStream.from_graph(planted_setcover.graph, order="random", seed=2)
+            )
+            assert report.passes == rounds + 1
+
+    def test_thresholds_follow_m_pow_1_over_r(self):
+        algo = DemaineSetCover(num_elements_hint=10_000, rounds=4)
+        factor = 10_000 ** (1 / 4)
+        assert algo._threshold(0) == pytest.approx(10_000 / factor)
+        assert algo._threshold(1) == pytest.approx(10_000 / factor**2)
+        assert algo._threshold(3) == pytest.approx(1.0)
+
+    def test_solution_size_reasonable_vs_optimum(self, planted_setcover):
+        optimum = len(planted_setcover.planted_solution)
+        algo = DemaineSetCover(planted_setcover.m, rounds=3)
+        report = StreamingRunner(planted_setcover.graph).run(
+            algo, SetStream.from_graph(planted_setcover.graph, order="random", seed=3)
+        )
+        # The guarantee is O(r log m) * optimum; assert with that slack.
+        assert report.solution_size <= 4 * 3 * math.log(planted_setcover.m) * optimum
+
+    def test_space_includes_ground_set(self, planted_setcover):
+        algo = DemaineSetCover(planted_setcover.m, rounds=2)
+        report = StreamingRunner(planted_setcover.graph).run(
+            algo, SetStream.from_graph(planted_setcover.graph, order="random", seed=4)
+        )
+        assert report.space_peak >= planted_setcover.m * 0.9
+
+    def test_no_duplicates(self, planted_setcover):
+        algo = DemaineSetCover(planted_setcover.m, rounds=3)
+        report = StreamingRunner(planted_setcover.graph).run(
+            algo, SetStream.from_graph(planted_setcover.graph, order="random", seed=5)
+        )
+        assert len(report.solution) == len(set(report.solution))
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            DemaineSetCover(0, rounds=2)
+        with pytest.raises(ValueError):
+            DemaineSetCover(10, rounds=0)
+
+    def test_describe(self):
+        algo = DemaineSetCover(500, rounds=3)
+        info = algo.describe()
+        assert info["total_passes"] == 4

@@ -1,0 +1,69 @@
+"""Unit tests for repro.baselines.emek_rosen."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.emek_rosen import ThresholdPartialSetCover
+from repro.streaming.runner import StreamingRunner
+from repro.streaming.stream import SetStream
+
+
+class TestThresholdPartialSetCover:
+    def test_reaches_outlier_target(self, planted_setcover):
+        algo = ThresholdPartialSetCover(planted_setcover.m, outlier_fraction=0.1, passes=3)
+        report = StreamingRunner(planted_setcover.graph).run(
+            algo, SetStream.from_graph(planted_setcover.graph, order="random", seed=1)
+        )
+        assert report.coverage_fraction >= 1 - 0.1 - 1e-9
+        assert report.passes == 3
+
+    def test_zero_outliers_gives_full_cover(self, planted_setcover):
+        algo = ThresholdPartialSetCover(planted_setcover.m, outlier_fraction=0.0, passes=3)
+        report = StreamingRunner(planted_setcover.graph).run(
+            algo, SetStream.from_graph(planted_setcover.graph, order="random", seed=2)
+        )
+        assert report.coverage_fraction == pytest.approx(1.0)
+
+    def test_single_pass_variant(self, planted_setcover):
+        algo = ThresholdPartialSetCover(planted_setcover.m, outlier_fraction=0.2, passes=1)
+        report = StreamingRunner(planted_setcover.graph).run(
+            algo, SetStream.from_graph(planted_setcover.graph, order="random", seed=3)
+        )
+        assert report.passes == 1
+        assert report.coverage_fraction >= 1 - 0.2 - 1e-9
+
+    def test_space_tracks_ground_set(self, planted_setcover):
+        algo = ThresholdPartialSetCover(planted_setcover.m, outlier_fraction=0.1, passes=2)
+        report = StreamingRunner(planted_setcover.graph).run(
+            algo, SetStream.from_graph(planted_setcover.graph, order="random", seed=4)
+        )
+        # O~(m) behaviour: it stores at least the whole universe.
+        assert report.space_peak >= planted_setcover.m
+
+    def test_threshold_schedule_decreasing(self):
+        algo = ThresholdPartialSetCover(1000, outlier_fraction=0.1, passes=4)
+        thresholds = [algo._threshold(j) for j in range(4)]
+        assert all(a >= b for a, b in zip(thresholds, thresholds[1:]))
+        assert thresholds[-1] >= 1.0
+
+    def test_no_duplicate_selections(self, planted_setcover):
+        algo = ThresholdPartialSetCover(planted_setcover.m, outlier_fraction=0.05, passes=3)
+        report = StreamingRunner(planted_setcover.graph).run(
+            algo, SetStream.from_graph(planted_setcover.graph, order="random", seed=5)
+        )
+        assert len(report.solution) == len(set(report.solution))
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            ThresholdPartialSetCover(0, 0.1)
+        with pytest.raises(ValueError):
+            ThresholdPartialSetCover(10, 1.5)
+        with pytest.raises(ValueError):
+            ThresholdPartialSetCover(10, 0.1, passes=0)
+
+    def test_describe(self):
+        algo = ThresholdPartialSetCover(100, 0.1, passes=2)
+        info = algo.describe()
+        assert info["algorithm"] == "threshold-partial-cover"
+        assert info["passes"] == 2

@@ -1,0 +1,65 @@
+"""Unit tests for repro.baselines.harpeled."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.harpeled import HarPeledSetCover
+from repro.streaming.runner import StreamingRunner
+from repro.streaming.stream import SetStream
+
+
+class TestHarPeledSetCover:
+    def test_produces_full_cover(self, planted_setcover):
+        algo = HarPeledSetCover(planted_setcover.m, passes=4)
+        report = StreamingRunner(planted_setcover.graph).run(
+            algo, SetStream.from_graph(planted_setcover.graph, order="random", seed=1)
+        )
+        assert report.coverage_fraction == pytest.approx(1.0)
+
+    def test_pass_count_respected(self, planted_setcover):
+        for passes in (2, 3, 5):
+            algo = HarPeledSetCover(planted_setcover.m, passes=passes)
+            report = StreamingRunner(planted_setcover.graph).run(
+                algo, SetStream.from_graph(planted_setcover.graph, order="random", seed=2)
+            )
+            assert report.passes == passes
+
+    def test_guess_doubles_when_progress_stalls(self, planted_setcover):
+        algo = HarPeledSetCover(planted_setcover.m, passes=4, initial_guess=1)
+        StreamingRunner(planted_setcover.graph).run(
+            algo, SetStream.from_graph(planted_setcover.graph, order="random", seed=3)
+        )
+        assert algo.describe()["final_guess"] >= 1
+
+    def test_solution_size_reasonable(self, planted_setcover):
+        import math
+
+        optimum = len(planted_setcover.planted_solution)
+        algo = HarPeledSetCover(planted_setcover.m, passes=4)
+        report = StreamingRunner(planted_setcover.graph).run(
+            algo, SetStream.from_graph(planted_setcover.graph, order="random", seed=4)
+        )
+        assert report.solution_size <= 4 * math.log(planted_setcover.m) * optimum + 4
+
+    def test_space_includes_ground_set(self, planted_setcover):
+        algo = HarPeledSetCover(planted_setcover.m, passes=3)
+        report = StreamingRunner(planted_setcover.graph).run(
+            algo, SetStream.from_graph(planted_setcover.graph, order="random", seed=5)
+        )
+        assert report.space_peak >= planted_setcover.m * 0.9
+
+    def test_no_duplicates(self, planted_setcover):
+        algo = HarPeledSetCover(planted_setcover.m, passes=3)
+        report = StreamingRunner(planted_setcover.graph).run(
+            algo, SetStream.from_graph(planted_setcover.graph, order="random", seed=6)
+        )
+        assert len(report.solution) == len(set(report.solution))
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            HarPeledSetCover(0)
+        with pytest.raises(ValueError):
+            HarPeledSetCover(10, passes=0)
+        with pytest.raises(ValueError):
+            HarPeledSetCover(10, passes=2, initial_guess=0)

@@ -1,0 +1,74 @@
+"""Unit tests for repro.baselines.saha_getoor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.saha_getoor import SahaGetoorKCover
+from repro.offline.exact import exact_k_cover
+from repro.datasets import uniform_random_instance
+from repro.streaming.runner import StreamingRunner
+from repro.streaming.stream import SetStream
+
+
+class TestSahaGetoor:
+    def test_fills_slots_first(self, tiny_graph):
+        algo = SahaGetoorKCover(k=2)
+        report = StreamingRunner(tiny_graph).run(
+            algo, SetStream.from_graph(tiny_graph, order="given")
+        )
+        assert report.solution_size <= 2
+        assert report.passes == 1
+        assert report.arrival_model == "set"
+
+    def test_internal_coverage_lower_bounds_solution(self, planted_kcover):
+        # The swap bookkeeping is conservative: after a swap the victim's
+        # charged elements are dropped even when another kept set still covers
+        # them, so the tracked value never exceeds the real coverage.
+        algo = SahaGetoorKCover(k=4)
+        report = StreamingRunner(planted_kcover.graph).run(
+            algo, SetStream.from_graph(planted_kcover.graph, order="random", seed=1)
+        )
+        actual = planted_kcover.graph.coverage(report.solution)
+        assert algo.current_coverage() <= actual
+        assert algo.current_coverage() >= 0.8 * actual
+
+    def test_quarter_guarantee_on_random_instances(self):
+        for seed in range(4):
+            instance = uniform_random_instance(12, 60, density=0.15, seed=seed)
+            _, optimum = exact_k_cover(instance.graph, 3)
+            algo = SahaGetoorKCover(k=3)
+            report = StreamingRunner(instance.graph).run(
+                algo, SetStream.from_graph(instance.graph, order="random", seed=seed)
+            )
+            assert report.coverage >= 0.25 * optimum - 1e-9
+
+    def test_space_scales_with_covered_elements(self, planted_kcover):
+        algo = SahaGetoorKCover(k=4)
+        report = StreamingRunner(planted_kcover.graph).run(
+            algo, SetStream.from_graph(planted_kcover.graph, order="random", seed=2)
+        )
+        # Stores ~the covered elements: between coverage and coverage + k slots.
+        assert report.space_peak >= report.coverage * 0.5
+        assert report.space_peak <= planted_kcover.m + 2 * 4 + report.coverage
+
+    def test_swap_improves_on_adversarial_order(self, tiny_graph):
+        # Small sets first, then the big ones: swaps must kick in.
+        algo = SahaGetoorKCover(k=1)
+        stream = SetStream(
+            {3: [5], 1: [2, 3], 0: [0, 1, 2], 2: [3, 4, 5]}, order="given"
+        )
+        report = StreamingRunner(tiny_graph).run(algo, stream)
+        assert report.coverage >= 3
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            SahaGetoorKCover(k=0)
+        with pytest.raises(ValueError):
+            SahaGetoorKCover(k=2, swap_factor=1.0)
+
+    def test_describe(self):
+        algo = SahaGetoorKCover(k=3)
+        info = algo.describe()
+        assert info["algorithm"] == "saha-getoor-swap"
+        assert info["k"] == 3

@@ -1,0 +1,63 @@
+"""Unit tests for repro.baselines.sieve_streaming."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.sieve_streaming import SieveStreamingKCover
+from repro.datasets import uniform_random_instance
+from repro.offline.exact import exact_k_cover
+from repro.streaming.runner import StreamingRunner
+from repro.streaming.stream import SetStream
+
+
+class TestSieveStreaming:
+    def test_single_pass_solution_within_k(self, planted_kcover):
+        algo = SieveStreamingKCover(k=4, epsilon=0.2)
+        report = StreamingRunner(planted_kcover.graph).run(
+            algo, SetStream.from_graph(planted_kcover.graph, order="random", seed=1)
+        )
+        assert report.passes == 1
+        assert report.solution_size <= 4
+
+    def test_half_guarantee_on_random_instances(self):
+        for seed in range(4):
+            instance = uniform_random_instance(12, 60, density=0.15, seed=seed)
+            _, optimum = exact_k_cover(instance.graph, 3)
+            algo = SieveStreamingKCover(k=3, epsilon=0.1)
+            report = StreamingRunner(instance.graph).run(
+                algo, SetStream.from_graph(instance.graph, order="random", seed=seed)
+            )
+            assert report.coverage >= (0.5 - 0.1) * optimum - 1e-9
+
+    def test_thresholds_cover_right_range(self, tiny_graph):
+        algo = SieveStreamingKCover(k=2, epsilon=0.5)
+        for event in SetStream.from_graph(tiny_graph, order="given"):
+            algo.process(event)
+        assert algo.num_candidates() > 0
+        thresholds = [c.threshold for c in algo._candidates.values()]
+        assert min(thresholds) <= 3.0  # v_max = 3 (largest singleton)
+        assert max(thresholds) >= 3.0
+
+    def test_empty_result_before_stream(self):
+        algo = SieveStreamingKCover(k=2)
+        assert algo.result() == []
+
+    def test_candidates_bounded_by_log_range(self, planted_kcover):
+        algo = SieveStreamingKCover(k=5, epsilon=0.3)
+        for event in SetStream.from_graph(planted_kcover.graph, order="random", seed=4):
+            algo.process(event)
+        import math
+
+        bound = math.log(2 * 5, 1.3) + 3
+        assert algo.num_candidates() <= bound
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            SieveStreamingKCover(k=0)
+        with pytest.raises(ValueError):
+            SieveStreamingKCover(k=2, epsilon=0.0)
+
+    def test_describe(self):
+        algo = SieveStreamingKCover(k=2, epsilon=0.2)
+        assert algo.describe()["algorithm"] == "sieve-streaming"

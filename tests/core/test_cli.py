@@ -1,0 +1,102 @@
+"""Unit tests for the command-line interface (repro.cli)."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.coverage.io import write_edge_list
+from repro.datasets import planted_kcover_instance
+
+
+def _run(argv: list[str]) -> tuple[int, str]:
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_kcover_defaults(self):
+        args = build_parser().parse_args(["kcover"])
+        assert args.command == "kcover"
+        assert args.k == 10
+        assert args.generator == "planted_kcover"
+
+    def test_unknown_generator_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["kcover", "--generator", "magic"])
+
+
+class TestCommands:
+    def test_kcover_on_generated_instance(self):
+        code, output = _run(
+            ["kcover", "--num-sets", "40", "--num-elements", "800", "--k", "4",
+             "--seed", "3", "--scale", "0.2"]
+        )
+        assert code == 0
+        assert "sketch-kcover" in output
+        assert "offline-greedy" in output
+
+    def test_kcover_with_baselines(self):
+        code, output = _run(
+            ["kcover", "--num-sets", "30", "--num-elements", "500", "--k", "3",
+             "--baselines", "--seed", "1"]
+        )
+        assert code == 0
+        assert "saha-getoor" in output and "sieve-streaming" in output
+
+    def test_setcover_command(self):
+        code, output = _run(
+            ["setcover", "--generator", "planted_setcover", "--num-sets", "30",
+             "--num-elements", "400", "--k", "5", "--rounds", "2", "--seed", "2"]
+        )
+        assert code == 0
+        assert "sketch-setcover" in output
+
+    def test_outliers_command(self):
+        code, output = _run(
+            ["outliers", "--generator", "planted_setcover", "--num-sets", "30",
+             "--num-elements", "400", "--k", "5", "--outlier-fraction", "0.1", "--seed", "2"]
+        )
+        assert code == 0
+        assert "sketch-outliers" in output
+
+    def test_sketch_command(self):
+        code, output = _run(
+            ["sketch", "--num-sets", "30", "--num-elements", "600", "--k", "4",
+             "--scale", "0.2", "--seed", "5"]
+        )
+        assert code == 0
+        assert "stored edges" in output
+        assert "threshold p*" in output
+
+    def test_generate_then_consume_file(self, tmp_path):
+        output_file = tmp_path / "workload.tsv"
+        code, message = _run(
+            ["generate", "--num-sets", "25", "--num-elements", "300", "--k", "4",
+             "--output", str(output_file), "--seed", "7"]
+        )
+        assert code == 0
+        assert output_file.exists()
+        assert "wrote" in message
+        code, output = _run(["kcover", "--edges", str(output_file), "--k", "4", "--seed", "7"])
+        assert code == 0
+        assert "sketch-kcover" in output
+
+    def test_kcover_from_edge_file_matches_generator_graph(self, tmp_path):
+        instance = planted_kcover_instance(20, 250, k=3, seed=9)
+        path = tmp_path / "edges.tsv"
+        write_edge_list(instance.graph.edges(), path)
+        code, output = _run(["sketch", "--edges", str(path), "--k", "3"])
+        assert code == 0
+        assert str(instance.num_edges) in output
+
+    def test_error_exit_code_on_missing_file(self, tmp_path):
+        code, _ = _run(["kcover", "--edges", str(tmp_path / "missing.tsv")])
+        assert code == 2

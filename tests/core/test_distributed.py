@@ -1,0 +1,154 @@
+"""Unit tests for repro.distributed (composable sketches, MapReduce simulation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.hashing import UniformHash
+from repro.core.params import SketchParams
+from repro.core.sketch import build_h_leq_n
+from repro.distributed import (
+    DistributedKCover,
+    build_all_machine_sketches,
+    merge_machine_sketches,
+    partition_edges,
+    shard_sizes,
+)
+from repro.offline.greedy import greedy_k_cover
+
+
+class TestPartition:
+    def test_every_edge_assigned_exactly_once(self, planted_kcover):
+        edges = list(planted_kcover.graph.edges())
+        for strategy in ("random", "by_set", "by_element", "round_robin"):
+            shards = partition_edges(edges, 4, strategy=strategy, seed=1)
+            assert len(shards) == 4
+            merged = sorted(edge for shard in shards for edge in shard)
+            assert merged == sorted(edges)
+
+    def test_by_set_keeps_sets_together(self, planted_kcover):
+        edges = list(planted_kcover.graph.edges())
+        shards = partition_edges(edges, 3, strategy="by_set", seed=2)
+        owner: dict[int, int] = {}
+        for machine, shard in enumerate(shards):
+            for set_id, _ in shard:
+                assert owner.setdefault(set_id, machine) == machine
+
+    def test_by_element_keeps_elements_together(self, planted_kcover):
+        edges = list(planted_kcover.graph.edges())
+        shards = partition_edges(edges, 3, strategy="by_element", seed=3)
+        owner: dict[int, int] = {}
+        for machine, shard in enumerate(shards):
+            for _, element in shard:
+                assert owner.setdefault(element, machine) == machine
+
+    def test_round_robin_balance(self):
+        edges = [(0, i) for i in range(10)]
+        shards = partition_edges(edges, 3, strategy="round_robin")
+        assert shard_sizes(shards) == [4, 3, 3]
+
+    def test_random_roughly_balanced(self, planted_kcover):
+        edges = list(planted_kcover.graph.edges())
+        sizes = shard_sizes(partition_edges(edges, 4, strategy="random", seed=4))
+        assert max(sizes) <= 2 * min(sizes)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            partition_edges([], 0)
+        with pytest.raises(ValueError):
+            partition_edges([], 2, strategy="hash-ring")
+
+
+class TestMerge:
+    def _params(self, instance, budget=600, cap=25):
+        return SketchParams.explicit(
+            instance.n, instance.m, instance.k, 0.2, edge_budget=budget, degree_cap=cap
+        )
+
+    def test_merge_respects_budgets(self, planted_kcover):
+        params = self._params(planted_kcover)
+        shards = partition_edges(list(planted_kcover.graph.edges()), 4, seed=5)
+        machines = build_all_machine_sketches(shards, params, hash_seed=5)
+        merged = merge_machine_sketches(machines, params, hash_seed=5)
+        assert merged.num_edges <= params.edge_budget + params.degree_cap
+        assert all(
+            merged.graph.element_degree(e) <= params.degree_cap
+            for e in merged.graph.elements()
+        )
+
+    def test_merged_elements_have_global_capped_degree(self, planted_kcover):
+        """Composability: below the merged threshold, degrees match the input."""
+        params = self._params(planted_kcover)
+        hash_fn = UniformHash(6)
+        shards = partition_edges(list(planted_kcover.graph.edges()), 3, seed=6)
+        machines = build_all_machine_sketches(shards, params, hash_seed=6)
+        merged = merge_machine_sketches(machines, params, hash_seed=6)
+        for element in merged.graph.elements():
+            if hash_fn.value(element) < merged.threshold:
+                expected = min(
+                    planted_kcover.graph.element_degree(element), params.degree_cap
+                )
+                assert merged.graph.element_degree(element) == expected
+
+    def test_merge_of_single_machine_equals_central_sketch(self, planted_kcover):
+        params = self._params(planted_kcover)
+        shards = [list(planted_kcover.graph.edges())]
+        machines = build_all_machine_sketches(shards, params, hash_seed=7)
+        merged = merge_machine_sketches(machines, params, hash_seed=7)
+        central = build_h_leq_n(planted_kcover.graph, params, UniformHash(7))
+        assert set(merged.graph.elements()) <= set(machines[0].sketch.graph.elements())
+        # Same admitted elements as the offline central construction.
+        assert set(merged.graph.elements()) == set(central.graph.elements())
+
+    def test_merge_requires_at_least_one_machine(self, planted_kcover):
+        with pytest.raises(ValueError):
+            merge_machine_sketches([], self._params(planted_kcover))
+
+
+class TestDistributedKCover:
+    def test_two_round_quality(self, planted_kcover):
+        params = SketchParams.explicit(
+            planted_kcover.n, planted_kcover.m, 4, 0.2, edge_budget=700, degree_cap=30
+        )
+        runner = DistributedKCover(
+            planted_kcover.n, planted_kcover.m, k=4, num_machines=4, params=params, seed=8
+        )
+        report = runner.run(list(planted_kcover.graph.edges()))
+        achieved = planted_kcover.graph.coverage(report.solution)
+        reference = greedy_k_cover(planted_kcover.graph, 4).coverage
+        assert achieved >= 0.85 * reference
+        assert report.rounds == 2
+        assert report.num_machines == 4
+
+    def test_communication_bounded_by_machine_sketches(self, planted_kcover):
+        runner = DistributedKCover(
+            planted_kcover.n, planted_kcover.m, k=4, num_machines=5, scale=0.1, seed=9
+        )
+        report = runner.run(list(planted_kcover.graph.edges()))
+        assert report.communication_edges == sum(report.machine_stored_edges)
+        assert report.coordinator_edges <= report.communication_edges
+
+    def test_partition_strategy_does_not_change_quality_much(self, planted_kcover):
+        values = []
+        for strategy in ("random", "by_set", "by_element"):
+            runner = DistributedKCover(
+                planted_kcover.n, planted_kcover.m, k=4, num_machines=4,
+                strategy=strategy, scale=0.2, seed=10,
+            )
+            report = runner.run(list(planted_kcover.graph.edges()))
+            values.append(planted_kcover.graph.coverage(report.solution))
+        assert max(values) - min(values) <= 0.15 * max(values)
+
+    def test_report_as_dict(self, planted_kcover):
+        runner = DistributedKCover(
+            planted_kcover.n, planted_kcover.m, k=3, num_machines=2, scale=0.2, seed=11
+        )
+        report = runner.run(list(planted_kcover.graph.edges()))
+        row = report.as_dict()
+        assert row["num_machines"] == 2
+        assert row["solution_size"] <= 3
+        assert report.max_machine_load == max(report.machine_stored_edges)
+
+    def test_invalid_machines(self, planted_kcover):
+        with pytest.raises(ValueError):
+            DistributedKCover(planted_kcover.n, planted_kcover.m, k=3, num_machines=0)

@@ -1,0 +1,67 @@
+"""Unit tests for repro.core.hashing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.hashing import HashFamily, TabulationHash, UniformHash, make_hash
+
+
+@pytest.mark.parametrize("family", [UniformHash(7), TabulationHash(7)])
+class TestHashFamilies:
+    def test_values_in_unit_interval(self, family):
+        for element in range(2000):
+            value = family.value(element)
+            assert 0.0 <= value < 1.0
+
+    def test_deterministic(self, family):
+        assert family.value(12345) == family.value(12345)
+        assert family.rank(12345) == family.rank(12345)
+
+    def test_rank_matches_value(self, family):
+        for element in (0, 1, 999, 2**40):
+            assert family.value(element) == pytest.approx(family.rank(element) / 2**64)
+
+    def test_approximately_uniform(self, family):
+        values = np.array([family.value(e) for e in range(20_000)])
+        # Mean near 1/2, mass in each quartile near 1/4.
+        assert abs(values.mean() - 0.5) < 0.02
+        for q in range(4):
+            fraction = np.mean((values >= q / 4) & (values < (q + 1) / 4))
+            assert abs(fraction - 0.25) < 0.02
+
+    def test_callable_alias(self, family):
+        assert family(42) == family.value(42)
+
+    def test_protocol_conformance(self, family):
+        assert isinstance(family, HashFamily)
+
+
+class TestSeeding:
+    def test_different_seeds_give_different_functions(self):
+        a, b = UniformHash(1), UniformHash(2)
+        differing = sum(a.value(e) != b.value(e) for e in range(100))
+        assert differing == 100
+
+    def test_tabulation_seeds_differ(self):
+        a, b = TabulationHash(1), TabulationHash(2)
+        assert any(a.value(e) != b.value(e) for e in range(100))
+
+    def test_pairwise_correlation_small(self):
+        a, b = UniformHash(1), UniformHash(2)
+        va = np.array([a.value(e) for e in range(5000)])
+        vb = np.array([b.value(e) for e in range(5000)])
+        assert abs(np.corrcoef(va, vb)[0, 1]) < 0.05
+
+
+class TestFactory:
+    def test_make_uniform(self):
+        assert isinstance(make_hash("uniform", 3), UniformHash)
+
+    def test_make_tabulation(self):
+        assert isinstance(make_hash("tabulation", 3), TabulationHash)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            make_hash("md5")

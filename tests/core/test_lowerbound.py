@@ -1,0 +1,112 @@
+"""Unit tests for repro.core.lowerbound (Theorem 1.2 / Appendix E)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.lowerbound import (
+    ELEMENT_A,
+    ELEMENT_B,
+    BoundedMemoryOneCover,
+    DisjointnessInstance,
+    disjointness_stream,
+    evaluate_bounded_memory_protocol,
+)
+
+
+class TestDisjointnessInstance:
+    def test_forced_intersecting(self):
+        for seed in range(5):
+            instance = DisjointnessInstance.random(50, force_intersecting=True, seed=seed)
+            assert instance.intersects
+            assert instance.optimum_1_cover() == 2
+
+    def test_forced_disjoint(self):
+        for seed in range(5):
+            instance = DisjointnessInstance.random(50, force_intersecting=False, seed=seed)
+            assert not instance.intersects
+            assert instance.optimum_1_cover() <= 1
+
+    def test_to_graph_structure(self):
+        instance = DisjointnessInstance(
+            num_sets=5, alice=frozenset({0, 2}), bob=frozenset({2, 4})
+        )
+        graph = instance.to_graph()
+        assert graph.sets_of(ELEMENT_A) == frozenset({0, 2})
+        assert graph.sets_of(ELEMENT_B) == frozenset({2, 4})
+        # The intersecting set covers both elements: Opt_1 = 2.
+        assert graph.coverage([2]) == 2
+        assert graph.coverage([0]) == 1
+
+    def test_reduction_value_matches_intersection(self):
+        for seed in range(6):
+            instance = DisjointnessInstance.random(30, seed=seed)
+            graph = instance.to_graph()
+            best = max((graph.coverage([s]) for s in range(30)), default=0)
+            assert (best == 2) == instance.intersects
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            DisjointnessInstance.random(0)
+
+
+class TestStream:
+    def test_alice_edges_come_first(self):
+        instance = DisjointnessInstance.random(40, force_intersecting=True, seed=1)
+        events = list(disjointness_stream(instance))
+        switch = next(i for i, e in enumerate(events) if e.element == ELEMENT_B)
+        assert all(e.element == ELEMENT_A for e in events[:switch])
+        assert all(e.element == ELEMENT_B for e in events[switch:])
+
+    def test_stream_sizes(self):
+        instance = DisjointnessInstance.random(40, seed=2)
+        stream = disjointness_stream(instance)
+        assert stream.num_events == len(instance.alice) + len(instance.bob)
+        assert stream.num_sets == 40
+
+
+class TestBoundedMemoryProtocol:
+    def test_full_memory_always_correct(self):
+        for seed in range(6):
+            instance = DisjointnessInstance.random(
+                30, density=0.3, force_intersecting=(seed % 2 == 0), seed=seed
+            )
+            protocol = BoundedMemoryOneCover(memory_sets=30, seed=seed)
+            for event in disjointness_stream(instance):
+                protocol.process(event)
+            assert protocol.predicts_intersection() == instance.intersects
+
+    def test_never_false_positive(self):
+        # The protocol only claims an intersection when it has a witness.
+        for seed in range(5):
+            instance = DisjointnessInstance.random(40, force_intersecting=False, seed=seed)
+            protocol = BoundedMemoryOneCover(memory_sets=5, seed=seed)
+            for event in disjointness_stream(instance):
+                protocol.process(event)
+            assert not protocol.predicts_intersection()
+
+    def test_solution_returns_witness_when_found(self):
+        instance = DisjointnessInstance(
+            num_sets=10, alice=frozenset({1, 2, 3}), bob=frozenset({3})
+        )
+        protocol = BoundedMemoryOneCover(memory_sets=10, seed=0)
+        for event in disjointness_stream(instance):
+            protocol.process(event)
+        assert protocol.solution() == [3]
+
+    def test_accuracy_degrades_with_memory(self):
+        full = evaluate_bounded_memory_protocol(200, 200, trials=30, density=0.05, seed=3)
+        tiny = evaluate_bounded_memory_protocol(200, 4, trials=30, density=0.05, seed=3)
+        assert full["accuracy"] == pytest.approx(1.0)
+        assert tiny["accuracy_intersecting"] < full["accuracy_intersecting"]
+
+    def test_evaluation_report_fields(self):
+        report = evaluate_bounded_memory_protocol(50, 10, trials=10, seed=1)
+        assert {"accuracy", "accuracy_intersecting", "accuracy_disjoint", "memory_fraction"} <= set(
+            report
+        )
+        assert 0.0 <= report["accuracy"] <= 1.0
+
+    def test_invalid_memory(self):
+        with pytest.raises(ValueError):
+            BoundedMemoryOneCover(0)

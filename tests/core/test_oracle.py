@@ -1,0 +1,140 @@
+"""Unit tests for repro.core.oracle (Theorem 1.3 constructions)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.oracle import (
+    NoisyCoverageOracle,
+    PurificationCoverageOracle,
+    oracle_greedy_k_cover,
+    purification_to_kcover_instance,
+)
+from repro.core.purification import KPurificationInstance, PurificationOracle
+
+
+class TestNoisyOracle:
+    def test_within_epsilon(self, planted_kcover):
+        oracle = NoisyCoverageOracle(planted_kcover.graph, epsilon=0.1, seed=1)
+        for family in ([0], [1, 2], list(range(10))):
+            estimate = oracle(family)
+            truth = oracle.true_value(family)
+            assert abs(estimate - truth) <= 0.1 * truth + 1e-9
+
+    def test_consistent_across_repeated_queries(self, planted_kcover):
+        oracle = NoisyCoverageOracle(planted_kcover.graph, epsilon=0.2, seed=2)
+        assert oracle([3, 1, 2]) == oracle([2, 3, 1])
+
+    def test_query_counter(self, planted_kcover):
+        oracle = NoisyCoverageOracle(planted_kcover.graph, epsilon=0.2, seed=2)
+        oracle([0])
+        oracle([1])
+        assert oracle.queries == 2
+        oracle.reset()
+        assert oracle.queries == 0
+
+    def test_different_seeds_give_different_noise(self, planted_kcover):
+        a = NoisyCoverageOracle(planted_kcover.graph, epsilon=0.2, seed=1)
+        b = NoisyCoverageOracle(planted_kcover.graph, epsilon=0.2, seed=99)
+        families = [[0], [1], [2], [0, 1], [1, 2]]
+        assert any(a(f) != b(f) for f in families)
+
+
+class TestReductionGraph:
+    def test_coverage_formula(self):
+        instance = KPurificationInstance.random(20, 4, seed=3)
+        graph = purification_to_kcover_instance(instance)
+        n, k = 20, 4
+        per_gold = n // k
+        gold = sorted(instance.gold_items)
+        brass = [i for i in range(n) if i not in instance.gold_items]
+        # Any nonempty family: C(S) = k + per_gold * Gold(S).
+        assert graph.coverage([brass[0]]) == k
+        assert graph.coverage([gold[0]]) == k + per_gold
+        assert graph.coverage(gold[:2] + brass[:3]) == k + 2 * per_gold
+
+    def test_optimum_is_all_gold(self):
+        instance = KPurificationInstance.random(12, 3, seed=4)
+        graph = purification_to_kcover_instance(instance)
+        gold = sorted(instance.gold_items)
+        assert graph.coverage(gold) == 3 + 3 * (12 // 3)
+        # No size-3 family beats the gold family.
+        from itertools import combinations
+
+        best = max(graph.coverage(c) for c in combinations(range(12), 3))
+        assert best == graph.coverage(gold)
+
+
+class TestPurificationCoverageOracle:
+    @pytest.fixture
+    def oracle(self) -> PurificationCoverageOracle:
+        instance = KPurificationInstance.random(40, 8, seed=5)
+        return PurificationCoverageOracle(PurificationOracle(instance, epsilon=0.4))
+
+    def test_empty_family(self, oracle):
+        assert oracle([]) == 0.0
+
+    def test_unremarkable_query_gets_flat_answer(self, oracle):
+        # A single brass item is within the Pure band, so the oracle answers
+        # k + |S| rather than the true value.
+        brass = next(
+            i for i in range(oracle.num_sets) if i not in oracle.purifier.instance.gold_items
+        )
+        assert oracle([brass]) == oracle.k + 1
+
+    def test_purifying_query_reveals_truth(self, oracle):
+        gold = sorted(oracle.purifier.instance.gold_items)
+        value = oracle(gold)
+        assert value == oracle.true_value(gold)
+        assert oracle.purifying_queries >= 1
+
+    def test_flat_answer_is_within_epsilon_prime(self, oracle):
+        """The proof's key claim: the predetermined answer is (1±ε')-accurate."""
+        import itertools
+
+        eps = oracle.epsilon_prime
+        families = [list(c) for c in itertools.combinations(range(10), 3)]
+        for family in families:
+            answer = oracle(family)
+            truth = oracle.true_value(family)
+            assert (1 - eps) * truth <= answer + 1e-9
+            assert answer <= (1 + eps) * truth + 1e-9
+
+    def test_optimum_value(self, oracle):
+        assert oracle.optimum() == oracle.k + oracle.num_sets
+
+
+class TestOracleGreedy:
+    def test_greedy_on_noisy_oracle_still_good(self, planted_kcover):
+        oracle = NoisyCoverageOracle(planted_kcover.graph, epsilon=0.02, seed=3)
+        selection, queries = oracle_greedy_k_cover(oracle, 4, planted_kcover.n)
+        assert len(selection) == 4
+        assert queries > 0
+        truth = planted_kcover.graph.coverage(selection)
+        assert truth >= 0.5 * planted_kcover.planted_value
+
+    def test_greedy_on_adversarial_oracle_fails(self):
+        """Theorem 1.3 in action: the flat oracle gives greedy no signal.
+
+        The regime needs ``ε·k²/n`` comfortably above 1 so small queries never
+        purify; then every answer greedy sees is the flat ``k + |S|`` and its
+        selection is essentially arbitrary.
+        """
+        instance = KPurificationInstance.random(90, 30, seed=7)
+        purifier = PurificationOracle(instance, epsilon=0.5)
+        oracle = PurificationCoverageOracle(purifier)
+        selection, _ = oracle_greedy_k_cover(oracle, 30, 90)
+        gold_found = instance.gold_count(selection)
+        assert gold_found < 30
+        true_value = oracle.true_value(selection)
+        assert true_value <= 0.75 * oracle.optimum()
+
+    def test_query_budget_respected(self, planted_kcover):
+        oracle = NoisyCoverageOracle(planted_kcover.graph, epsilon=0.1, seed=1)
+        _, queries = oracle_greedy_k_cover(oracle, 5, planted_kcover.n, max_queries=17)
+        assert queries <= 17
+
+    def test_invalid_arguments(self, planted_kcover):
+        oracle = NoisyCoverageOracle(planted_kcover.graph, epsilon=0.1)
+        with pytest.raises(ValueError):
+            oracle_greedy_k_cover(oracle, 0, planted_kcover.n)

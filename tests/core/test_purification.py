@@ -1,0 +1,121 @@
+"""Unit tests for repro.core.purification (Appendix A)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.purification import (
+    KPurificationInstance,
+    PurificationOracle,
+    adaptive_greedy_search,
+    query_lower_bound,
+    random_subset_search,
+)
+
+
+class TestInstance:
+    def test_random_instance_sizes(self):
+        instance = KPurificationInstance.random(100, 10, seed=1)
+        assert instance.num_items == 100
+        assert instance.num_gold == 10
+        assert len(instance.gold_items) == 10
+        assert all(0 <= item < 100 for item in instance.gold_items)
+
+    def test_deterministic_in_seed(self):
+        a = KPurificationInstance.random(50, 5, seed=2)
+        b = KPurificationInstance.random(50, 5, seed=2)
+        assert a.gold_items == b.gold_items
+
+    def test_gold_count(self):
+        instance = KPurificationInstance.random(30, 6, seed=3)
+        assert instance.gold_count(instance.gold_items) == 6
+        assert instance.gold_count([]) == 0
+        assert instance.gold_count(range(30)) == 6
+
+    def test_too_many_gold_rejected(self):
+        with pytest.raises(ValueError):
+            KPurificationInstance.random(5, 6)
+
+
+class TestOracle:
+    def test_band_formula(self):
+        instance = KPurificationInstance.random(100, 10, seed=1)
+        oracle = PurificationOracle(instance, epsilon=0.5)
+        low, high = oracle.band(20)
+        expected = 10 * 20 / 100
+        slack = 0.5 * (expected + 100 / 100)
+        assert low == pytest.approx(expected - slack)
+        assert high == pytest.approx(expected + slack)
+
+    def test_all_gold_query_purifies(self):
+        instance = KPurificationInstance.random(100, 10, seed=1)
+        oracle = PurificationOracle(instance, epsilon=0.3)
+        assert oracle(instance.gold_items) == 1
+
+    def test_typical_random_query_does_not_purify(self):
+        instance = KPurificationInstance.random(1000, 30, seed=2)
+        oracle = PurificationOracle(instance, epsilon=0.9)
+        # A uniformly random set of half the items has gold count tightly
+        # concentrated around its mean, so with a wide band it reports 0.
+        assert oracle(range(0, 1000, 2)) == 0
+
+    def test_query_counter_and_reset(self):
+        instance = KPurificationInstance.random(50, 5, seed=4)
+        oracle = PurificationOracle(instance, epsilon=0.5)
+        oracle([1, 2, 3])
+        oracle([4])
+        assert oracle.queries == 2
+        oracle.reset()
+        assert oracle.queries == 0
+
+
+class TestSearches:
+    def test_random_search_respects_budget(self):
+        instance = KPurificationInstance.random(400, 4, seed=5)
+        oracle = PurificationOracle(instance, epsilon=0.8)
+        outcome = random_subset_search(oracle, max_queries=50, seed=5)
+        assert oracle.queries <= 50
+        assert outcome.queries <= 50
+        if outcome.found:
+            assert oracle(outcome.witness) == 1
+
+    def test_random_search_succeeds_when_k_large(self):
+        # With k close to n the gold concentration is easy to hit.
+        instance = KPurificationInstance.random(20, 15, seed=6)
+        oracle = PurificationOracle(instance, epsilon=0.1)
+        outcome = random_subset_search(oracle, subset_size=3, max_queries=2000, seed=6)
+        assert outcome.found
+
+    def test_adaptive_search_respects_budget(self):
+        instance = KPurificationInstance.random(300, 3, seed=7)
+        oracle = PurificationOracle(instance, epsilon=0.8)
+        outcome = adaptive_greedy_search(oracle, max_queries=100, seed=7)
+        assert outcome.queries <= 100
+
+    def test_hard_regime_defeats_bounded_search(self):
+        # With ε·k²/n well above the gold fluctuations of a random query, the
+        # oracle's band swallows every query the search makes, so a bounded
+        # query budget fails (the regime Theorem A.2 formalises).
+        instance = KPurificationInstance.random(400, 40, seed=8)
+        oracle = PurificationOracle(instance, epsilon=0.9)
+        outcome = random_subset_search(oracle, subset_size=40, max_queries=300, seed=8)
+        assert not outcome.found
+
+
+class TestLowerBound:
+    def test_grows_with_k(self):
+        assert query_lower_bound(1000, 200, 0.5) > query_lower_bound(1000, 50, 0.5)
+
+    def test_grows_with_epsilon(self):
+        assert query_lower_bound(1000, 100, 0.9) > query_lower_bound(1000, 100, 0.2)
+
+    def test_scales_with_success_probability(self):
+        assert query_lower_bound(100, 10, 0.5, 1.0) == pytest.approx(
+            2 * query_lower_bound(100, 10, 0.5, 0.5)
+        )
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            query_lower_bound(0, 1, 0.5)
+        with pytest.raises(ValueError):
+            query_lower_bound(10, 1, 0.0)

@@ -1,0 +1,162 @@
+"""Unit tests for repro.core.setcover_outliers (Algorithms 4 and 5)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.setcover_outliers import (
+    GuessChecker,
+    StreamingSetCoverOutliers,
+    guess_schedule,
+)
+from repro.datasets import planted_setcover_instance
+from repro.streaming.events import EdgeArrival
+from repro.streaming.runner import StreamingRunner
+from repro.streaming.stream import EdgeStream
+
+
+class TestGuessSchedule:
+    def test_starts_at_one_and_ends_at_n(self):
+        schedule = guess_schedule(100, 0.6)
+        assert schedule[0] == 1
+        assert schedule[-1] == 100
+
+    def test_strictly_increasing(self):
+        schedule = guess_schedule(500, 0.3)
+        assert all(a < b for a, b in zip(schedule, schedule[1:]))
+
+    def test_geometric_growth_rate(self):
+        schedule = guess_schedule(10_000, 0.9)
+        # Later ratios approach 1 + eps/3 = 1.3.
+        ratios = [b / a for a, b in zip(schedule[-5:], schedule[-4:])]
+        assert all(r <= 1.31 + 1e-9 for r in ratios)
+
+    def test_number_of_guesses_logarithmic(self):
+        schedule = guess_schedule(1000, 0.5)
+        assert len(schedule) <= math.ceil(math.log(1000, 1 + 0.5 / 3)) + 2
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            guess_schedule(0, 0.5)
+        with pytest.raises(ValueError):
+            guess_schedule(10, 0.0)
+
+
+class TestGuessChecker:
+    def _feed(self, checker: GuessChecker, graph) -> None:
+        for set_id, element in graph.edges():
+            checker.process(EdgeArrival(set_id, element))
+
+    def test_accepts_when_guess_is_large_enough(self, planted_setcover):
+        checker = GuessChecker(
+            guess=len(planted_setcover.planted_solution),
+            epsilon_prime=0.2,
+            lambda_prime=0.1,
+            confidence=1.0,
+            num_sets=planted_setcover.n,
+            num_elements=planted_setcover.m,
+            seed=1,
+        )
+        self._feed(checker, planted_setcover.graph)
+        outcome = checker.check()
+        assert outcome.accepted
+        assert len(outcome.solution) <= checker.budget_k
+        assert outcome.sketch_fraction >= outcome.required_fraction - 1e-12
+
+    def test_rejects_hopeless_guess(self, planted_setcover):
+        checker = GuessChecker(
+            guess=1,
+            epsilon_prime=0.2,
+            lambda_prime=0.05,
+            confidence=1.0,
+            num_sets=planted_setcover.n,
+            num_elements=planted_setcover.m,
+            seed=1,
+        )
+        self._feed(checker, planted_setcover.graph)
+        outcome = checker.check()
+        # One set (plus log(1/λ') slack) cannot cover 95% of a 6-set partition.
+        assert not outcome.accepted
+
+    def test_budget_k_is_guess_times_log(self):
+        checker = GuessChecker(
+            guess=4, epsilon_prime=0.2, lambda_prime=0.1, confidence=1.0,
+            num_sets=50, num_elements=500, seed=0,
+        )
+        assert checker.budget_k == math.ceil(4 * math.log(10))
+
+    def test_invalid_lambda(self):
+        with pytest.raises(ValueError):
+            GuessChecker(
+                guess=2, epsilon_prime=0.2, lambda_prime=0.9, confidence=1.0,
+                num_sets=10, num_elements=100,
+            )
+
+
+class TestStreamingSetCoverOutliers:
+    def _run(self, instance, lam=0.1, epsilon=0.5, seed=1, **kwargs):
+        algo = StreamingSetCoverOutliers(
+            instance.n, instance.m, outlier_fraction=lam, epsilon=epsilon, seed=seed, **kwargs
+        )
+        runner = StreamingRunner(instance.graph)
+        report = runner.run(
+            algo, EdgeStream.from_graph(instance.graph, order="random", seed=seed)
+        )
+        return algo, report
+
+    def test_single_pass_and_coverage_target(self, planted_setcover):
+        algo, report = self._run(planted_setcover, lam=0.1)
+        assert report.passes == 1
+        # Must cover at least 1 - λ of the elements (with small slack for the
+        # scaled sketch constants).
+        assert report.coverage_fraction >= 1 - 0.1 - 0.05
+
+    def test_solution_size_near_optimal(self, planted_setcover):
+        optimum = len(planted_setcover.planted_solution)
+        algo, report = self._run(planted_setcover, lam=0.1, epsilon=0.5)
+        bound = (1 + 0.5) * math.log(1 / (0.1 * math.exp(-0.25))) * optimum
+        assert report.solution_size <= math.ceil(bound) + 1
+
+    def test_accepted_guess_close_to_optimum(self, planted_setcover):
+        optimum = len(planted_setcover.planted_solution)
+        algo, _ = self._run(planted_setcover, lam=0.1, epsilon=0.5)
+        accepted = algo.accepted_guess()
+        assert accepted is not None
+        assert accepted <= (1 + 0.5 / 3) * optimum + 1
+
+    def test_guesses_increasing(self, planted_setcover):
+        algo, _ = self._run(planted_setcover)
+        guesses = list(algo.guesses())
+        assert all(a < b for a, b in zip(guesses, guesses[1:]))
+
+    def test_max_guesses_limits_work(self, planted_setcover):
+        algo = StreamingSetCoverOutliers(
+            planted_setcover.n, planted_setcover.m, 0.1, 0.5, max_guesses=3
+        )
+        assert len(algo.guesses()) == 3
+
+    def test_outcomes_cached(self, planted_setcover):
+        algo, _ = self._run(planted_setcover)
+        assert algo.outcomes() is algo.outcomes()
+
+    def test_result_deduplicated(self, planted_setcover):
+        algo, report = self._run(planted_setcover)
+        assert len(report.solution) == len(set(report.solution))
+
+    def test_invalid_lambda_rejected(self):
+        with pytest.raises(ValueError):
+            StreamingSetCoverOutliers(10, 100, outlier_fraction=0.5)
+
+    def test_describe_keys(self, planted_setcover):
+        algo, _ = self._run(planted_setcover)
+        info = algo.describe()
+        assert info["algorithm"] == "bateni-sketch-setcover-outliers"
+        assert info["num_guesses"] == len(algo.guesses())
+
+    def test_larger_lambda_allows_fewer_sets(self):
+        instance = planted_setcover_instance(50, 900, cover_size=10, seed=4)
+        _, strict = self._run(instance, lam=0.05, epsilon=0.5, seed=4)
+        _, loose = self._run(instance, lam=0.3, epsilon=0.5, seed=4)
+        assert loose.solution_size <= strict.solution_size

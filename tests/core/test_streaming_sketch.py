@@ -1,0 +1,173 @@
+"""Unit tests for repro.core.streaming_sketch (Algorithm 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.hashing import UniformHash
+from repro.core.params import SketchParams
+from repro.core.sketch import build_h_leq_n
+from repro.core.streaming_sketch import StreamingSketchBuilder
+from repro.streaming.events import EdgeArrival
+from repro.streaming.stream import EdgeStream
+
+
+def _params(instance, *, edge_budget, degree_cap, slack=None):
+    return SketchParams.explicit(
+        instance.n,
+        instance.m,
+        4,
+        0.3,
+        edge_budget=edge_budget,
+        degree_cap=degree_cap,
+        eviction_slack=slack,
+    )
+
+
+class TestBasicStreaming:
+    def test_whole_input_fits(self, figure1_graph):
+        params = SketchParams.explicit(4, 8, 2, 0.5, edge_budget=1000, degree_cap=100)
+        builder = StreamingSketchBuilder(params, seed=1)
+        builder.consume(figure1_graph.edges())
+        sketch = builder.sketch()
+        assert sketch.graph == figure1_graph
+        assert sketch.threshold == 1.0
+        assert builder.evictions == 0
+
+    def test_duplicate_edges_ignored(self, figure1_graph):
+        params = SketchParams.explicit(4, 8, 2, 0.5, edge_budget=1000, degree_cap=100)
+        builder = StreamingSketchBuilder(params, seed=1)
+        edges = list(figure1_graph.edges())
+        builder.consume(edges + edges)
+        assert builder.sketch().num_edges == figure1_graph.num_edges
+
+    def test_degree_cap_enforced(self, figure1_graph):
+        params = SketchParams.explicit(4, 8, 2, 0.5, edge_budget=1000, degree_cap=1)
+        builder = StreamingSketchBuilder(params, seed=1)
+        builder.consume(figure1_graph.edges())
+        sketch = builder.sketch()
+        assert all(sketch.graph.element_degree(e) <= 1 for e in sketch.graph.elements())
+
+    def test_process_event_objects(self, figure1_graph):
+        params = SketchParams.explicit(4, 8, 2, 0.5, edge_budget=1000, degree_cap=100)
+        builder = StreamingSketchBuilder(params, seed=1)
+        for set_id, element in figure1_graph.edges():
+            builder.process(EdgeArrival(set_id, element))
+        assert builder.edges_seen == figure1_graph.num_edges
+
+    def test_space_meter_charged(self, figure1_graph):
+        params = SketchParams.explicit(4, 8, 2, 0.5, edge_budget=1000, degree_cap=100)
+        builder = StreamingSketchBuilder(params, seed=1)
+        builder.consume(figure1_graph.edges())
+        assert builder.space.peak == figure1_graph.num_edges
+
+    def test_invalid_rank_source(self, figure1_graph):
+        params = SketchParams.explicit(4, 8, 2, 0.5, edge_budget=10, degree_cap=3)
+        with pytest.raises(ValueError):
+            StreamingSketchBuilder(params, rank_source="oracle")
+
+
+class TestEviction:
+    def test_stored_edges_bounded(self, planted_kcover):
+        params = _params(planted_kcover, edge_budget=150, degree_cap=8)
+        builder = StreamingSketchBuilder(params, seed=2)
+        limit = params.edge_budget + params.eviction_slack
+        for set_id, element in planted_kcover.graph.edges():
+            builder.add_edge(set_id, element)
+            assert builder.stored_edges <= limit + params.degree_cap
+        assert builder.evictions > 0
+        assert builder.sketch().num_edges <= limit
+
+    def test_admission_threshold_monotone_decreasing(self, planted_kcover):
+        params = _params(planted_kcover, edge_budget=100, degree_cap=8)
+        builder = StreamingSketchBuilder(params, seed=2)
+        last = 1.0
+        for set_id, element in planted_kcover.graph.edges():
+            builder.add_edge(set_id, element)
+            assert builder.admission_threshold <= last + 1e-15
+            last = builder.admission_threshold
+        assert last < 1.0
+
+    def test_evicted_elements_never_readmitted(self, planted_kcover):
+        params = _params(planted_kcover, edge_budget=100, degree_cap=8)
+        hash_fn = UniformHash(7)
+        builder = StreamingSketchBuilder(params, hash_fn=hash_fn, seed=7)
+        # Stream every edge twice in different orders: any evicted element
+        # must stay out (its hash is >= the admission threshold).
+        edges = list(planted_kcover.graph.edges())
+        builder.consume(edges)
+        builder.consume(reversed(edges))
+        sketch = builder.sketch()
+        for element in sketch.graph.elements():
+            assert hash_fn.value(element) <= sketch.threshold
+
+    def test_retained_elements_have_full_capped_degree(self, planted_kcover):
+        """Key equivalence invariant with the offline construction."""
+        params = _params(planted_kcover, edge_budget=200, degree_cap=5)
+        hash_fn = UniformHash(13)
+        builder = StreamingSketchBuilder(params, hash_fn=hash_fn, seed=13)
+        builder.consume(planted_kcover.graph.edges())
+        sketch = builder.sketch()
+        threshold = max(sketch.element_hashes.values())
+        for element in sketch.graph.elements():
+            if hash_fn.value(element) < threshold:  # strictly inside the sketch
+                true_degree = planted_kcover.graph.element_degree(element)
+                assert sketch.graph.element_degree(element) == min(
+                    true_degree, params.degree_cap
+                )
+
+    def test_order_invariance_of_retained_element_set(self, planted_kcover):
+        params = _params(planted_kcover, edge_budget=150, degree_cap=6)
+        hash_fn = UniformHash(21)
+        sketches = []
+        for order_seed in (1, 2, 3):
+            stream = EdgeStream.from_graph(planted_kcover.graph, order="random", seed=order_seed)
+            builder = StreamingSketchBuilder(params, hash_fn=hash_fn)
+            for event in stream:
+                builder.process(event)
+            sketches.append(builder.sketch())
+        element_sets = [frozenset(s.graph.elements()) for s in sketches]
+        # The retained *elements* depend only on the hash, not the order
+        # (which edges of a capped element are kept may differ).
+        assert element_sets[0] == element_sets[1] == element_sets[2]
+
+    def test_matches_offline_construction_element_set(self, planted_kcover):
+        params = _params(planted_kcover, edge_budget=180, degree_cap=7)
+        hash_fn = UniformHash(31)
+        offline = build_h_leq_n(planted_kcover.graph, params, hash_fn)
+        builder = StreamingSketchBuilder(params, hash_fn=hash_fn)
+        builder.consume(planted_kcover.graph.edges())
+        streaming = builder.sketch()
+        offline_elements = set(offline.graph.elements())
+        streaming_elements = set(streaming.graph.elements())
+        # The streaming construction may keep slightly more elements (its
+        # stopping rule allows the extra eviction slack) but never fewer, and
+        # everything it keeps beyond the offline sketch hashes above the
+        # offline threshold.
+        assert offline_elements <= streaming_elements
+        extra = streaming_elements - offline_elements
+        assert all(hash_fn.value(e) >= offline.threshold for e in extra)
+
+
+class TestPermutationRankSource:
+    def test_permutation_mode_respects_budget(self, planted_kcover):
+        params = _params(planted_kcover, edge_budget=150, degree_cap=8)
+        builder = StreamingSketchBuilder(params, seed=5, rank_source="permutation")
+        builder.consume(planted_kcover.graph.edges())
+        sketch = builder.sketch()
+        assert sketch.num_edges <= params.edge_budget + params.eviction_slack
+
+    def test_unsampled_elements_discarded(self):
+        # Tiny sample: only `sample_size` elements can ever be admitted.
+        params = SketchParams.explicit(
+            5, 1000, 2, 0.5, edge_budget=10, degree_cap=2, eviction_slack=0
+        )
+        builder = StreamingSketchBuilder(params, seed=3, rank_source="permutation")
+        for element in range(1000):
+            builder.add_edge(element % 5, element)
+        assert builder.sketch().num_elements <= params.sample_size
+
+    def test_describe_reports_rank_source(self, figure1_graph):
+        params = SketchParams.explicit(4, 8, 2, 0.5, edge_budget=10, degree_cap=2)
+        builder = StreamingSketchBuilder(params, seed=3, rank_source="permutation")
+        assert builder.describe()["rank_source"] == "permutation"

@@ -1,0 +1,152 @@
+"""Unit tests for repro.coverage.bipartite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.coverage.bipartite import BipartiteGraph
+from repro.errors import InvalidInstanceError
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        graph = BipartiteGraph(3)
+        assert graph.num_sets == 3
+        assert graph.num_elements == 0
+        assert graph.num_edges == 0
+
+    def test_invalid_num_sets(self):
+        with pytest.raises(ValueError):
+            BipartiteGraph(0)
+
+    def test_from_sets_list(self):
+        graph = BipartiteGraph.from_sets([[0, 1], [1, 2]])
+        assert graph.num_sets == 2
+        assert graph.num_edges == 4
+        assert graph.elements_of(0) == frozenset({0, 1})
+
+    def test_from_sets_mapping(self):
+        graph = BipartiteGraph.from_sets({0: [5], 2: [6, 7]})
+        assert graph.num_sets == 3
+        assert graph.elements_of(1) == frozenset()
+
+    def test_from_sets_num_sets_override(self):
+        graph = BipartiteGraph.from_sets([[0]], num_sets=5)
+        assert graph.num_sets == 5
+
+    def test_from_sets_empty_raises(self):
+        with pytest.raises(InvalidInstanceError):
+            BipartiteGraph.from_sets([])
+
+
+class TestEdges:
+    def test_add_edge_counts(self, tiny_graph):
+        assert tiny_graph.num_edges == 9
+        assert tiny_graph.num_elements == 6
+
+    def test_duplicate_edge_ignored(self, tiny_graph):
+        assert tiny_graph.add_edge(0, 0) is False
+        assert tiny_graph.num_edges == 9
+
+    def test_add_edge_new(self, tiny_graph):
+        assert tiny_graph.add_edge(3, 0) is True
+        assert tiny_graph.num_edges == 10
+
+    def test_add_edge_bad_set_raises(self, tiny_graph):
+        with pytest.raises(InvalidInstanceError):
+            tiny_graph.add_edge(10, 0)
+
+    def test_add_edge_negative_element_raises(self, tiny_graph):
+        with pytest.raises(ValueError):
+            tiny_graph.add_edge(0, -1)
+
+    def test_remove_edge(self, tiny_graph):
+        assert tiny_graph.remove_edge(0, 0) is True
+        assert tiny_graph.remove_edge(0, 0) is False
+        assert tiny_graph.num_edges == 8
+
+    def test_remove_edge_drops_isolated_element(self, tiny_graph):
+        tiny_graph.remove_edge(3, 5)
+        tiny_graph.remove_edge(2, 5)
+        assert not tiny_graph.has_element(5)
+
+    def test_remove_element(self, tiny_graph):
+        removed = tiny_graph.remove_element(2)
+        assert removed == 2  # element 2 belongs to sets 0 and 1
+        assert tiny_graph.num_edges == 7
+        assert not tiny_graph.has_element(2)
+
+    def test_remove_absent_element(self, tiny_graph):
+        assert tiny_graph.remove_element(99) == 0
+
+    def test_edges_iterator_complete(self, tiny_graph):
+        edges = set(tiny_graph.edges())
+        assert (0, 0) in edges and (2, 5) in edges
+        assert len(edges) == tiny_graph.num_edges
+
+
+class TestQueries:
+    def test_degrees(self, tiny_graph):
+        assert tiny_graph.set_degree(0) == 3
+        assert tiny_graph.set_degree(3) == 1
+        assert tiny_graph.element_degree(5) == 2
+        assert tiny_graph.element_degree(99) == 0
+
+    def test_sets_of(self, tiny_graph):
+        assert tiny_graph.sets_of(3) == frozenset({1, 2})
+        assert tiny_graph.sets_of(42) == frozenset()
+
+    def test_neighbors_and_coverage(self, tiny_graph):
+        assert tiny_graph.neighbors([0, 1]) == {0, 1, 2, 3}
+        assert tiny_graph.coverage([0, 1]) == 4
+        assert tiny_graph.coverage([]) == 0
+        assert tiny_graph.coverage(range(4)) == 6
+
+    def test_coverage_fraction(self, tiny_graph):
+        assert tiny_graph.coverage_fraction([0]) == pytest.approx(0.5)
+        assert tiny_graph.coverage_fraction(range(4)) == pytest.approx(1.0)
+
+    def test_coverage_fraction_empty_graph(self):
+        graph = BipartiteGraph(2)
+        assert graph.coverage_fraction([0]) == 1.0
+
+    def test_uncovered_elements(self, tiny_graph):
+        assert tiny_graph.uncovered_elements([0]) == {3, 4, 5}
+
+    def test_set_ids(self, tiny_graph):
+        assert list(tiny_graph.set_ids()) == [0, 1, 2, 3]
+
+
+class TestDerivedGraphs:
+    def test_induced_on_elements(self, tiny_graph):
+        sub = tiny_graph.induced_on_elements([0, 3])
+        assert sub.num_sets == tiny_graph.num_sets
+        assert sub.num_elements == 2
+        assert sub.coverage([0]) == 1
+        assert sub.coverage([1, 2]) == 1
+
+    def test_induced_on_unknown_elements(self, tiny_graph):
+        sub = tiny_graph.induced_on_elements([99])
+        assert sub.num_edges == 0
+
+    def test_without_elements(self, tiny_graph):
+        residual = tiny_graph.without_elements(tiny_graph.neighbors([0]))
+        assert residual.num_elements == 3
+        assert set(residual.elements()) == {3, 4, 5}
+
+    def test_copy_independent(self, tiny_graph):
+        clone = tiny_graph.copy()
+        clone.add_edge(3, 0)
+        assert tiny_graph.num_edges == 9
+        assert clone.num_edges == 10
+
+    def test_equality(self, tiny_graph):
+        assert tiny_graph == tiny_graph.copy()
+        other = tiny_graph.copy()
+        other.add_edge(3, 0)
+        assert tiny_graph != other
+
+    def test_as_dict(self, tiny_graph):
+        mapping = tiny_graph.as_dict()
+        assert mapping[0] == frozenset({0, 1, 2})
+        assert mapping[3] == frozenset({5})

@@ -1,0 +1,83 @@
+"""Unit tests for repro.coverage.bitset (vectorised coverage evaluation)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.coverage.bitset import BitsetCoverage
+from repro.datasets import uniform_random_instance, zipf_instance
+from repro.offline.greedy import greedy_k_cover
+
+
+class TestBasics:
+    def test_sizes(self, tiny_graph):
+        fast = BitsetCoverage(tiny_graph)
+        assert fast.num_sets == 4
+        assert fast.num_elements == 6
+        assert fast.set_size(0) == 3
+        assert fast.set_size(3) == 1
+
+    def test_coverage_matches_graph(self, tiny_graph):
+        fast = BitsetCoverage(tiny_graph)
+        for family in ([], [0], [1, 3], [0, 1, 2, 3], [2, 2]):
+            assert fast.coverage(family) == tiny_graph.coverage(family)
+
+    def test_coverage_fraction(self, tiny_graph):
+        fast = BitsetCoverage(tiny_graph)
+        assert fast.coverage_fraction([0]) == pytest.approx(0.5)
+        assert fast.coverage_fraction([]) == 0.0
+
+    def test_snapshot_semantics(self, tiny_graph):
+        fast = BitsetCoverage(tiny_graph)
+        tiny_graph.add_edge(3, 0)
+        # The evaluator reflects the graph at construction time.
+        assert fast.coverage([3]) == 1
+
+    def test_evaluate_many(self, tiny_graph):
+        fast = BitsetCoverage(tiny_graph)
+        assert fast.evaluate_many([[0], [2], [0, 2]]) == [3, 3, 6]
+
+
+class TestAgreementOnRandomInstances:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_set_based_coverage(self, seed):
+        instance = uniform_random_instance(25, 120, density=0.1, seed=seed)
+        fast = BitsetCoverage(instance.graph)
+        rng = np.random.default_rng(seed)
+        for _ in range(30):
+            size = int(rng.integers(0, 10))
+            family = list(rng.choice(25, size=size, replace=False)) if size else []
+            assert fast.coverage(family) == instance.graph.coverage(family)
+
+    def test_marginal_gains_vector(self):
+        instance = uniform_random_instance(15, 80, density=0.15, seed=3)
+        fast = BitsetCoverage(instance.graph)
+        covered_sets = [0, 1]
+        covered_bits = fast.union_bits(covered_sets)
+        gains = fast.marginal_gains(covered_bits)
+        covered = instance.graph.neighbors(covered_sets)
+        for set_id in range(15):
+            expected = len(instance.graph.elements_of(set_id) - covered)
+            assert gains[set_id] == expected
+
+
+class TestVectorisedGreedy:
+    def test_matches_reference_greedy_value(self):
+        for seed in range(3):
+            instance = zipf_instance(30, 400, edges_per_set=25, k=5, seed=seed)
+            fast = BitsetCoverage(instance.graph)
+            selection, coverage = fast.greedy_k_cover(5)
+            reference = greedy_k_cover(instance.graph, 5)
+            assert coverage == reference.coverage
+            assert instance.graph.coverage(selection) == coverage
+
+    def test_stops_when_saturated(self, tiny_graph):
+        fast = BitsetCoverage(tiny_graph)
+        selection, coverage = fast.greedy_k_cover(4)
+        assert coverage == 6
+        assert len(selection) <= 3
+
+    def test_invalid_k(self, tiny_graph):
+        with pytest.raises(ValueError):
+            BitsetCoverage(tiny_graph).greedy_k_cover(0)

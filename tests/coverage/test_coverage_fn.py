@@ -1,0 +1,72 @@
+"""Unit tests for repro.coverage.coverage_fn."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.coverage.coverage_fn import CoverageFunction
+
+
+class TestEvaluation:
+    def test_coverage_values(self, tiny_graph):
+        cover = CoverageFunction(tiny_graph)
+        assert cover([0]) == 3
+        assert cover([0, 1]) == 4
+        assert cover([]) == 0
+        assert cover(range(4)) == 6
+
+    def test_normalized(self, tiny_graph):
+        cover = CoverageFunction(tiny_graph, normalize=True)
+        assert cover([0]) == pytest.approx(0.5)
+        assert cover(range(4)) == pytest.approx(1.0)
+
+    def test_covered_set(self, tiny_graph):
+        cover = CoverageFunction(tiny_graph)
+        assert cover.covered([1, 3]) == {2, 3, 5}
+
+    def test_query_counter(self, tiny_graph):
+        cover = CoverageFunction(tiny_graph)
+        cover([0])
+        cover([1])
+        cover.marginal_gain([0], 1)
+        assert cover.query_count == 4  # two calls + marginal gain counts 2
+        cover.reset_query_count()
+        assert cover.query_count == 0
+
+    def test_marginal_gain(self, tiny_graph):
+        cover = CoverageFunction(tiny_graph)
+        assert cover.marginal_gain([0], 1) == 1
+        assert cover.marginal_gain([], 2) == 3
+        assert cover.marginal_gain([2], 3) == 0
+
+    def test_marginal_gain_normalized(self, tiny_graph):
+        cover = CoverageFunction(tiny_graph, normalize=True)
+        assert cover.marginal_gain([], 0) == pytest.approx(0.5)
+
+
+class TestStructure:
+    def test_monotone_sampled(self, tiny_graph, rng):
+        cover = CoverageFunction(tiny_graph)
+        assert cover.check_monotone(rng, trials=100)
+
+    def test_submodular_sampled(self, tiny_graph, rng):
+        cover = CoverageFunction(tiny_graph)
+        assert cover.check_submodular(rng, trials=100)
+
+    def test_best_singleton(self, tiny_graph):
+        cover = CoverageFunction(tiny_graph)
+        best_set, value = cover.best_singleton()
+        assert value == 3
+        assert best_set in (0, 2)
+
+    def test_greedy_upper_bound(self, tiny_graph):
+        cover = CoverageFunction(tiny_graph)
+        assert cover.greedy_upper_bound(1) == 3
+        assert cover.greedy_upper_bound(2) == 6
+        # Bound never exceeds the number of elements.
+        assert cover.greedy_upper_bound(4) == 6
+
+    def test_evaluate_many(self, tiny_graph):
+        cover = CoverageFunction(tiny_graph)
+        values = cover.evaluate_many([[0], [1], [0, 2]])
+        assert values == [3, 2, 6]

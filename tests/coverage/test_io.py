@@ -1,0 +1,77 @@
+"""Unit tests for repro.coverage.io."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.coverage.io import (
+    graph_to_edge_lines,
+    load_system,
+    read_edge_list,
+    save_system,
+    system_from_json,
+    system_to_json,
+    write_edge_list,
+)
+from repro.coverage.setsystem import SetSystem
+
+
+@pytest.fixture
+def system() -> SetSystem:
+    return SetSystem.from_dict({"s1": ["a", "b"], "s2": ["b", "c"]})
+
+
+class TestEdgeList:
+    def test_roundtrip(self, tmp_path, system):
+        path = tmp_path / "edges.tsv"
+        count = write_edge_list(system.labeled_edges(), path)
+        assert count == 4
+        edges = read_edge_list(path)
+        assert sorted(edges) == sorted(
+            (str(s), str(e)) for s, e in system.labeled_edges()
+        )
+
+    def test_read_skips_comments_and_blanks(self, tmp_path):
+        path = tmp_path / "edges.tsv"
+        path.write_text("# comment\n\ns1\te1\n", encoding="utf-8")
+        assert read_edge_list(path) == [("s1", "e1")]
+
+    def test_read_malformed_raises(self, tmp_path):
+        path = tmp_path / "edges.tsv"
+        path.write_text("only_one_field\n", encoding="utf-8")
+        with pytest.raises(ValueError, match="expected 2 fields"):
+            read_edge_list(path)
+
+    def test_custom_separator(self, tmp_path):
+        path = tmp_path / "edges.csv"
+        write_edge_list([("s", "e")], path, sep=",")
+        assert read_edge_list(path, sep=",") == [("s", "e")]
+
+
+class TestJson:
+    def test_json_roundtrip(self, system):
+        document = system_to_json(system)
+        rebuilt = system_from_json(document)
+        assert rebuilt.n == system.n
+        assert rebuilt.m == system.m
+        assert {str(k): set(map(str, v)) for k, v in system.to_dict().items()} == {
+            str(k): set(map(str, v)) for k, v in rebuilt.to_dict().items()
+        }
+
+    def test_json_rejects_wrong_format(self):
+        with pytest.raises(ValueError):
+            system_from_json('{"format": "other", "sets": {}}')
+
+    def test_file_roundtrip(self, tmp_path, system):
+        path = tmp_path / "system.json"
+        save_system(system, path)
+        rebuilt = load_system(path)
+        assert rebuilt.num_edges == system.num_edges
+
+
+class TestGraphLines:
+    def test_graph_to_edge_lines_sorted(self, tiny_graph):
+        lines = graph_to_edge_lines(tiny_graph)
+        assert len(lines) == tiny_graph.num_edges
+        assert lines == sorted(lines)
+        assert lines[0].count("\t") == 1

@@ -1,0 +1,79 @@
+"""Unit tests for repro.datasets.adversarial."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.adversarial import (
+    disjointness_family,
+    purification_family,
+    uniform_sampling_trap,
+)
+from repro.offline.greedy import greedy_k_cover
+
+
+class TestDisjointnessFamily:
+    def test_balanced_family(self):
+        family = disjointness_family(40, count=10, seed=1)
+        assert len(family) == 10
+        intersecting = sum(1 for inst in family if inst.intersects)
+        assert intersecting == 5
+
+    def test_sizes(self):
+        family = disjointness_family(25, count=4, seed=2)
+        assert all(inst.num_sets == 25 for inst in family)
+
+
+class TestPurificationFamily:
+    def test_pairs_are_consistent(self):
+        family = purification_family(20, 4, count=3, seed=3)
+        assert len(family) == 3
+        for instance, graph in family:
+            assert graph.num_sets == 20
+            gold = sorted(instance.gold_items)
+            assert graph.coverage(gold) == 4 + 4 * (20 // 4)
+
+
+class TestSamplingTrap:
+    def test_planted_optimum_is_big_set(self):
+        instance = uniform_sampling_trap(num_sets=30, big_set_size=500, seed=4)
+        assert instance.planted_solution == (0,)
+        best = greedy_k_cover(instance.graph, 1)
+        assert best.selected == [0]
+        assert instance.graph.set_degree(0) == 500
+
+    def test_decoys_share_popular_block(self):
+        instance = uniform_sampling_trap(
+            num_sets=10, big_set_size=100, decoy_popular_elements=5, seed=5
+        )
+        popular = set(instance.graph.elements_of(1)) & set(instance.graph.elements_of(2))
+        assert len(popular) >= 5
+
+    def test_sampling_rate_must_respect_lemma_2_2(self):
+        """Sampling far below ~1/Opt loses the optimum's signal entirely.
+
+        Lemma 2.2 requires the sampling probability p to be at least of order
+        1/Opt_k (times log factors).  On the trap instance an aggressive
+        subsample leaves the planted optimum with zero sampled elements —
+        indistinguishable from the decoys — while a rate above the lemma's
+        threshold ranks it first.
+        """
+        from repro.core.hashing import UniformHash
+        from repro.core.sketch import build_hp
+
+        instance = uniform_sampling_trap(
+            num_sets=40, big_set_size=1000, decoy_popular_elements=12, seed=6
+        )
+        hash_fn = UniformHash(5)
+        # Rate far below 1/Opt = 1/1000 scaled by the realised hash draws.
+        starved = build_hp(instance.graph, 0.002, hash_fn)
+        assert starved.set_degree(0) == 0
+        # Rate comfortably above the threshold recovers the right ranking.
+        healthy = build_hp(instance.graph, 0.05, hash_fn)
+        assert healthy.set_degree(0) == max(
+            healthy.set_degree(s) for s in range(instance.n)
+        )
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            uniform_sampling_trap(num_sets=0)

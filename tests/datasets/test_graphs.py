@@ -1,0 +1,79 @@
+"""Unit tests for repro.datasets.graphs."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.coverage.instance import ProblemKind
+from repro.datasets.graphs import (
+    barabasi_albert_instance,
+    dominating_set_instance,
+    erdos_renyi_instance,
+    watts_strogatz_instance,
+)
+
+
+class TestDominatingSet:
+    def test_closed_neighbourhood_structure(self):
+        graph = nx.path_graph(5)  # 0-1-2-3-4
+        instance = dominating_set_instance(graph, k=2)
+        assert instance.n == 5
+        assert instance.m == 5
+        # The middle vertex dominates itself and both neighbours.
+        assert instance.graph.elements_of(2) == frozenset({1, 2, 3})
+
+    def test_every_set_contains_itself(self):
+        graph = nx.cycle_graph(7)
+        instance = dominating_set_instance(graph, k=2)
+        for node in range(7):
+            assert node in instance.graph.elements_of(node)
+
+    def test_kind_and_outliers_passthrough(self):
+        graph = nx.star_graph(5)
+        instance = dominating_set_instance(
+            graph, k=1, kind=ProblemKind.SET_COVER_OUTLIERS, outlier_fraction=0.2
+        )
+        assert instance.kind is ProblemKind.SET_COVER_OUTLIERS
+        assert instance.outlier_fraction == 0.2
+
+    def test_star_graph_center_dominates(self):
+        graph = nx.star_graph(9)  # center 0 plus 9 leaves
+        instance = dominating_set_instance(graph, k=1)
+        assert instance.graph.coverage([0]) == 10
+
+
+class TestGeneratedModels:
+    def test_barabasi_albert_sizes(self):
+        instance = barabasi_albert_instance(80, attachment=3, k=5, seed=1)
+        assert instance.n == 80
+        assert instance.m == 80
+        assert instance.metadata["model"] == "barabasi_albert"
+
+    def test_barabasi_albert_heavy_tail(self):
+        instance = barabasi_albert_instance(200, attachment=2, k=5, seed=2)
+        sizes = sorted((instance.graph.set_degree(s) for s in range(200)), reverse=True)
+        assert sizes[0] >= 3 * sizes[len(sizes) // 2]
+
+    def test_erdos_renyi_sizes(self):
+        instance = erdos_renyi_instance(60, edge_probability=0.05, k=4, seed=3)
+        assert instance.n == 60
+        assert instance.m == 60
+
+    def test_watts_strogatz_sizes(self):
+        instance = watts_strogatz_instance(50, nearest_neighbors=4, k=3, seed=4)
+        assert instance.n == 50
+        # Every closed neighbourhood has at least 1 + nearest_neighbors members
+        # (up to rewiring), so the sets are not singletons.
+        assert all(instance.graph.set_degree(s) >= 3 for s in range(50))
+
+    def test_deterministic_in_seed(self):
+        a = barabasi_albert_instance(40, k=3, seed=5)
+        b = barabasi_albert_instance(40, k=3, seed=5)
+        assert a.graph == b.graph
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            barabasi_albert_instance(0)
+        with pytest.raises(ValueError):
+            erdos_renyi_instance(10, edge_probability=2.0)

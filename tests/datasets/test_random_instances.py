@@ -1,0 +1,109 @@
+"""Unit tests for repro.datasets.random_instances."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.coverage.instance import ProblemKind
+from repro.datasets.random_instances import (
+    planted_kcover_instance,
+    planted_setcover_instance,
+    uniform_random_instance,
+    zipf_instance,
+)
+from repro.offline.greedy import greedy_k_cover
+
+
+class TestUniform:
+    def test_sizes(self):
+        instance = uniform_random_instance(30, 200, density=0.1, k=3, seed=1)
+        assert instance.n == 30
+        assert instance.m == 200
+        assert instance.kind is ProblemKind.K_COVER
+
+    def test_no_isolated_elements(self):
+        instance = uniform_random_instance(10, 300, density=0.01, seed=2)
+        assert instance.m == 300  # every element attached somewhere
+
+    def test_deterministic_in_seed(self):
+        a = uniform_random_instance(10, 50, density=0.2, seed=3)
+        b = uniform_random_instance(10, 50, density=0.2, seed=3)
+        assert a.graph == b.graph
+
+    def test_density_controls_edges(self):
+        sparse = uniform_random_instance(20, 200, density=0.02, seed=4)
+        dense = uniform_random_instance(20, 200, density=0.2, seed=4)
+        assert dense.num_edges > sparse.num_edges
+
+    def test_invalid_density(self):
+        with pytest.raises(ValueError):
+            uniform_random_instance(10, 10, density=0.0)
+
+
+class TestZipf:
+    def test_sizes_and_metadata(self):
+        instance = zipf_instance(25, 400, edges_per_set=30, k=4, seed=5)
+        assert instance.n == 25
+        assert instance.m == 400
+        assert instance.metadata["generator"] == "zipf"
+
+    def test_heavy_tail_degrees(self):
+        instance = zipf_instance(40, 500, edges_per_set=40, zipf_exponent=1.3, seed=6)
+        degrees = sorted(
+            (instance.graph.element_degree(e) for e in instance.graph.elements()), reverse=True
+        )
+        # The most popular element should be in far more sets than the median.
+        median = degrees[len(degrees) // 2]
+        assert degrees[0] >= max(4 * max(median, 1), 8)
+
+    def test_invalid_exponent(self):
+        with pytest.raises(ValueError):
+            zipf_instance(10, 100, zipf_exponent=0.0)
+
+
+class TestPlantedKCover:
+    def test_planted_solution_recorded(self):
+        instance = planted_kcover_instance(50, 1000, k=5, seed=7)
+        assert instance.planted_solution == tuple(range(5))
+        assert instance.planted_value == instance.graph.coverage(range(5))
+
+    def test_planted_value_close_to_target_coverage(self):
+        instance = planted_kcover_instance(50, 1000, k=5, planted_coverage=0.8, seed=8)
+        assert instance.planted_value >= 0.75 * 1000
+        assert instance.planted_value <= 0.85 * 1000
+
+    def test_planted_is_near_optimal_for_greedy(self):
+        instance = planted_kcover_instance(40, 800, k=4, seed=9)
+        greedy = greedy_k_cover(instance.graph, 4)
+        # Greedy cannot beat the planted union by much (noise sets are tiny).
+        assert greedy.coverage <= instance.planted_value * 1.15
+
+    def test_k_larger_than_n_rejected(self):
+        from repro.errors import InvalidInstanceError
+
+        with pytest.raises(InvalidInstanceError):
+            planted_kcover_instance(3, 100, k=5)
+
+
+class TestPlantedSetCover:
+    def test_planted_cover_is_full(self):
+        instance = planted_setcover_instance(30, 500, cover_size=6, seed=10)
+        assert instance.graph.coverage(instance.planted_solution) == instance.m
+        assert instance.kind is ProblemKind.SET_COVER
+
+    def test_outlier_variant_kind(self):
+        instance = planted_setcover_instance(30, 500, cover_size=6, outlier_fraction=0.1, seed=10)
+        assert instance.kind is ProblemKind.SET_COVER_OUTLIERS
+        assert instance.outlier_fraction == 0.1
+
+    def test_noise_sets_do_not_shrink_cover(self):
+        instance = planted_setcover_instance(30, 400, cover_size=5, seed=11)
+        # No single noise set covers the whole ground set.
+        for set_id in range(5, 30):
+            assert instance.graph.set_degree(set_id) < instance.m
+
+    def test_cover_size_larger_than_n_rejected(self):
+        from repro.errors import InvalidInstanceError
+
+        with pytest.raises(InvalidInstanceError):
+            planted_setcover_instance(3, 100, cover_size=10)

@@ -1,0 +1,73 @@
+"""Unit tests for repro.datasets.realworld_like."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.realworld_like import (
+    blog_watch_instance,
+    data_summarization_instance,
+    labeled_blog_watch_system,
+)
+
+
+class TestBlogWatch:
+    def test_sizes(self):
+        instance = blog_watch_instance(num_blogs=50, num_stories=800, k=5, seed=1)
+        assert instance.n == 50
+        assert instance.m == 800
+        assert instance.k == 5
+
+    def test_hubs_are_larger_than_niche_blogs(self):
+        instance = blog_watch_instance(
+            num_blogs=100, num_stories=2000, hub_fraction=0.05, hub_coverage=0.1, seed=2
+        )
+        num_hubs = instance.metadata["num_hubs"]
+        hub_sizes = [instance.graph.set_degree(s) for s in range(num_hubs)]
+        niche_sizes = [instance.graph.set_degree(s) for s in range(num_hubs, 100)]
+        assert min(hub_sizes) > 2 * (sum(niche_sizes) / len(niche_sizes))
+
+    def test_no_isolated_stories(self):
+        instance = blog_watch_instance(num_blogs=20, num_stories=500, seed=3)
+        assert instance.m == 500
+
+    def test_deterministic(self):
+        a = blog_watch_instance(num_blogs=20, num_stories=200, seed=4)
+        b = blog_watch_instance(num_blogs=20, num_stories=200, seed=4)
+        assert a.graph == b.graph
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            blog_watch_instance(num_blogs=0)
+
+
+class TestLabeledSystem:
+    def test_labels_format(self):
+        system = labeled_blog_watch_system(num_blogs=10, num_stories=100, seed=5)
+        assert system.n == 10
+        assert all(label.startswith("blog_") for label in system.set_labels())
+        assert all(label.startswith("story_") for label in system.element_labels())
+
+
+class TestDataSummarization:
+    def test_sizes(self):
+        instance = data_summarization_instance(num_documents=60, vocabulary=2000, k=8, seed=6)
+        assert instance.n == 60
+        assert instance.m <= 2000
+        assert instance.k == 8
+
+    def test_topic_structure_rewards_diversity(self):
+        instance = data_summarization_instance(
+            num_documents=80, vocabulary=3000, topic_count=8, terms_per_document=100, seed=7
+        )
+        from repro.offline.greedy import greedy_k_cover
+
+        greedy = greedy_k_cover(instance.graph, 8)
+        # Selecting 8 documents should beat 8x a single document's coverage
+        # only if they span topics; sanity-check the gain structure.
+        single = max(instance.graph.set_degree(s) for s in range(instance.n))
+        assert greedy.coverage > 3 * single
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            data_summarization_instance(num_documents=0)

@@ -1,0 +1,102 @@
+"""End-to-end integration tests: generators → streams → algorithms → metrics."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis import ExperimentSuite, run_streaming_comparison
+from repro.baselines import SahaGetoorKCover, SieveStreamingKCover
+from repro.core import StreamingKCover, StreamingSetCover, StreamingSetCoverOutliers
+from repro.core.params import SketchParams
+from repro.datasets import (
+    barabasi_albert_instance,
+    blog_watch_instance,
+    planted_setcover_instance,
+)
+from repro.offline.greedy import greedy_k_cover, greedy_set_cover
+from repro.streaming import EdgeStream, StreamingRunner
+
+
+class TestKCoverPipeline:
+    def test_blog_watch_comparison_table(self):
+        instance = blog_watch_instance(num_blogs=80, num_stories=2500, k=8, seed=1)
+        suite = ExperimentSuite("kcover-blogwatch")
+        params = SketchParams.explicit(
+            instance.n, instance.m, 8, 0.2, edge_budget=2000, degree_cap=30
+        )
+        rows = run_streaming_comparison(
+            suite,
+            instance,
+            "blog_watch",
+            [
+                (
+                    "sketch",
+                    lambda: StreamingKCover(instance.n, instance.m, k=8, params=params, seed=1),
+                ),
+                ("saha-getoor", lambda: SahaGetoorKCover(k=8)),
+                ("sieve", lambda: SieveStreamingKCover(k=8, epsilon=0.1)),
+            ],
+            seed=1,
+        )
+        ratios = {row.algorithm: row.metrics["approx_ratio"] for row in rows}
+        # The paper's algorithm should not trail the ¼-guarantee baseline and
+        # should be close to greedy (ratio vs greedy reference >= 0.75).
+        assert ratios["sketch"] >= 0.75
+        assert ratios["sketch"] >= ratios["saha-getoor"] - 0.05
+        # And it must do so with far fewer stored edges than the input.
+        sketch_row = next(r for r in rows if r.algorithm == "sketch")
+        assert sketch_row.metrics["space_peak"] < instance.num_edges
+
+    def test_dominating_set_scenario(self):
+        instance = barabasi_albert_instance(250, attachment=3, k=10, seed=2)
+        algo = StreamingKCover(instance.n, instance.m, k=10, epsilon=0.4, scale=0.3, seed=2)
+        report = StreamingRunner(instance.graph).run(
+            algo, EdgeStream.from_graph(instance.graph, order="random", seed=2)
+        )
+        greedy = greedy_k_cover(instance.graph, 10)
+        assert report.coverage >= (1 - 1 / math.e - 0.4) * greedy.coverage
+        assert report.passes == 1
+
+
+class TestSetCoverPipeline:
+    def test_full_stack_setcover(self):
+        instance = planted_setcover_instance(50, 900, cover_size=9, seed=3)
+        algo = StreamingSetCover(
+            instance.n, instance.m, epsilon=0.5, rounds=3, seed=3, max_guesses=10
+        )
+        report = StreamingRunner(instance.graph).run(
+            algo, EdgeStream.from_graph(instance.graph, order="random", seed=3)
+        )
+        greedy = greedy_set_cover(instance.graph)
+        assert report.coverage_fraction == pytest.approx(1.0)
+        assert report.solution_size <= (1 + 0.5) * math.log(instance.m) * 9
+        assert report.solution_size <= 3 * max(greedy.size, 9)
+
+    def test_outliers_pipeline_on_adversarial_order(self):
+        instance = planted_setcover_instance(40, 700, cover_size=7, seed=4)
+        algo = StreamingSetCoverOutliers(
+            instance.n, instance.m, outlier_fraction=0.1, epsilon=0.5, seed=4, max_guesses=12
+        )
+        stream = EdgeStream.from_graph(
+            instance.graph, order="adversarial_tail", seed=4, favored_sets=[0, 1]
+        )
+        report = StreamingRunner(instance.graph).run(algo, stream)
+        assert report.coverage_fraction >= 1 - 0.1 - 0.05
+        assert report.passes == 1
+
+
+class TestStreamOrderRobustness:
+    @pytest.mark.parametrize(
+        "order", ["random", "set_grouped", "element_grouped", "adversarial_tail"]
+    )
+    def test_kcover_quality_independent_of_order(self, planted_kcover, order):
+        params = SketchParams.explicit(
+            planted_kcover.n, planted_kcover.m, 4, 0.2, edge_budget=600, degree_cap=30
+        )
+        algo = StreamingKCover(planted_kcover.n, planted_kcover.m, k=4, params=params, seed=5)
+        stream = EdgeStream.from_graph(planted_kcover.graph, order=order, seed=5)
+        report = StreamingRunner(planted_kcover.graph).run(algo, stream)
+        greedy = greedy_k_cover(planted_kcover.graph, 4)
+        assert report.coverage >= 0.8 * greedy.coverage

@@ -1,0 +1,85 @@
+"""Failure-injection tests: budget violations surface as the right exceptions.
+
+The space/pass meters are not just bookkeeping — when an experiment *enforces*
+a budget (as the lower-bound harness does), algorithms that would exceed it
+must fail loudly with the dedicated exception types rather than silently
+degrade.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import StreamingKCover, StreamingSketchBuilder
+from repro.core.params import SketchParams
+from repro.errors import PassBudgetExceeded, SpaceBudgetExceeded
+from repro.streaming import EdgeStream, SetStream, SpaceMeter, StreamingRunner
+from repro.streaming.passes import MultiPassDriver
+
+
+class TestSpaceBudgetEnforcement:
+    def test_builder_with_enforcing_meter_raises_when_budget_too_small(self, planted_kcover):
+        params = SketchParams.explicit(
+            planted_kcover.n, planted_kcover.m, 4, 0.2, edge_budget=200, degree_cap=10
+        )
+        # An external meter stricter than the sketch's own limits must trip.
+        meter = SpaceMeter(budget=50, enforce=True, unit="edges")
+        builder = StreamingSketchBuilder(params, seed=1, space=meter)
+        with pytest.raises(SpaceBudgetExceeded) as excinfo:
+            builder.consume(planted_kcover.graph.edges())
+        assert excinfo.value.budget == 50
+        assert excinfo.value.used == 51
+
+    def test_builder_with_adequate_budget_does_not_raise(self, planted_kcover):
+        params = SketchParams.explicit(
+            planted_kcover.n, planted_kcover.m, 4, 0.2, edge_budget=200, degree_cap=10
+        )
+        meter = SpaceMeter(budget=params.max_stored_edges + 1, enforce=True, unit="edges")
+        builder = StreamingSketchBuilder(params, seed=1, space=meter)
+        builder.consume(planted_kcover.graph.edges())
+        assert meter.within_budget
+
+    def test_non_enforcing_meter_records_violations(self, planted_kcover):
+        params = SketchParams.explicit(
+            planted_kcover.n, planted_kcover.m, 4, 0.2, edge_budget=400, degree_cap=20
+        )
+        meter = SpaceMeter(budget=100, enforce=False, unit="edges")
+        builder = StreamingSketchBuilder(params, seed=2, space=meter)
+        builder.consume(planted_kcover.graph.edges())
+        assert meter.violations > 0
+        assert not meter.within_budget
+
+
+class TestPassBudgetEnforcement:
+    def test_runner_max_passes_zero_like_budget(self, planted_kcover):
+        algo = StreamingKCover(planted_kcover.n, planted_kcover.m, k=3, seed=1)
+        runner = StreamingRunner(planted_kcover.graph)
+        # A single-pass algorithm under a 1-pass budget is fine.
+        report = runner.run(
+            algo,
+            EdgeStream.from_graph(planted_kcover.graph, order="random", seed=1),
+            max_passes=1,
+        )
+        assert report.passes == 1
+
+    def test_multipass_algorithm_rejected_by_small_budget(self, planted_setcover):
+        from repro.baselines import DemaineSetCover
+
+        algo = DemaineSetCover(planted_setcover.m, rounds=3)  # needs 4 passes
+        runner = StreamingRunner(planted_setcover.graph)
+        with pytest.raises(PassBudgetExceeded):
+            runner.run(
+                algo,
+                SetStream.from_graph(planted_setcover.graph, order="random", seed=1),
+                max_passes=2,
+            )
+
+    def test_driver_reports_exact_violation(self, planted_kcover):
+        driver = MultiPassDriver(
+            EdgeStream.from_graph(planted_kcover.graph, order="given"), max_passes=1
+        )
+        list(driver.new_pass())
+        with pytest.raises(PassBudgetExceeded) as excinfo:
+            driver.new_pass()
+        assert excinfo.value.budget == 1
+        assert excinfo.value.used == 2

@@ -1,0 +1,106 @@
+"""Integration tests for the space / pass accounting claims of Table 1."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import (
+    DemaineSetCover,
+    HarPeledSetCover,
+    SahaGetoorKCover,
+    SieveStreamingKCover,
+)
+from repro.core import StreamingKCover, StreamingSetCover, StreamingSetCoverOutliers
+from repro.core.params import SketchParams
+from repro.datasets import planted_kcover_instance, planted_setcover_instance
+from repro.streaming import EdgeStream, SetStream, StreamingRunner
+
+
+class TestSpaceScalingShape:
+    def test_sketch_space_flat_in_m_but_baseline_grows(self):
+        """The central Table 1 distinction: O~(n) vs O~(m) space."""
+        sketch_peaks, baseline_peaks = [], []
+        for m in (1500, 6000):
+            instance = planted_kcover_instance(50, m, k=5, seed=21)
+            params = SketchParams.explicit(instance.n, instance.m, 5, 0.2,
+                                           edge_budget=700, degree_cap=25)
+            sketch_algo = StreamingKCover(instance.n, instance.m, k=5, params=params, seed=21)
+            sketch_report = StreamingRunner(instance.graph).run(
+                sketch_algo, EdgeStream.from_graph(instance.graph, order="random", seed=21)
+            )
+            saha = SahaGetoorKCover(k=5)
+            saha_report = StreamingRunner(instance.graph).run(
+                saha, SetStream.from_graph(instance.graph, order="random", seed=21)
+            )
+            sketch_peaks.append(sketch_report.space_peak)
+            baseline_peaks.append(saha_report.space_peak)
+        # Quadrupling m leaves the sketch's space unchanged (budget-bound)...
+        assert sketch_peaks[1] <= sketch_peaks[0] * 1.05
+        # ...while the set-arrival baseline's space grows with the ground set.
+        assert baseline_peaks[1] >= 2.5 * baseline_peaks[0]
+
+    def test_sieve_space_grows_with_m(self):
+        peaks = []
+        for m in (1500, 6000):
+            instance = planted_kcover_instance(50, m, k=5, seed=22)
+            algo = SieveStreamingKCover(k=5, epsilon=0.2)
+            report = StreamingRunner(instance.graph).run(
+                algo, SetStream.from_graph(instance.graph, order="random", seed=22)
+            )
+            peaks.append(report.space_peak)
+        assert peaks[1] >= 2.0 * peaks[0]
+
+
+class TestPassAccounting:
+    def test_single_pass_algorithms(self, planted_kcover):
+        for factory, stream in [
+            (
+                lambda: StreamingKCover(planted_kcover.n, planted_kcover.m, k=4, seed=1),
+                EdgeStream.from_graph(planted_kcover.graph, order="random", seed=1),
+            ),
+            (
+                lambda: SahaGetoorKCover(k=4),
+                SetStream.from_graph(planted_kcover.graph, order="random", seed=1),
+            ),
+            (
+                lambda: SieveStreamingKCover(k=4),
+                SetStream.from_graph(planted_kcover.graph, order="random", seed=1),
+            ),
+        ]:
+            report = StreamingRunner(planted_kcover.graph).run(factory(), stream)
+            assert report.passes == 1
+
+    def test_multi_pass_counts(self, planted_setcover):
+        cases = [
+            (
+                StreamingSetCover(
+                    planted_setcover.n, planted_setcover.m, rounds=3, max_guesses=8, seed=2
+                ),
+                EdgeStream.from_graph(planted_setcover.graph, order="random", seed=2),
+                5,
+            ),
+            (
+                DemaineSetCover(planted_setcover.m, rounds=3),
+                SetStream.from_graph(planted_setcover.graph, order="random", seed=2),
+                4,
+            ),
+            (
+                HarPeledSetCover(planted_setcover.m, passes=4),
+                SetStream.from_graph(planted_setcover.graph, order="random", seed=2),
+                4,
+            ),
+        ]
+        for algo, stream, expected_passes in cases:
+            report = StreamingRunner(planted_setcover.graph).run(algo, stream)
+            assert report.passes == expected_passes
+            assert report.coverage_fraction == pytest.approx(1.0)
+
+    def test_outliers_is_single_pass_despite_many_guesses(self, planted_setcover):
+        algo = StreamingSetCoverOutliers(
+            planted_setcover.n, planted_setcover.m, outlier_fraction=0.1, epsilon=0.4, seed=3
+        )
+        report = StreamingRunner(planted_setcover.graph).run(
+            algo, EdgeStream.from_graph(planted_setcover.graph, order="random", seed=3)
+        )
+        assert report.passes == 1
+        assert len(algo.guesses()) > 1

@@ -1,0 +1,93 @@
+"""Unit tests for repro.offline.exact."""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import pytest
+
+from repro.coverage.bipartite import BipartiteGraph
+from repro.datasets import uniform_random_instance
+from repro.errors import InfeasibleError
+from repro.offline.exact import (
+    exact_k_cover,
+    exact_partial_cover,
+    exact_set_cover,
+    optimum_k_cover_value,
+)
+
+
+class TestExactKCover:
+    def test_matches_bruteforce_on_random(self):
+        for seed in range(4):
+            instance = uniform_random_instance(10, 30, density=0.2, seed=seed)
+            graph = instance.graph
+            solution, value = exact_k_cover(graph, 3)
+            brute = max(
+                graph.coverage(c) for c in combinations(range(graph.num_sets), 3)
+            )
+            assert value == brute
+            assert graph.coverage(solution) == value
+
+    def test_tiny_graph_optimum(self, tiny_graph):
+        solution, value = exact_k_cover(tiny_graph, 2)
+        assert value == 6
+        assert set(solution) == {0, 2}
+
+    def test_k_greater_than_n(self, tiny_graph):
+        solution, value = exact_k_cover(tiny_graph, 10)
+        assert value == 6
+        assert len(solution) <= 4
+
+    def test_invalid_k(self, tiny_graph):
+        with pytest.raises(ValueError):
+            exact_k_cover(tiny_graph, 0)
+
+    def test_value_helper(self, tiny_graph):
+        assert optimum_k_cover_value(tiny_graph, 1) == 3
+
+
+class TestExactSetCover:
+    def test_tiny_graph(self, tiny_graph):
+        cover = exact_set_cover(tiny_graph)
+        assert len(cover) == 2
+        assert tiny_graph.coverage(cover) == 6
+
+    def test_planted_cover_found(self):
+        graph = BipartiteGraph(6)
+        # Planted partition of 9 elements into 3 sets plus noise subsets.
+        for set_id, members in enumerate([(0, 1, 2), (3, 4, 5), (6, 7, 8)]):
+            for element in members:
+                graph.add_edge(set_id, element)
+        graph.add_edge(3, 0)
+        graph.add_edge(4, 3)
+        graph.add_edge(5, 6)
+        cover = exact_set_cover(graph)
+        assert len(cover) == 3
+        assert graph.coverage(cover) == 9
+
+    def test_infeasible_with_max_size(self, tiny_graph):
+        with pytest.raises(InfeasibleError):
+            exact_set_cover(tiny_graph, max_size=1)
+
+    def test_empty_universe(self):
+        graph = BipartiteGraph(2)
+        assert exact_set_cover(graph) == []
+
+
+class TestExactPartialCover:
+    def test_partial_smaller_than_full(self, tiny_graph):
+        full = exact_set_cover(tiny_graph)
+        partial = exact_partial_cover(tiny_graph, 0.4)
+        assert len(partial) <= len(full)
+        assert tiny_graph.coverage_fraction(partial) >= 0.6 - 1e-12
+
+    def test_zero_outliers_equals_set_cover_size(self, tiny_graph):
+        assert len(exact_partial_cover(tiny_graph, 0.0)) == len(exact_set_cover(tiny_graph))
+
+    def test_all_outliers_allowed(self, tiny_graph):
+        assert exact_partial_cover(tiny_graph, 1.0) == []
+
+    def test_infeasible_with_max_size(self, tiny_graph):
+        with pytest.raises(InfeasibleError):
+            exact_partial_cover(tiny_graph, 0.0, max_size=1)

@@ -1,0 +1,85 @@
+"""Unit tests for repro.offline.ilp (MILP reference solvers)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import planted_setcover_instance, uniform_random_instance
+from repro.offline.exact import exact_k_cover, exact_partial_cover, exact_set_cover
+from repro.offline.greedy import greedy_k_cover, greedy_set_cover
+from repro.offline.ilp import ilp_k_cover, ilp_partial_cover, ilp_set_cover
+
+
+class TestIlpSetCover:
+    def test_matches_bruteforce_on_small_instances(self):
+        for seed in range(3):
+            instance = uniform_random_instance(10, 40, density=0.2, seed=seed)
+            ilp = ilp_set_cover(instance.graph)
+            brute = exact_set_cover(instance.graph)
+            assert ilp.optimal
+            assert len(ilp.selected) == len(brute)
+            assert instance.graph.coverage(ilp.selected) == instance.m
+
+    def test_tiny_graph(self, tiny_graph):
+        result = ilp_set_cover(tiny_graph)
+        assert len(result.selected) == 2
+        assert tiny_graph.coverage(result.selected) == 6
+
+    def test_planted_medium_instance(self):
+        instance = planted_setcover_instance(60, 900, cover_size=9, seed=4)
+        result = ilp_set_cover(instance.graph)
+        assert result.optimal
+        assert len(result.selected) == 9
+        assert instance.graph.coverage(result.selected) == instance.m
+
+    def test_never_larger_than_greedy(self, planted_setcover):
+        ilp = ilp_set_cover(planted_setcover.graph)
+        greedy = greedy_set_cover(planted_setcover.graph)
+        assert len(ilp.selected) <= greedy.size
+
+
+class TestIlpKCover:
+    def test_matches_bruteforce_on_small_instances(self):
+        for seed in range(3):
+            instance = uniform_random_instance(10, 40, density=0.2, seed=seed)
+            ilp = ilp_k_cover(instance.graph, 3)
+            _, brute = exact_k_cover(instance.graph, 3)
+            assert ilp.objective == brute
+            assert instance.graph.coverage(ilp.selected) == brute
+
+    def test_at_least_greedy_on_medium(self, planted_kcover):
+        ilp = ilp_k_cover(planted_kcover.graph, 4)
+        greedy = greedy_k_cover(planted_kcover.graph, 4)
+        assert ilp.objective >= greedy.coverage
+        assert len(ilp.selected) <= 4
+
+    def test_invalid_k(self, tiny_graph):
+        with pytest.raises(ValueError):
+            ilp_k_cover(tiny_graph, 0)
+
+
+class TestIlpPartialCover:
+    def test_matches_bruteforce_on_small_instances(self):
+        for seed in range(3):
+            instance = uniform_random_instance(9, 30, density=0.25, seed=seed)
+            ilp = ilp_partial_cover(instance.graph, 0.2)
+            brute = exact_partial_cover(instance.graph, 0.2)
+            assert len(ilp.selected) == len(brute)
+            assert instance.graph.coverage_fraction(ilp.selected) >= 0.8 - 1e-9
+
+    def test_zero_outliers_equals_set_cover(self, tiny_graph):
+        assert len(ilp_partial_cover(tiny_graph, 0.0).selected) == len(
+            ilp_set_cover(tiny_graph).selected
+        )
+
+    def test_all_outliers_is_empty(self, tiny_graph):
+        assert ilp_partial_cover(tiny_graph, 1.0).selected == []
+
+    def test_partial_not_larger_than_full(self, planted_setcover):
+        full = ilp_set_cover(planted_setcover.graph)
+        partial = ilp_partial_cover(planted_setcover.graph, 0.15)
+        assert len(partial.selected) <= len(full.selected)
+
+    def test_invalid_fraction(self, tiny_graph):
+        with pytest.raises(ValueError):
+            ilp_partial_cover(tiny_graph, 1.5)

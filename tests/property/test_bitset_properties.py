@@ -1,0 +1,62 @@
+"""Property-based tests: the bitset evaluator agrees with the set-based graph."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coverage.bipartite import BipartiteGraph
+from repro.coverage.bitset import BitsetCoverage
+
+set_systems = st.lists(
+    st.frozensets(st.integers(min_value=0, max_value=40), max_size=12),
+    min_size=1,
+    max_size=10,
+)
+
+families = st.lists(st.integers(min_value=0, max_value=9), max_size=10)
+
+
+def _graph(sets) -> BipartiteGraph:
+    return BipartiteGraph.from_sets([list(s) for s in sets])
+
+
+@given(sets=set_systems, family=families)
+@settings(max_examples=80, deadline=None)
+def test_coverage_agrees_with_graph(sets, family):
+    graph = _graph(sets)
+    fast = BitsetCoverage(graph)
+    family = [f % len(sets) for f in family]
+    assert fast.coverage(family) == graph.coverage(family)
+    assert fast.coverage_fraction(family) == graph.coverage_fraction(family) or (
+        graph.num_elements == 0
+    )
+
+
+@given(sets=set_systems, covered=families)
+@settings(max_examples=60, deadline=None)
+def test_marginal_gains_agree_with_graph(sets, covered):
+    graph = _graph(sets)
+    fast = BitsetCoverage(graph)
+    covered = [c % len(sets) for c in covered]
+    covered_elements = graph.neighbors(covered)
+    gains = fast.marginal_gains(fast.union_bits(covered))
+    for set_id in range(graph.num_sets):
+        assert gains[set_id] == len(graph.elements_of(set_id) - covered_elements)
+
+
+@given(sets=set_systems, k=st.integers(min_value=1, max_value=4))
+@settings(max_examples=50, deadline=None)
+def test_vectorised_greedy_satisfies_greedy_guarantee(sets, k):
+    # Different (equally valid) tie-breaking can make the two greedy
+    # implementations end at different values, so the shared invariant is the
+    # 1 − 1/e guarantee against the true optimum, plus feasibility.
+    from repro.offline.exact import exact_k_cover
+
+    graph = _graph(sets)
+    fast = BitsetCoverage(graph)
+    selection, coverage = fast.greedy_k_cover(k)
+    assert graph.coverage(selection) == coverage
+    assert len(selection) <= k
+    _, optimum = exact_k_cover(graph, k)
+    assert coverage >= (1 - 1 / 2.718281828) * optimum - 1e-9

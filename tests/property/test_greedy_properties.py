@@ -1,0 +1,66 @@
+"""Property-based tests for the offline algorithms (hypothesis)."""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coverage.bipartite import BipartiteGraph
+from repro.offline.exact import exact_k_cover, exact_set_cover
+from repro.offline.greedy import greedy_k_cover, greedy_set_cover
+
+set_systems = st.lists(
+    st.frozensets(st.integers(min_value=0, max_value=25), min_size=0, max_size=8),
+    min_size=2,
+    max_size=8,
+)
+
+
+def _graph(sets) -> BipartiteGraph:
+    return BipartiteGraph.from_sets([list(s) for s in sets])
+
+
+@given(sets=set_systems, k=st.integers(min_value=1, max_value=4))
+@settings(max_examples=50, deadline=None)
+def test_greedy_never_beats_exact_and_respects_ratio(sets, k):
+    graph = _graph(sets)
+    greedy = greedy_k_cover(graph, k)
+    _, optimum = exact_k_cover(graph, k)
+    assert greedy.coverage <= optimum
+    assert greedy.coverage >= (1 - 1 / 2.718281828) * optimum - 1e-9
+
+
+@given(sets=set_systems, k=st.integers(min_value=1, max_value=4))
+@settings(max_examples=50, deadline=None)
+def test_greedy_selection_is_feasible(sets, k):
+    graph = _graph(sets)
+    result = greedy_k_cover(graph, k)
+    assert len(result.selected) <= k
+    assert len(set(result.selected)) == len(result.selected)
+    assert graph.coverage(result.selected) == result.coverage
+
+
+@given(sets=set_systems)
+@settings(max_examples=50, deadline=None)
+def test_greedy_set_cover_feasible_and_exact_not_larger(sets):
+    graph = _graph(sets)
+    if graph.num_elements == 0:
+        return
+    greedy = greedy_set_cover(graph, allow_partial=True)
+    assert graph.coverage(greedy.selected) == graph.num_elements
+    exact = exact_set_cover(graph)
+    assert len(exact) <= greedy.size
+
+
+@given(sets=set_systems, k=st.integers(min_value=1, max_value=3))
+@settings(max_examples=30, deadline=None)
+def test_exact_k_cover_is_truly_optimal(sets, k):
+    graph = _graph(sets)
+    _, value = exact_k_cover(graph, k)
+    n = graph.num_sets
+    brute = max(
+        (graph.coverage(c) for c in combinations(range(n), min(k, n))), default=0
+    )
+    assert value == brute

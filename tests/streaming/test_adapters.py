@@ -1,0 +1,67 @@
+"""Unit tests for repro.streaming.adapters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.streaming.adapters import (
+    edge_events_to_set_events,
+    edge_stream_from_set_stream,
+    interleave_edges,
+    set_events_to_edge_events,
+    set_stream_from_edge_stream,
+)
+from repro.streaming.events import EdgeArrival, SetArrival
+from repro.streaming.stream import EdgeStream, SetStream
+
+
+class TestEventConversion:
+    def test_set_to_edge_events(self):
+        events = [SetArrival(0, (1, 2)), SetArrival(1, (3,))]
+        edges = list(set_events_to_edge_events(events))
+        assert edges == [EdgeArrival(0, 1), EdgeArrival(0, 2), EdgeArrival(1, 3)]
+
+    def test_edge_to_set_events_groups_and_orders(self):
+        edges = [EdgeArrival(1, 5), EdgeArrival(0, 2), EdgeArrival(1, 6)]
+        sets = edge_events_to_set_events(edges)
+        assert [s.set_id for s in sets] == [1, 0]
+        assert sets[0].elements == (5, 6)
+
+    def test_roundtrip_preserves_membership(self, tiny_graph):
+        set_events = list(SetStream.from_graph(tiny_graph, order="given"))
+        rebuilt = edge_events_to_set_events(set_events_to_edge_events(set_events))
+        original = {s.set_id: set(s.elements) for s in set_events}
+        assert {s.set_id: set(s.elements) for s in rebuilt} == original
+
+
+class TestStreamConversion:
+    def test_edge_stream_from_set_stream(self, tiny_graph):
+        set_stream = SetStream.from_graph(tiny_graph)
+        edge_stream = edge_stream_from_set_stream(set_stream, order="given")
+        assert edge_stream.num_events == tiny_graph.num_edges
+
+    def test_set_stream_from_edge_stream(self, tiny_graph):
+        edge_stream = EdgeStream.from_graph(tiny_graph, order="random", seed=1)
+        set_stream = set_stream_from_edge_stream(edge_stream)
+        assert set_stream.to_graph() == tiny_graph
+
+
+class TestInterleave:
+    def test_round_robin(self):
+        a = [EdgeArrival(0, 0), EdgeArrival(0, 1)]
+        b = [EdgeArrival(1, 0)]
+        merged = list(interleave_edges([a, b]))
+        assert merged == [EdgeArrival(0, 0), EdgeArrival(1, 0), EdgeArrival(0, 1)]
+
+    def test_concatenate(self):
+        a = [EdgeArrival(0, 0)]
+        b = [EdgeArrival(1, 0)]
+        merged = list(interleave_edges([a, b], pattern="concatenate"))
+        assert merged == a + b
+
+    def test_unknown_pattern(self):
+        with pytest.raises(ValueError):
+            list(interleave_edges([[]], pattern="zigzag"))
+
+    def test_empty_sources(self):
+        assert list(interleave_edges([[], []])) == []

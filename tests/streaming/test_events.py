@@ -1,0 +1,35 @@
+"""Unit tests for repro.streaming.events."""
+
+from __future__ import annotations
+
+from repro.streaming.events import EdgeArrival, SetArrival
+
+
+class TestEdgeArrival:
+    def test_fields_and_tuple(self):
+        event = EdgeArrival(3, 17)
+        assert event.set_id == 3
+        assert event.element == 17
+        assert event.as_tuple() == (3, 17)
+
+    def test_hashable_and_equal(self):
+        assert EdgeArrival(1, 2) == EdgeArrival(1, 2)
+        assert len({EdgeArrival(1, 2), EdgeArrival(1, 2), EdgeArrival(1, 3)}) == 2
+
+
+class TestSetArrival:
+    def test_from_iterable(self):
+        event = SetArrival.from_iterable(5, iter([1, 2, 3]))
+        assert event.set_id == 5
+        assert event.elements == (1, 2, 3)
+        assert len(event) == 3
+
+    def test_edges_expansion(self):
+        event = SetArrival(2, (7, 8))
+        edges = event.edges()
+        assert edges == [EdgeArrival(2, 7), EdgeArrival(2, 8)]
+
+    def test_empty_set_arrival(self):
+        event = SetArrival(0, ())
+        assert event.edges() == []
+        assert len(event) == 0

@@ -1,0 +1,47 @@
+"""Unit tests for repro.streaming.passes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PassBudgetExceeded
+from repro.streaming.passes import MultiPassDriver
+from repro.streaming.stream import EdgeStream
+
+
+@pytest.fixture
+def stream(tiny_graph) -> EdgeStream:
+    return EdgeStream.from_graph(tiny_graph, order="given")
+
+
+class TestPasses:
+    def test_new_pass_counts(self, stream):
+        driver = MultiPassDriver(stream)
+        list(driver.new_pass())
+        list(driver.new_pass())
+        assert driver.passes_used == 2
+        assert driver.remaining_passes() is None
+
+    def test_budget_enforced(self, stream):
+        driver = MultiPassDriver(stream, max_passes=1)
+        list(driver.new_pass())
+        with pytest.raises(PassBudgetExceeded):
+            driver.new_pass()
+
+    def test_remaining_passes(self, stream):
+        driver = MultiPassDriver(stream, max_passes=3)
+        assert driver.remaining_passes() == 3
+        list(driver.new_pass())
+        assert driver.remaining_passes() == 2
+
+    def test_run_pass_feeds_all_events(self, stream):
+        driver = MultiPassDriver(stream)
+        seen = []
+        count = driver.run_pass(seen.append)
+        assert count == stream.num_events
+        assert len(seen) == stream.num_events
+
+    def test_stream_property(self, stream):
+        driver = MultiPassDriver(stream)
+        assert driver.stream is stream
+        assert driver.max_passes is None

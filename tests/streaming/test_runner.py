@@ -1,0 +1,98 @@
+"""Unit tests for repro.streaming.runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.streaming.events import EdgeArrival
+from repro.streaming.runner import StreamingAlgorithm, StreamingReport, StreamingRunner
+from repro.streaming.space import SpaceMeter
+from repro.streaming.stream import EdgeStream, SetStream
+
+
+class CountingEdgeAlgorithm:
+    """Trivial edge-arrival algorithm: remembers which sets it saw, twice."""
+
+    def __init__(self, passes: int = 1) -> None:
+        self.name = "counting-edge"
+        self.arrival_model = "edge"
+        self.space = SpaceMeter(unit="edges")
+        self.passes_wanted = passes
+        self.passes_done = 0
+        self.seen_sets: set[int] = set()
+        self.events = 0
+
+    def start_pass(self, pass_index: int) -> None:
+        assert pass_index == self.passes_done
+
+    def process(self, event: EdgeArrival) -> None:
+        self.events += 1
+        if event.set_id not in self.seen_sets:
+            self.seen_sets.add(event.set_id)
+            self.space.charge(1)
+
+    def finish_pass(self, pass_index: int) -> None:
+        self.passes_done += 1
+
+    def wants_another_pass(self) -> bool:
+        return self.passes_done < self.passes_wanted
+
+    def result(self) -> list[int]:
+        return sorted(self.seen_sets)[:2]
+
+
+class TestRunner:
+    def test_single_pass_run(self, tiny_graph):
+        runner = StreamingRunner(tiny_graph)
+        algo = CountingEdgeAlgorithm()
+        report = runner.run(algo, EdgeStream.from_graph(tiny_graph, order="given"))
+        assert isinstance(report, StreamingReport)
+        assert report.passes == 1
+        assert report.stream_events == tiny_graph.num_edges
+        assert report.solution == (0, 1)
+        assert report.coverage == tiny_graph.coverage([0, 1])
+        assert 0.0 < report.coverage_fraction <= 1.0
+        assert report.space_peak == 4
+
+    def test_multi_pass_run(self, tiny_graph):
+        runner = StreamingRunner(tiny_graph)
+        algo = CountingEdgeAlgorithm(passes=3)
+        report = runner.run(algo, EdgeStream.from_graph(tiny_graph, order="given"))
+        assert report.passes == 3
+        assert report.stream_events == 3 * tiny_graph.num_edges
+
+    def test_model_mismatch_rejected(self, tiny_graph):
+        runner = StreamingRunner(tiny_graph)
+        algo = CountingEdgeAlgorithm()
+        with pytest.raises(TypeError):
+            runner.run(algo, SetStream.from_graph(tiny_graph))
+
+    def test_report_as_dict(self, tiny_graph):
+        runner = StreamingRunner(tiny_graph)
+        algo = CountingEdgeAlgorithm()
+        report = runner.run(
+            algo, EdgeStream.from_graph(tiny_graph, order="given"), extra={"note": 1}
+        )
+        row = report.as_dict()
+        assert row["algorithm"] == "counting-edge"
+        assert row["note"] == 1
+        assert "time.stream" in row
+
+    def test_protocol_runtime_checkable(self):
+        assert isinstance(CountingEdgeAlgorithm(), StreamingAlgorithm)
+
+    def test_evaluate_helper(self, tiny_graph):
+        runner = StreamingRunner(tiny_graph)
+        coverage, fraction = runner.evaluate([0, 2])
+        assert coverage == 6
+        assert fraction == pytest.approx(1.0)
+
+    def test_solution_deduplicated(self, tiny_graph):
+        class DupAlgo(CountingEdgeAlgorithm):
+            def result(self) -> list[int]:
+                return [0, 0, 1, 1]
+
+        report = StreamingRunner(tiny_graph).run(
+            DupAlgo(), EdgeStream.from_graph(tiny_graph, order="given")
+        )
+        assert report.solution == (0, 1)

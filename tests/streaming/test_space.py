@@ -1,0 +1,82 @@
+"""Unit tests for repro.streaming.space."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SpaceBudgetExceeded
+from repro.streaming.space import SpaceMeter
+
+
+class TestCharging:
+    def test_charge_and_peak(self):
+        meter = SpaceMeter()
+        meter.charge(5)
+        meter.charge(3)
+        meter.release(4)
+        assert meter.current == 4
+        assert meter.peak == 8
+        assert meter.total_charged == 8
+
+    def test_charge_negative_rejected(self):
+        with pytest.raises(ValueError):
+            SpaceMeter().charge(-1)
+
+    def test_release_floors_at_zero(self):
+        meter = SpaceMeter()
+        meter.charge(2)
+        meter.release(10)
+        assert meter.current == 0
+
+    def test_release_negative_rejected(self):
+        with pytest.raises(ValueError):
+            SpaceMeter().release(-1)
+
+    def test_set_current(self):
+        meter = SpaceMeter()
+        meter.set_current(7)
+        assert meter.current == 7 and meter.peak == 7
+        meter.set_current(2)
+        assert meter.current == 2 and meter.peak == 7
+        with pytest.raises(ValueError):
+            meter.set_current(-1)
+
+
+class TestBudget:
+    def test_budget_enforced(self):
+        meter = SpaceMeter(budget=3)
+        meter.charge(3)
+        with pytest.raises(SpaceBudgetExceeded) as excinfo:
+            meter.charge(1)
+        assert excinfo.value.used == 4
+        assert excinfo.value.budget == 3
+
+    def test_budget_not_enforced_records_violation(self):
+        meter = SpaceMeter(budget=3, enforce=False)
+        meter.charge(10)
+        assert meter.violations == 1
+        assert not meter.within_budget
+
+    def test_within_budget_without_budget(self):
+        meter = SpaceMeter()
+        meter.charge(1_000_000)
+        assert meter.within_budget
+
+
+class TestReporting:
+    def test_checkpoints(self):
+        meter = SpaceMeter()
+        meter.charge(4)
+        meter.checkpoint("pass1")
+        meter.charge(2)
+        meter.checkpoint("pass2")
+        assert meter.checkpoints == {"pass1": 4, "pass2": 6}
+
+    def test_as_dict_keys(self):
+        meter = SpaceMeter(budget=10, unit="words")
+        meter.charge(1)
+        info = meter.as_dict()
+        assert info["unit"] == "words"
+        assert info["budget"] == 10
+        assert info["peak"] == 1
+        assert info["within_budget"] is True

@@ -1,0 +1,136 @@
+"""Unit tests for repro.streaming.stream."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.streaming.events import EdgeArrival, SetArrival
+from repro.streaming.stream import STREAM_ORDERS, EdgeStream, SetStream
+
+
+class TestEdgeStream:
+    def test_given_order_preserved(self):
+        edges = [(0, 5), (1, 3), (0, 2)]
+        stream = EdgeStream(edges, num_sets=2, order="given")
+        assert [e.as_tuple() for e in stream] == edges
+
+    def test_unknown_order_rejected(self):
+        with pytest.raises(ValueError):
+            EdgeStream([(0, 1)], num_sets=1, order="bogus")
+
+    def test_random_order_is_permutation_and_reproducible(self, tiny_graph):
+        s1 = EdgeStream.from_graph(tiny_graph, order="random", seed=3)
+        s2 = EdgeStream.from_graph(tiny_graph, order="random", seed=3)
+        p1 = [e.as_tuple() for e in s1]
+        p2 = [e.as_tuple() for e in s2]
+        assert p1 == p2
+        assert sorted(p1) == sorted(tiny_graph.edges())
+
+    def test_random_order_differs_across_passes(self, tiny_graph):
+        stream = EdgeStream.from_graph(tiny_graph, order="random", seed=3)
+        first = [e.as_tuple() for e in stream]
+        second = [e.as_tuple() for e in stream]
+        assert sorted(first) == sorted(second)
+        assert first != second  # overwhelmingly likely for 9 edges
+
+    def test_set_grouped_order(self, tiny_graph):
+        stream = EdgeStream.from_graph(tiny_graph, order="set_grouped")
+        set_sequence = [e.set_id for e in stream]
+        assert set_sequence == sorted(set_sequence)
+
+    def test_element_grouped_order(self, tiny_graph):
+        stream = EdgeStream.from_graph(tiny_graph, order="element_grouped")
+        element_sequence = [e.element for e in stream]
+        assert element_sequence == sorted(element_sequence)
+
+    def test_adversarial_tail_holds_back_largest_set(self, tiny_graph):
+        stream = EdgeStream.from_graph(tiny_graph, order="adversarial_tail", seed=1)
+        events = [e.as_tuple() for e in stream]
+        largest = max(tiny_graph.set_ids(), key=lambda s: (tiny_graph.set_degree(s), -s))
+        tail = events[-tiny_graph.set_degree(largest):]
+        assert all(set_id == largest for set_id, _ in tail)
+
+    def test_adversarial_tail_with_explicit_sets(self, tiny_graph):
+        stream = EdgeStream.from_graph(
+            tiny_graph, order="adversarial_tail", seed=1, favored_sets=[3]
+        )
+        events = [e.as_tuple() for e in stream]
+        assert events[-1][0] == 3
+
+    def test_pass_counting(self, tiny_graph):
+        stream = EdgeStream.from_graph(tiny_graph, order="given")
+        assert stream.passes_taken == 0
+        list(stream)
+        list(stream)
+        assert stream.passes_taken == 2
+        stream.reset_pass_count()
+        assert stream.passes_taken == 0
+
+    def test_metadata(self, tiny_graph):
+        stream = EdgeStream.from_graph(tiny_graph)
+        assert stream.num_sets == 4
+        assert stream.num_elements_hint == 6
+        assert stream.num_events == 9
+        assert stream.order == "random"
+
+    def test_num_elements_hint_inferred(self):
+        stream = EdgeStream([(0, 10), (0, 20), (1, 10)], num_sets=2)
+        assert stream.num_elements_hint == 2
+
+    def test_to_graph_roundtrip(self, tiny_graph):
+        stream = EdgeStream.from_graph(tiny_graph, order="random", seed=0)
+        assert stream.to_graph() == tiny_graph
+
+    def test_yields_edge_arrivals(self, tiny_graph):
+        stream = EdgeStream.from_graph(tiny_graph)
+        assert all(isinstance(e, EdgeArrival) for e in stream)
+
+    def test_all_orders_cover_all_edges(self, tiny_graph):
+        for order in STREAM_ORDERS:
+            stream = EdgeStream.from_graph(tiny_graph, order=order, seed=2)
+            assert sorted(e.as_tuple() for e in stream) == sorted(tiny_graph.edges())
+
+
+class TestSetStream:
+    def test_from_graph_and_sizes(self, tiny_graph):
+        stream = SetStream.from_graph(tiny_graph, order="given")
+        assert stream.num_sets == 4
+        assert stream.num_events == 4
+        events = list(stream)
+        assert all(isinstance(e, SetArrival) for e in events)
+        assert {e.set_id for e in events} == {0, 1, 2, 3}
+
+    def test_members_match_graph(self, tiny_graph):
+        stream = SetStream.from_graph(tiny_graph, order="given")
+        for event in stream:
+            assert set(event.elements) == set(tiny_graph.elements_of(event.set_id))
+
+    def test_random_order_reproducible(self, tiny_graph):
+        s1 = SetStream.from_graph(tiny_graph, order="random", seed=5)
+        s2 = SetStream.from_graph(tiny_graph, order="random", seed=5)
+        assert [e.set_id for e in s1] == [e.set_id for e in s2]
+
+    def test_rejects_unknown_order(self):
+        with pytest.raises(ValueError):
+            SetStream([[0]], order="set_grouped")
+
+    def test_dict_construction(self):
+        stream = SetStream({0: [1, 2], 3: [4]})
+        assert stream.num_sets == 4
+        assert stream.num_events == 2
+
+    def test_pass_counting(self, tiny_graph):
+        stream = SetStream.from_graph(tiny_graph)
+        list(stream)
+        assert stream.passes_taken == 1
+        stream.reset_pass_count()
+        assert stream.passes_taken == 0
+
+    def test_to_graph(self, tiny_graph):
+        stream = SetStream.from_graph(tiny_graph)
+        assert stream.to_graph() == tiny_graph
+
+    def test_to_edge_stream(self, tiny_graph):
+        edge_stream = SetStream.from_graph(tiny_graph).to_edge_stream(order="given")
+        assert edge_stream.num_events == tiny_graph.num_edges
+        assert sorted(e.as_tuple() for e in edge_stream) == sorted(tiny_graph.edges())

@@ -1,0 +1,36 @@
+"""Unit tests for repro.utils.logging."""
+
+from __future__ import annotations
+
+import logging
+
+from repro.utils.logging import configure, get_logger, kv
+
+
+class TestGetLogger:
+    def test_root_library_logger(self):
+        assert get_logger().name == "repro"
+
+    def test_child_logger(self):
+        assert get_logger("core").name == "repro.core"
+
+
+class TestConfigure:
+    def test_idempotent_handlers(self):
+        logger = configure(logging.DEBUG)
+        first = len(logger.handlers)
+        configure(logging.INFO)
+        assert len(logger.handlers) == first
+        assert first >= 1
+
+
+class TestKv:
+    def test_sorted_keys(self):
+        assert kv(b=1, a=2) == "a=2 b=1"
+
+    def test_float_formatting(self):
+        assert kv(ratio=0.123456789) == "ratio=0.123457"
+
+    def test_mixed_types(self):
+        out = kv(algo="kcover", n=10)
+        assert "algo=kcover" in out and "n=10" in out

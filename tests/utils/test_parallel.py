@@ -1,0 +1,51 @@
+"""Unit tests for repro.utils.parallel."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.parallel import chunked, cpu_count, parallel_map
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+class TestCpuCount:
+    def test_at_least_one(self):
+        assert cpu_count() >= 1
+
+
+class TestChunked:
+    def test_even_chunks(self):
+        assert chunked([1, 2, 3, 4], 2) == [[1, 2], [3, 4]]
+
+    def test_uneven_chunks(self):
+        assert chunked([1, 2, 3, 4, 5], 2) == [[1, 2], [3, 4], [5]]
+
+    def test_chunk_larger_than_input(self):
+        assert chunked([1, 2], 10) == [[1, 2]]
+
+    def test_empty(self):
+        assert chunked([], 3) == []
+
+    def test_invalid_chunk_size(self):
+        with pytest.raises(ValueError):
+            chunked([1], 0)
+
+
+class TestParallelMap:
+    def test_sequential_matches_map(self):
+        items = list(range(20))
+        assert parallel_map(_square, items) == [x * x for x in items]
+
+    def test_preserves_order_with_processes(self):
+        items = list(range(10))
+        result = parallel_map(_square, items, use_processes=True, workers=2)
+        assert result == [x * x for x in items]
+
+    def test_single_item_short_circuits(self):
+        assert parallel_map(_square, [3], use_processes=True) == [9]
+
+    def test_empty_input(self):
+        assert parallel_map(_square, []) == []

@@ -1,0 +1,115 @@
+"""Unit tests for repro.utils.rng."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import (
+    MASK64,
+    SplitMix64,
+    derive_seed,
+    mix64,
+    random_permutation,
+    sample_without_replacement,
+    spawn_rng,
+)
+
+
+class TestMix64:
+    def test_deterministic(self):
+        assert mix64(42, seed=1) == mix64(42, seed=1)
+
+    def test_different_values_differ(self):
+        assert mix64(1) != mix64(2)
+
+    def test_different_seeds_differ(self):
+        assert mix64(42, seed=1) != mix64(42, seed=2)
+
+    def test_output_in_64_bits(self):
+        for value in [0, 1, 2**63, MASK64, -5]:
+            assert 0 <= mix64(value) <= MASK64
+
+    def test_avalanche_roughly_half_bits_flip(self):
+        # Flipping one input bit should flip close to half the output bits.
+        flips = bin(mix64(1000) ^ mix64(1001)).count("1")
+        assert 10 <= flips <= 54
+
+
+class TestSplitMix64:
+    def test_sequence_deterministic(self):
+        a = SplitMix64(state=7)
+        b = SplitMix64(state=7)
+        assert [a.next_uint64() for _ in range(5)] == [b.next_uint64() for _ in range(5)]
+
+    def test_float_in_unit_interval(self):
+        gen = SplitMix64(state=3)
+        for _ in range(1000):
+            value = gen.next_float()
+            assert 0.0 <= value < 1.0
+
+    def test_float_mean_near_half(self):
+        gen = SplitMix64(state=11)
+        values = [gen.next_float() for _ in range(5000)]
+        assert abs(np.mean(values) - 0.5) < 0.03
+
+    def test_next_below_range_and_uniformity(self):
+        gen = SplitMix64(state=5)
+        counts = np.zeros(7, dtype=int)
+        for _ in range(7000):
+            value = gen.next_below(7)
+            assert 0 <= value < 7
+            counts[value] += 1
+        assert counts.min() > 700  # rough uniformity
+
+    def test_next_below_rejects_nonpositive(self):
+        gen = SplitMix64(state=5)
+        with pytest.raises(ValueError):
+            gen.next_below(0)
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(1, "sketch") == derive_seed(1, "sketch")
+
+    def test_labels_independent(self):
+        assert derive_seed(1, "sketch") != derive_seed(1, "stream")
+
+    def test_master_seeds_independent(self):
+        assert derive_seed(1, "sketch") != derive_seed(2, "sketch")
+
+    def test_non_negative(self):
+        assert derive_seed(123, "x") >= 0
+
+
+class TestSpawnRng:
+    def test_streams_are_reproducible(self):
+        a = spawn_rng(9, "workload")
+        b = spawn_rng(9, "workload")
+        assert a.integers(0, 1000, size=10).tolist() == b.integers(0, 1000, size=10).tolist()
+
+    def test_streams_with_different_labels_differ(self):
+        a = spawn_rng(9, "workload")
+        b = spawn_rng(9, "hash")
+        assert a.integers(0, 10**9) != b.integers(0, 10**9)
+
+
+class TestSampling:
+    def test_random_permutation_is_permutation(self, rng):
+        items = list(range(50))
+        perm = random_permutation(items, rng)
+        assert sorted(perm) == items
+
+    def test_sample_without_replacement_distinct(self, rng):
+        sample = sample_without_replacement(100, 30, rng)
+        assert len(sample) == 30
+        assert len(set(sample)) == 30
+        assert all(0 <= x < 100 for x in sample)
+
+    def test_sample_larger_than_population_returns_all(self, rng):
+        sample = sample_without_replacement(10, 50, rng)
+        assert sorted(sample) == list(range(10))
+
+    def test_sample_negative_raises(self, rng):
+        with pytest.raises(ValueError):
+            sample_without_replacement(-1, 5, rng)

@@ -1,0 +1,75 @@
+"""Unit tests for repro.utils.tables."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.tables import Table, format_value, render_grid, render_markdown
+
+
+class TestFormatValue:
+    def test_float_formatting(self):
+        assert format_value(0.123456) == "0.1235"
+
+    def test_bool_formatting(self):
+        assert format_value(True) == "yes"
+        assert format_value(False) == "no"
+
+    def test_string_passthrough(self):
+        assert format_value("abc") == "abc"
+
+    def test_int_passthrough(self):
+        assert format_value(42) == "42"
+
+
+class TestTable:
+    def test_add_row_and_len(self):
+        table = Table(["a", "b"])
+        table.add_row(a=1, b=2)
+        table.add_row(a=3)
+        assert len(table) == 2
+
+    def test_unknown_column_raises(self):
+        table = Table(["a"])
+        with pytest.raises(KeyError):
+            table.add_row(z=1)
+
+    def test_column_extraction(self):
+        table = Table(["algo", "ratio"])
+        table.add_rows([{"algo": "x", "ratio": 0.5}, {"algo": "y", "ratio": 0.9}])
+        assert table.column("ratio") == [0.5, 0.9]
+
+    def test_column_missing_raises(self):
+        table = Table(["a"])
+        with pytest.raises(KeyError):
+            table.column("b")
+
+    def test_markdown_shape(self):
+        table = Table(["algo", "ratio"])
+        table.add_row(algo="greedy", ratio=1.0)
+        md = table.to_markdown()
+        lines = md.splitlines()
+        assert lines[0].startswith("| algo")
+        assert set(lines[1].replace("|", "")) <= {"-"}
+        assert "greedy" in lines[2]
+
+    def test_grid_alignment(self):
+        table = Table(["name", "value"])
+        table.add_row(name="aa", value=1)
+        table.add_row(name="bbbb", value=22)
+        grid = table.to_grid()
+        lines = grid.splitlines()
+        # header, separator, two rows
+        assert len(lines) == 4
+
+
+class TestRenderers:
+    def test_render_grid_empty(self):
+        assert render_grid([]) == ""
+
+    def test_render_markdown_empty(self):
+        assert render_markdown([]) == ""
+
+    def test_render_markdown_pads_short_rows(self):
+        md = render_markdown([["a", "b"], ["only"]])
+        assert md.splitlines()[-1].count("|") == 3

@@ -1,0 +1,62 @@
+"""Unit tests for repro.utils.timer."""
+
+from __future__ import annotations
+
+import time
+
+from repro.utils.timer import Stopwatch, Timer, timed
+
+
+class TestTimer:
+    def test_accumulates_elapsed(self):
+        timer = Timer()
+        with timer:
+            time.sleep(0.002)
+        with timer:
+            time.sleep(0.002)
+        assert timer.elapsed >= 0.003
+        assert timer.activations == 2
+
+    def test_mean(self):
+        timer = Timer()
+        assert timer.mean == 0.0
+        with timer:
+            pass
+        assert timer.mean >= 0.0
+
+    def test_reset(self):
+        timer = Timer()
+        with timer:
+            pass
+        timer.reset()
+        assert timer.elapsed == 0.0
+        assert timer.activations == 0
+
+
+class TestTimed:
+    def test_yields_timer_and_calls_callback(self):
+        seen = []
+        with timed(callback=seen.append) as t:
+            time.sleep(0.001)
+        assert t.elapsed > 0
+        assert len(seen) == 1
+        assert seen[0] == t.elapsed
+
+
+class TestStopwatch:
+    def test_sections_recorded(self):
+        sw = Stopwatch()
+        with sw.section("build"):
+            time.sleep(0.001)
+        with sw.section("solve"):
+            pass
+        assert set(sw.sections()) == {"build", "solve"}
+        assert sw.elapsed("build") > 0
+        assert sw.elapsed("missing") == 0.0
+
+    def test_section_reentry_accumulates(self):
+        sw = Stopwatch()
+        for _ in range(3):
+            with sw.section("loop"):
+                time.sleep(0.001)
+        assert sw.as_dict()["loop"] >= 0.002

@@ -1,0 +1,105 @@
+"""Unit tests for repro.utils.validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.validation import (
+    check_fraction,
+    check_in_range,
+    check_non_negative_int,
+    check_open_unit,
+    check_positive_int,
+    check_probability,
+    check_type,
+)
+
+
+class TestPositiveInt:
+    def test_accepts_positive(self):
+        assert check_positive_int(5, "x") == 5
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            check_positive_int(0, "x")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_positive_int(-3, "x")
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_positive_int(True, "x")
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            check_positive_int(1.5, "x")
+
+    def test_error_message_contains_name(self):
+        with pytest.raises(ValueError, match="budget"):
+            check_positive_int(0, "budget")
+
+
+class TestNonNegativeInt:
+    def test_accepts_zero(self):
+        assert check_non_negative_int(0, "x") == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_non_negative_int(-1, "x")
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_non_negative_int(False, "x")
+
+
+class TestFraction:
+    def test_accepts_bounds(self):
+        assert check_fraction(0.0, "x") == 0.0
+        assert check_fraction(1.0, "x") == 1.0
+
+    def test_rejects_above_one(self):
+        with pytest.raises(ValueError):
+            check_fraction(1.01, "x")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_fraction(-0.2, "x")
+
+    def test_probability_alias(self):
+        assert check_probability(0.3, "x") == 0.3
+
+
+class TestOpenUnit:
+    def test_accepts_epsilon_range(self):
+        assert check_open_unit(0.5, "eps") == 0.5
+        assert check_open_unit(1.0, "eps") == 1.0
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            check_open_unit(0.0, "eps")
+
+    def test_rejects_above_one(self):
+        with pytest.raises(ValueError):
+            check_open_unit(1.2, "eps")
+
+
+class TestInRange:
+    def test_accepts_inside(self):
+        assert check_in_range(0.5, 0.0, 1.0, "x") == 0.5
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValueError):
+            check_in_range(2.0, 0.0, 1.0, "x")
+
+
+class TestCheckType:
+    def test_accepts_matching(self):
+        assert check_type("abc", str, "x") == "abc"
+
+    def test_accepts_tuple_of_types(self):
+        assert check_type(3, (int, float), "x") == 3
+
+    def test_rejects_mismatch(self):
+        with pytest.raises(TypeError, match="x must be of type"):
+            check_type(3, str, "x")
