@@ -14,11 +14,9 @@ from __future__ import annotations
 import pytest
 
 from benchmarks.common import print_table, write_table
-from repro.core.ensemble import EnsembleKCover
-from repro.core.params import SketchParams
+from repro.api import StreamSpec, solve
 from repro.datasets import zipf_instance
 from repro.offline.greedy import greedy_k_cover
-from repro.streaming import EdgeStream, StreamingRunner
 from repro.utils.tables import Table
 
 K = 8
@@ -34,15 +32,17 @@ def _run() -> Table:
         for trial in range(BATCH):
             instance = zipf_instance(80, 3000, edges_per_set=60, k=K, seed=1300 + trial)
             reference = greedy_k_cover(instance.graph, K).coverage
-            params = SketchParams.explicit(
-                instance.n, instance.m, K, 0.3, edge_budget=3 * instance.n, degree_cap=20
-            )
-            algo = EnsembleKCover(
-                instance.n, instance.m, k=K, replicas=replicas, params=params,
+            report = solve(
+                instance,
+                "kcover/ensemble",
+                options={
+                    "replicas": replicas,
+                    "epsilon": 0.3,
+                    "edge_budget": 3 * instance.n,
+                    "degree_cap": 20,
+                },
+                stream=StreamSpec(order="random", seed=trial),
                 seed=1300 + trial,
-            )
-            report = StreamingRunner(instance.graph).run(
-                algo, EdgeStream.from_graph(instance.graph, order="random", seed=trial)
             )
             ratios.append(report.coverage / reference)
             spaces.append(report.space_peak)

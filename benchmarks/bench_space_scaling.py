@@ -12,11 +12,8 @@ from __future__ import annotations
 import pytest
 
 from benchmarks.common import print_table, write_table
-from repro.baselines import SieveStreamingKCover
-from repro.core import StreamingKCover
-from repro.core.params import SketchParams
+from repro.api import StreamSpec, solve
 from repro.datasets import planted_kcover_instance
-from repro.streaming import EdgeStream, SetStream, StreamingRunner
 from repro.utils.tables import Table
 
 K = 8
@@ -25,16 +22,16 @@ N_SWEEP = (40, 80, 160)
 
 
 def _space_for(instance, seed: int) -> tuple[int, int]:
-    params = SketchParams.explicit(
-        instance.n, instance.m, K, 0.2, edge_budget=6 * instance.n, degree_cap=40
+    stream = StreamSpec(order="random", seed=seed)
+    sketch_report = solve(
+        instance,
+        "kcover/sketch",
+        options={"edge_budget": 6 * instance.n, "degree_cap": 40},
+        stream=stream,
+        seed=seed,
     )
-    sketch_algo = StreamingKCover(instance.n, instance.m, k=K, params=params, seed=seed)
-    sketch_report = StreamingRunner(instance.graph).run(
-        sketch_algo, EdgeStream.from_graph(instance.graph, order="random", seed=seed)
-    )
-    baseline = SieveStreamingKCover(k=K, epsilon=0.2)
-    baseline_report = StreamingRunner(instance.graph).run(
-        baseline, SetStream.from_graph(instance.graph, order="random", seed=seed)
+    baseline_report = solve(
+        instance, "kcover/sieve", options={"epsilon": 0.2}, stream=stream, seed=seed
     )
     return sketch_report.space_peak, baseline_report.space_peak
 

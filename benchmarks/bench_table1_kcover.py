@@ -25,38 +25,30 @@ from __future__ import annotations
 import pytest
 
 from benchmarks.common import print_table, suite_to_table, write_table
-from repro.analysis import ExperimentSuite, run_streaming_comparison
-from repro.baselines import McGregorVuKCover, SahaGetoorKCover, SieveStreamingKCover
-from repro.core import StreamingKCover
+from repro.analysis import ExperimentSuite, run_solver_comparison
 from repro.core.params import SketchParams
 
 K = 10
 
 
-def _algorithms(instance, seed):
-    params = SketchParams.explicit(
-        instance.n, instance.m, K, 0.2, edge_budget=6 * instance.n, degree_cap=40
-    )
+def _solvers(instance):
+    """Registry solver specs for the four Table 1 k-cover rows."""
     return [
         (
             "this-paper-sketch",
-            lambda: StreamingKCover(instance.n, instance.m, k=K, params=params, seed=seed),
+            "kcover/sketch",
+            {"edge_budget": 6 * instance.n, "degree_cap": 40},
         ),
-        ("saha-getoor-1/4", lambda: SahaGetoorKCover(k=K)),
-        ("sieve-streaming-1/2", lambda: SieveStreamingKCover(k=K, epsilon=0.1)),
-        (
-            "mcgregor-vu",
-            lambda: McGregorVuKCover(instance.n, instance.m, k=K, epsilon=0.3, seed=seed),
-        ),
+        ("saha-getoor-1/4", "kcover/saha-getoor"),
+        ("sieve-streaming-1/2", "kcover/sieve", {"epsilon": 0.1}),
+        ("mcgregor-vu", "kcover/mcgregor-vu", {"epsilon": 0.3}),
     ]
 
 
 def _run_table(instances: dict[str, object], seed: int = 1) -> ExperimentSuite:
     suite = ExperimentSuite("table1-kcover")
     for name, instance in instances.items():
-        run_streaming_comparison(
-            suite, instance, name, _algorithms(instance, seed), seed=seed
-        )
+        run_solver_comparison(suite, instance, name, _solvers(instance), seed=seed)
     return suite
 
 

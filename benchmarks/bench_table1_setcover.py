@@ -26,11 +26,8 @@ import pytest
 
 from benchmarks.common import print_table, write_table
 from repro.analysis.metrics import setcover_blowup
-from repro.baselines import DemaineSetCover, HarPeledSetCover
-from repro.core import StreamingSetCover
+from repro.api import StreamSpec, solve
 from repro.datasets import planted_setcover_instance
-from repro.offline.greedy import greedy_set_cover
-from repro.streaming import EdgeStream, SetStream, StreamingRunner
 from repro.utils.tables import Table
 
 ROUNDS = (2, 3, 4)
@@ -53,68 +50,34 @@ def _run_rows() -> Table:
     for index, rounds in enumerate(ROUNDS):
         instance = planted_setcover_instance(80, 2500, cover_size=12, seed=300 + index)
         optimum = len(instance.planted_solution)
-        runner = StreamingRunner(instance.graph)
+        stream = StreamSpec(order="random", seed=index)
         log_m_bound = (1 + EPSILON) * math.log(instance.m)
 
-        greedy = greedy_set_cover(instance.graph)
-        table.add_row(
-            rounds=rounds,
-            algorithm="offline-greedy",
-            passes=0,
-            cover_size=greedy.size,
-            size_blowup=setcover_blowup(greedy.size, optimum),
-            paper_bound=math.log(instance.m),
-            covered_fraction=1.0,
-            space_peak=instance.num_edges,
-        )
-
-        ours = StreamingSetCover(
-            instance.n, instance.m, epsilon=EPSILON, rounds=rounds,
-            seed=300 + index, max_guesses=14,
-        )
-        ours_report = runner.run(
-            ours, EdgeStream.from_graph(instance.graph, order="random", seed=index)
-        )
-        table.add_row(
-            rounds=rounds,
-            algorithm="this-paper-sketch",
-            passes=ours_report.passes,
-            cover_size=ours_report.solution_size,
-            size_blowup=setcover_blowup(ours_report.solution_size, optimum),
-            paper_bound=log_m_bound,
-            covered_fraction=ours_report.coverage_fraction,
-            space_peak=ours_report.space_peak,
-        )
-
-        demaine = DemaineSetCover(instance.m, rounds=rounds)
-        demaine_report = runner.run(
-            demaine, SetStream.from_graph(instance.graph, order="random", seed=index)
-        )
-        table.add_row(
-            rounds=rounds,
-            algorithm="demaine-style",
-            passes=demaine_report.passes,
-            cover_size=demaine_report.solution_size,
-            size_blowup=setcover_blowup(demaine_report.solution_size, optimum),
-            paper_bound=4 * rounds * math.log(instance.m),
-            covered_fraction=demaine_report.coverage_fraction,
-            space_peak=demaine_report.space_peak,
-        )
-
-        harpeled = HarPeledSetCover(instance.m, passes=2 * rounds - 1)
-        harpeled_report = runner.run(
-            harpeled, SetStream.from_graph(instance.graph, order="random", seed=index)
-        )
-        table.add_row(
-            rounds=rounds,
-            algorithm="har-peled-style",
-            passes=harpeled_report.passes,
-            cover_size=harpeled_report.solution_size,
-            size_blowup=setcover_blowup(harpeled_report.solution_size, optimum),
-            paper_bound=(2 * rounds - 1) * math.log(instance.m),
-            covered_fraction=harpeled_report.coverage_fraction,
-            space_peak=harpeled_report.space_peak,
-        )
+        # One solve() per Table 1 row; the registry wires constructors and streams.
+        rows = [
+            ("offline-greedy", "offline/greedy", {"allow_partial": False},
+             math.log(instance.m)),
+            ("this-paper-sketch", "setcover/sketch",
+             {"epsilon": EPSILON, "rounds": rounds, "max_guesses": 14}, log_m_bound),
+            ("demaine-style", "setcover/demaine", {"rounds": rounds},
+             4 * rounds * math.log(instance.m)),
+            ("har-peled-style", "setcover/harpeled", {"passes": 2 * rounds - 1},
+             (2 * rounds - 1) * math.log(instance.m)),
+        ]
+        for label, solver, options, bound in rows:
+            report = solve(
+                instance, solver, options=options, stream=stream, seed=300 + index
+            )
+            table.add_row(
+                rounds=rounds,
+                algorithm=label,
+                passes=report.passes,
+                cover_size=report.solution_size,
+                size_blowup=setcover_blowup(report.solution_size, optimum),
+                paper_bound=bound,
+                covered_fraction=report.coverage_fraction,
+                space_peak=report.space_peak,
+            )
     return table
 
 

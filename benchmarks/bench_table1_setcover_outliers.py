@@ -25,12 +25,9 @@ import math
 import pytest
 
 from benchmarks.common import print_table, write_table
-from repro.analysis import ExperimentSuite
 from repro.analysis.metrics import setcover_blowup
-from repro.baselines import ThresholdPartialSetCover
-from repro.core import StreamingSetCoverOutliers
+from repro.api import StreamSpec, solve
 from repro.datasets import planted_setcover_instance
-from repro.streaming import EdgeStream, SetStream, StreamingRunner
 from repro.utils.tables import Table
 
 LAMBDAS = (0.05, 0.1, 0.2)
@@ -53,44 +50,30 @@ def _run_rows() -> Table:
     for index, lam in enumerate(LAMBDAS):
         instance = planted_setcover_instance(80, 2500, cover_size=12, seed=200 + index)
         optimum = len(instance.planted_solution)
-        runner = StreamingRunner(instance.graph)
+        stream = StreamSpec(order="random", seed=index)
 
-        sketch_algo = StreamingSetCoverOutliers(
-            instance.n, instance.m, outlier_fraction=lam, epsilon=EPSILON,
-            seed=200 + index, max_guesses=16,
-        )
-        sketch_report = runner.run(
-            sketch_algo, EdgeStream.from_graph(instance.graph, order="random", seed=index)
-        )
-        table.add_row(
-            **{
-                "lambda": lam,
-                "algorithm": "this-paper-sketch",
-                "passes": sketch_report.passes,
-                "covered_fraction": sketch_report.coverage_fraction,
-                "target_fraction": 1 - lam,
-                "size_blowup": setcover_blowup(sketch_report.solution_size, optimum),
-                "paper_bound": (1 + EPSILON) * math.log(1 / lam),
-                "space_peak": sketch_report.space_peak,
-            }
-        )
-
-        baseline = ThresholdPartialSetCover(instance.m, outlier_fraction=lam, passes=3)
-        baseline_report = runner.run(
-            baseline, SetStream.from_graph(instance.graph, order="random", seed=index)
-        )
-        table.add_row(
-            **{
-                "lambda": lam,
-                "algorithm": "threshold-baseline",
-                "passes": baseline_report.passes,
-                "covered_fraction": baseline_report.coverage_fraction,
-                "target_fraction": 1 - lam,
-                "size_blowup": setcover_blowup(baseline_report.solution_size, optimum),
-                "paper_bound": float("nan"),
-                "space_peak": baseline_report.space_peak,
-            }
-        )
+        rows = [
+            ("this-paper-sketch", "outliers/sketch",
+             {"epsilon": EPSILON, "max_guesses": 16}, (1 + EPSILON) * math.log(1 / lam)),
+            ("threshold-baseline", "outliers/emek-rosen", {"passes": 3}, float("nan")),
+        ]
+        for label, solver, options, bound in rows:
+            report = solve(
+                instance, solver, problem_kind="set_cover_outliers",
+                outlier_fraction=lam, options=options, stream=stream, seed=200 + index,
+            )
+            table.add_row(
+                **{
+                    "lambda": lam,
+                    "algorithm": label,
+                    "passes": report.passes,
+                    "covered_fraction": report.coverage_fraction,
+                    "target_fraction": 1 - lam,
+                    "size_blowup": setcover_blowup(report.solution_size, optimum),
+                    "paper_bound": bound,
+                    "space_peak": report.space_peak,
+                }
+            )
     return table
 
 

@@ -8,11 +8,13 @@ and a (blog, story) edge arrives whenever a crawler discovers that a blog
 covered a story — a natural *edge-arrival* stream, since one blog's stories
 surface over time interleaved with everybody else's.
 
-The example compares three single-pass algorithms on the same crawl:
+The example compares three single-pass algorithms on the same crawl through
+one :class:`repro.Session` — each is a registry name, and the session wires
+the right stream (edge vs set arrival) per solver:
 
-* the paper's sketch-based Algorithm 3 (edge arrival, O~(n) space),
-* Saha–Getoor swap streaming (set arrival, ¼ guarantee, O~(m) space),
-* sieve-streaming (set arrival, ½ guarantee).
+* ``kcover/sketch`` — the paper's Algorithm 3 (edge arrival, O~(n) space),
+* ``kcover/saha-getoor`` — swap streaming (set arrival, ¼ guarantee),
+* ``kcover/sieve`` — sieve-streaming (set arrival, ½ guarantee).
 
 Run with::
 
@@ -21,10 +23,8 @@ Run with::
 
 from __future__ import annotations
 
-from repro import EdgeStream, SetStream, StreamingKCover, StreamingRunner
-from repro.baselines import SahaGetoorKCover, SieveStreamingKCover
+import repro
 from repro.datasets import blog_watch_instance, labeled_blog_watch_system
-from repro.offline import greedy_k_cover
 from repro.utils.tables import Table
 
 K = 8
@@ -37,56 +37,40 @@ def main() -> None:
         f"{instance.num_edges} (blog, story) observations\n"
     )
 
-    runner = StreamingRunner(instance.graph)
-    reference = greedy_k_cover(instance.graph, K).coverage
+    reference = repro.solve(instance, "offline/greedy", seed=7).coverage
 
+    session = repro.Session(
+        instance, instance_name="blog_watch", seed=7, reference_value=reference
+    )
+    labels = {
+        "kcover/sketch": "sketch (this paper)",
+        "kcover/saha-getoor": "Saha-Getoor swap",
+        "kcover/sieve": "sieve-streaming",
+    }
     table = Table(
         ["algorithm", "arrival", "stories_covered", "vs_offline_greedy", "stored_items", "passes"]
     )
-
-    sketch = StreamingKCover(instance.n, instance.m, k=K, epsilon=0.2, seed=7)
-    sketch_report = runner.run(
-        sketch, EdgeStream.from_graph(instance.graph, order="random", seed=7)
-    )
-    table.add_row(
-        algorithm="sketch (this paper)",
-        arrival="edge",
-        stories_covered=sketch_report.coverage,
-        vs_offline_greedy=sketch_report.coverage / reference,
-        stored_items=sketch_report.space_peak,
-        passes=sketch_report.passes,
-    )
-
-    saha = SahaGetoorKCover(k=K)
-    saha_report = runner.run(saha, SetStream.from_graph(instance.graph, order="random", seed=7))
-    table.add_row(
-        algorithm="Saha-Getoor swap",
-        arrival="set",
-        stories_covered=saha_report.coverage,
-        vs_offline_greedy=saha_report.coverage / reference,
-        stored_items=saha_report.space_peak,
-        passes=saha_report.passes,
-    )
-
-    sieve = SieveStreamingKCover(k=K, epsilon=0.1)
-    sieve_report = runner.run(sieve, SetStream.from_graph(instance.graph, order="random", seed=7))
-    table.add_row(
-        algorithm="sieve-streaming",
-        arrival="set",
-        stories_covered=sieve_report.coverage,
-        vs_offline_greedy=sieve_report.coverage / reference,
-        stored_items=sieve_report.space_peak,
-        passes=sieve_report.passes,
-    )
+    for solver, label in labels.items():
+        options = {"epsilon": 0.2} if solver == "kcover/sketch" else (
+            {"epsilon": 0.1} if solver == "kcover/sieve" else None
+        )
+        report = session.run(solver, label=label, options=options)
+        table.add_row(
+            algorithm=label,
+            arrival=report.arrival_model,
+            stories_covered=report.coverage,
+            vs_offline_greedy=report.coverage / reference,
+            stored_items=report.space_peak,
+            passes=report.passes,
+        )
 
     print(table.to_grid())
 
     # A small labelled run so the output names actual blogs.
     system = labeled_blog_watch_system(num_blogs=40, num_stories=600, seed=11)
     graph = system.to_graph()
-    labelled_algo = StreamingKCover(system.n, system.m, k=5, epsilon=0.3, seed=11)
-    labelled_report = StreamingRunner(graph).run(
-        labelled_algo, EdgeStream.from_graph(graph, order="random", seed=11)
+    labelled_report = repro.solve(
+        graph, "kcover/sketch", k=5, options={"epsilon": 0.3}, seed=11
     )
     picks = system.labels_for(labelled_report.solution)
     print("\nsmall labelled crawl — follow these blogs:")

@@ -5,7 +5,7 @@ The introduction motivates coverage problems with large-graph mining.  Here a
 Barabási–Albert graph stands in for a web/social graph; each vertex's closed
 neighbourhood is a set, and the edge stream delivers "u links to v"
 observations in arbitrary order.  Two questions are answered in one or a few
-passes without ever storing the graph:
+passes without ever storing the graph, each one a ``repro.solve()`` call:
 
 1. *k-cover*: which k vertices reach the most of the network? (Algorithm 3)
 2. *set cover with outliers*: how few vertices reach 95% of the network?
@@ -18,10 +18,9 @@ Run with::
 
 from __future__ import annotations
 
-from repro import EdgeStream, StreamingKCover, StreamingRunner
-from repro.core import StreamingSetCoverOutliers
+import repro
+from repro.api import StreamSpec
 from repro.datasets import barabasi_albert_instance
-from repro.offline import greedy_k_cover, greedy_partial_cover
 from repro.utils.tables import Table
 
 K = 12
@@ -34,14 +33,13 @@ def main() -> None:
         f"graph: {instance.n} vertices, {instance.num_edges} closed-neighbourhood edges "
         f"(dominating-set view)\n"
     )
-    runner = StreamingRunner(instance.graph)
 
     # --- Question 1: the k most covering vertices -------------------------
-    kcover = StreamingKCover(instance.n, instance.m, k=K, epsilon=0.3, scale=0.01, seed=5)
-    kcover_report = runner.run(
-        kcover, EdgeStream.from_graph(instance.graph, order="random", seed=5)
+    kcover_report = repro.solve(
+        instance, "kcover/sketch",
+        options={"epsilon": 0.3, "scale": 0.01}, seed=5,
     )
-    offline = greedy_k_cover(instance.graph, K)
+    offline = repro.solve(instance, "offline/greedy", seed=5)
 
     table = Table(["question", "method", "result", "space_edges", "passes"])
     table.add_row(
@@ -55,24 +53,21 @@ def main() -> None:
         question=f"best {K} hubs",
         method="offline greedy",
         result=f"{offline.coverage}/{instance.m} vertices reached",
-        space_edges=instance.num_edges,
+        space_edges=offline.space_peak,
         passes="-",
     )
 
     # --- Question 2: how few vertices reach 95% of the network ------------
-    partial = StreamingSetCoverOutliers(
-        instance.n,
-        instance.m,
-        outlier_fraction=OUTLIERS,
-        epsilon=0.5,
-        scale=0.02,
-        seed=5,
-        max_guesses=20,
+    partial_report = repro.solve(
+        instance, "outliers/sketch",
+        problem_kind="set_cover_outliers", outlier_fraction=OUTLIERS,
+        options={"epsilon": 0.5, "scale": 0.02, "max_guesses": 20},
+        stream=StreamSpec(order="random", seed=6), seed=5,
     )
-    partial_report = runner.run(
-        partial, EdgeStream.from_graph(instance.graph, order="random", seed=6)
+    offline_partial = repro.solve(
+        instance, "offline/greedy",
+        problem_kind="set_cover_outliers", outlier_fraction=OUTLIERS, seed=5,
     )
-    offline_partial = greedy_partial_cover(instance.graph, 1 - OUTLIERS)
     table.add_row(
         question=f"reach {1-OUTLIERS:.0%} of the graph",
         method="streaming sketch",
@@ -86,8 +81,8 @@ def main() -> None:
     table.add_row(
         question=f"reach {1-OUTLIERS:.0%} of the graph",
         method="offline greedy",
-        result=f"{offline_partial.size} vertices cover {1-OUTLIERS:.0%}",
-        space_edges=instance.num_edges,
+        result=f"{offline_partial.solution_size} vertices cover {1-OUTLIERS:.0%}",
+        space_edges=offline_partial.space_peak,
         passes="-",
     )
 

@@ -1,9 +1,10 @@
 #!/usr/bin/env python
-"""Quickstart: streaming k-cover with the paper's sketch in ~40 lines.
+"""Quickstart: streaming k-cover with the paper's sketch in ~30 lines.
 
-Builds a synthetic coverage instance with a planted optimum, streams its
-membership edges in random order through Algorithm 3 (sketch + greedy), and
-compares the result against the offline greedy and the planted optimum.
+Builds a synthetic coverage instance with a planted optimum, then runs
+Algorithm 3 (sketch + greedy) and the offline greedy through the unified
+``repro.solve()`` facade — every algorithm in the library is one registry
+name away (see ``repro.list_solvers()``).
 
 Run with::
 
@@ -12,8 +13,8 @@ Run with::
 
 from __future__ import annotations
 
-from repro import EdgeStream, StreamingKCover, StreamingRunner, datasets
-from repro.offline import greedy_k_cover
+import repro
+from repro import datasets
 from repro.utils.tables import Table
 
 
@@ -28,14 +29,12 @@ def main() -> None:
     # 2. The streaming algorithm: single pass over edge arrivals, O~(n) space.
     #    `scale` shrinks the (very conservative) worst-case edge budget so the
     #    compression is visible even on this laptop-sized instance.
-    algorithm = StreamingKCover(
-        instance.n, instance.m, k=10, epsilon=0.2, scale=0.02, seed=42
+    report = repro.solve(
+        instance, "kcover/sketch", options={"epsilon": 0.2, "scale": 0.02}, seed=42
     )
-    stream = EdgeStream.from_graph(instance.graph, order="random", seed=42)
-    report = StreamingRunner(instance.graph).run(algorithm, stream)
 
     # 3. References: offline greedy (sees everything) and the planted optimum.
-    greedy = greedy_k_cover(instance.graph, 10)
+    greedy = repro.solve(instance, "offline/greedy", seed=42)
 
     table = Table(["solver", "coverage", "fraction_of_planted", "stored_edges", "passes"])
     table.add_row(
@@ -49,7 +48,7 @@ def main() -> None:
         solver="offline greedy",
         coverage=greedy.coverage,
         fraction_of_planted=greedy.coverage / instance.planted_value,
-        stored_edges=instance.num_edges,
+        stored_edges=greedy.space_peak,
         passes="-",
     )
     table.add_row(

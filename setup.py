@@ -1,4 +1,32 @@
-"""Setup shim for environments whose pip/setuptools cannot do PEP 660 editable installs."""
-from setuptools import setup
+"""Packaging for the repro library (also a shim for pre-PEP 660 editable installs)."""
 
-setup()
+import re
+from pathlib import Path
+
+from setuptools import find_packages, setup
+
+_INIT = Path(__file__).parent / "src" / "repro" / "__init__.py"
+_VERSION = re.search(r'^__version__ = "([^"]+)"', _INIT.read_text(), re.MULTILINE).group(1)
+
+setup(
+    name="repro-streaming-coverage",
+    version=_VERSION,
+    description=(
+        "Reproduction of 'Almost Optimal Streaming Algorithms for Coverage "
+        "Problems' (Bateni, Esfandiari, Mirrokni; SPAA 2017)"
+    ),
+    long_description=(Path(__file__).parent / "README.md").read_text(encoding="utf-8")
+    if (Path(__file__).parent / "README.md").exists()
+    else "",
+    long_description_content_type="text/markdown",
+    packages=find_packages("src"),
+    package_dir={"": "src"},
+    python_requires=">=3.10",
+    install_requires=["numpy", "networkx", "scipy"],
+    entry_points={"console_scripts": ["repro = repro.cli:main"]},
+    classifiers=[
+        "Programming Language :: Python :: 3",
+        "Topic :: Scientific/Engineering",
+        "Intended Audience :: Science/Research",
+    ],
+)

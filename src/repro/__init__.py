@@ -11,18 +11,27 @@ The package is organised as:
   cover, plus the oracle-hardness and lower-bound constructions.
 * :mod:`repro.offline` — greedy / exact / local-search reference algorithms.
 * :mod:`repro.baselines` — prior streaming algorithms from Table 1.
-* :mod:`repro.datasets` — synthetic workload generators.
+* :mod:`repro.datasets` — synthetic workload generators (with a registry).
 * :mod:`repro.analysis` — metrics, experiment runner, report rendering.
+* :mod:`repro.api` — the solver registry, run specs and the ``solve()``
+  facade: the canonical way to run anything in the library.
 
 Quickstart
 ----------
->>> from repro import datasets, StreamingKCover, StreamingRunner, EdgeStream
+>>> import repro
+>>> from repro import datasets
 >>> instance = datasets.planted_kcover_instance(100, 2000, k=5, seed=1)
->>> algo = StreamingKCover(instance.n, instance.m, k=5, epsilon=0.2, seed=1)
->>> report = StreamingRunner(instance.graph).run(
-...     algo, EdgeStream.from_graph(instance.graph, order="random", seed=1))
+>>> report = repro.solve(instance, "kcover/sketch", seed=1)
 >>> report.solution_size
 5
+
+Any registered solver runs through the same call — compare with a baseline
+and the offline reference by name (see :func:`repro.list_solvers`):
+
+>>> session = repro.Session(instance, seed=1)
+>>> _ = session.compare(["kcover/sketch", "kcover/sieve", "offline/greedy"])
+>>> len(session.suite)
+3
 """
 
 from repro import (
@@ -36,6 +45,7 @@ from repro import (
     streaming,
     utils,
 )
+from repro import api
 from repro.core import (
     CoverageSketch,
     SketchParams,
@@ -52,17 +62,31 @@ from repro.errors import (
     PassBudgetExceeded,
     ReproError,
     SpaceBudgetExceeded,
+    SpecError,
     StreamExhausted,
+    UnknownDatasetError,
+    UnknownSolverError,
 )
 from repro.offline import greedy_k_cover, greedy_set_cover
 from repro.streaming import EdgeStream, SetStream, SpaceMeter, StreamingRunner
+from repro.api import (
+    ProblemSpec,
+    RunSpec,
+    Session,
+    SolverSpec,
+    StreamSpec,
+    list_solvers,
+    register_solver,
+    solve,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
     # subpackages
     "analysis",
+    "api",
     "baselines",
     "coverage",
     "core",
@@ -71,6 +95,15 @@ __all__ = [
     "offline",
     "streaming",
     "utils",
+    # the solve() facade and its specs
+    "solve",
+    "Session",
+    "list_solvers",
+    "register_solver",
+    "ProblemSpec",
+    "SolverSpec",
+    "StreamSpec",
+    "RunSpec",
     # most-used classes re-exported at top level
     "BipartiteGraph",
     "CoverageFunction",
@@ -96,4 +129,7 @@ __all__ = [
     "PassBudgetExceeded",
     "InfeasibleError",
     "StreamExhausted",
+    "SpecError",
+    "UnknownSolverError",
+    "UnknownDatasetError",
 ]

@@ -3,6 +3,7 @@
 from repro.analysis.experiments import (
     ExperimentRow,
     ExperimentSuite,
+    run_solver_comparison,
     run_streaming_comparison,
 )
 from repro.analysis.metrics import (
@@ -20,6 +21,7 @@ __all__ = [
     "ExperimentRow",
     "ExperimentSuite",
     "run_streaming_comparison",
+    "run_solver_comparison",
     "SummaryStats",
     "approximation_ratio",
     "coverage_shortfall",

@@ -18,7 +18,12 @@ from repro.streaming.runner import StreamingReport, StreamingRunner
 from repro.streaming.stream import EdgeStream, SetStream
 from repro.utils.tables import Table
 
-__all__ = ["ExperimentRow", "ExperimentSuite", "run_streaming_comparison"]
+__all__ = [
+    "ExperimentRow",
+    "ExperimentSuite",
+    "run_streaming_comparison",
+    "run_solver_comparison",
+]
 
 
 @dataclass
@@ -109,6 +114,37 @@ class ExperimentSuite:
 
     def __len__(self) -> int:
         return len(self.rows)
+
+
+def run_solver_comparison(
+    suite: ExperimentSuite,
+    instance: CoverageInstance,
+    instance_name: str,
+    solvers: Iterable[Any],
+    *,
+    seed: int = 0,
+    reference_value: float | None = None,
+) -> list[ExperimentRow]:
+    """Run registry solvers on one instance and record their rows.
+
+    The registry-based counterpart of :func:`run_streaming_comparison`:
+    instead of ``(label, factory)`` pairs it takes :mod:`repro.api` solver
+    names / specs — plain names, ``(label, name)`` or
+    ``(label, name, options)`` — and resolves the wiring (constructor
+    arguments, stream arrival model, report metrics) through the facade.
+    """
+    from repro.api import Session  # local import: analysis must not require api at import time
+
+    session = Session(
+        instance,
+        instance_name=instance_name,
+        seed=seed,
+        reference_value=reference_value,
+        suite=suite,
+    )
+    start = len(suite.rows)
+    session.compare(solvers)
+    return suite.rows[start:]
 
 
 def run_streaming_comparison(

@@ -1,0 +1,55 @@
+"""Unified programmatic surface: solver registry, run specs and ``solve()``.
+
+This package is the canonical way to run anything in the library::
+
+    from repro import datasets, solve
+
+    instance = datasets.planted_kcover_instance(100, 2000, k=5, seed=1)
+    report = solve(instance, "kcover/sketch", options={"epsilon": 0.2})
+
+See :mod:`repro.api.registry` for the registry, :mod:`repro.api.specs` for
+the serializable spec dataclasses and :mod:`repro.api.facade` for ``solve``
+and :class:`Session`.  Importing this package registers every built-in
+solver (:mod:`repro.api.solvers`).
+"""
+
+from repro.api.registry import (
+    SOLVER_KINDS,
+    OfflineOutcome,
+    ProblemContext,
+    SolverInfo,
+    get_solver,
+    iter_solvers,
+    list_solvers,
+    register_solver,
+    unregister_solver,
+)
+from repro.api.specs import (
+    PROBLEM_KINDS,
+    ProblemSpec,
+    RunSpec,
+    SolverSpec,
+    StreamSpec,
+)
+from repro.api import solvers as _builtin_solvers  # noqa: F401  (registers solvers)
+from repro.api.facade import Session, run, solve
+
+__all__ = [
+    "SOLVER_KINDS",
+    "PROBLEM_KINDS",
+    "ProblemContext",
+    "OfflineOutcome",
+    "SolverInfo",
+    "register_solver",
+    "unregister_solver",
+    "get_solver",
+    "list_solvers",
+    "iter_solvers",
+    "ProblemSpec",
+    "SolverSpec",
+    "StreamSpec",
+    "RunSpec",
+    "solve",
+    "run",
+    "Session",
+]

@@ -1,0 +1,442 @@
+"""One entry point for every algorithm in the library.
+
+:func:`solve` takes *anything that describes a coverage problem* — a
+:class:`CoverageInstance`, a bare :class:`BipartiteGraph`, or a
+:class:`ProblemSpec` bound to a registered dataset — resolves the solver
+through the registry, wires up the right stream (edge or set arrival, per
+the solver's declared model) and returns the same
+:class:`~repro.streaming.runner.StreamingReport` the hand-wired entry points
+produced.  Offline and distributed solvers are wrapped into the same report
+shape so comparison code never branches on the solver kind.
+
+:class:`Session` runs several solvers against one problem and aggregates the
+reports into an :class:`~repro.analysis.experiments.ExperimentSuite`, which
+is what the CLI, the benchmarks and the examples print.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.analysis.experiments import ExperimentSuite
+from repro.analysis.metrics import approximation_ratio, kcover_reference_value
+from repro.api.registry import ProblemContext, SolverInfo, get_solver
+from repro.api.specs import ProblemSpec, RunSpec, SolverSpec, StreamSpec
+from repro.coverage.bipartite import BipartiteGraph
+from repro.coverage.instance import CoverageInstance, ProblemKind
+from repro.errors import SpecError
+from repro.streaming.runner import StreamingReport, StreamingRunner
+from repro.streaming.stream import EdgeStream, SetStream
+from repro.utils.tables import Table
+from repro.utils.timer import Stopwatch
+
+__all__ = ["solve", "run", "Session"]
+
+Problem = CoverageInstance | BipartiteGraph | ProblemSpec
+
+
+def _resolve_context(
+    problem: Problem,
+    *,
+    k: int | None = None,
+    outlier_fraction: float | None = None,
+    problem_kind: str | None = None,
+    seed: int = 0,
+) -> ProblemContext:
+    """Normalize the accepted problem descriptions into a ProblemContext."""
+    if isinstance(problem, ProblemSpec):
+        instance = problem.build_instance()
+        return _resolve_context(
+            instance,
+            k=k if k is not None else problem.k,
+            outlier_fraction=(
+                outlier_fraction
+                if outlier_fraction is not None
+                else problem.outlier_fraction
+            ),
+            problem_kind=problem_kind or problem.problem,
+            seed=seed,
+        )
+    if isinstance(problem, CoverageInstance):
+        kind = problem_kind or problem.kind.value
+        return ProblemContext(
+            graph=problem.graph,
+            problem=kind,
+            k=k if k is not None else problem.k,
+            outlier_fraction=(
+                outlier_fraction
+                if outlier_fraction is not None
+                else problem.outlier_fraction
+            ),
+            seed=seed,
+            instance=problem,
+        )
+    if isinstance(problem, BipartiteGraph):
+        if problem_kind is None:
+            if outlier_fraction:
+                problem_kind = "set_cover_outliers"
+            elif k is not None:
+                problem_kind = "k_cover"
+            else:
+                problem_kind = "set_cover"
+        if problem_kind == "k_cover" and k is None:
+            raise SpecError(
+                "k_cover on a bare graph requires k=...; only a CoverageInstance "
+                "carries a default cardinality budget"
+            )
+        return ProblemContext(
+            graph=problem,
+            problem=problem_kind,
+            k=k if k is not None else 1,
+            outlier_fraction=outlier_fraction or 0.0,
+            seed=seed,
+        )
+    raise SpecError(
+        "problem must be a CoverageInstance, a BipartiteGraph or a ProblemSpec, "
+        f"got {type(problem).__name__}"
+    )
+
+
+def _resolve_solver(solver: str | SolverSpec, options: Mapping[str, Any] | None) -> SolverSpec:
+    if isinstance(solver, SolverSpec):
+        if options:
+            merged = {**solver.options, **dict(options)}
+            return SolverSpec(solver.name, merged)
+        return solver
+    if isinstance(solver, str):
+        return SolverSpec(solver, dict(options or {}))
+    raise SpecError(f"solver must be a registry name or SolverSpec, got {solver!r}")
+
+
+def _build_stream(
+    info: SolverInfo,
+    algorithm: Any,
+    ctx: ProblemContext,
+    stream: StreamSpec | EdgeStream | SetStream | None,
+) -> tuple[EdgeStream | SetStream, str | None]:
+    """The stream to drive, plus the effective order (None for prebuilt streams)."""
+    if isinstance(stream, (EdgeStream, SetStream)):
+        return stream, None
+    if stream is not None and not isinstance(stream, StreamSpec):
+        raise SpecError(
+            "stream must be a StreamSpec, an EdgeStream/SetStream or None, "
+            f"got {type(stream).__name__}"
+        )
+    spec = stream if isinstance(stream, StreamSpec) else StreamSpec(seed=ctx.seed)
+    arrival = spec.arrival or getattr(algorithm, "arrival_model", info.arrival) or "edge"
+    if arrival == "edge":
+        return EdgeStream.from_graph(ctx.graph, order=spec.order, seed=spec.seed), spec.order
+    # SetStream only supports given/random; the degraded effective order is
+    # recorded on the report so mixed comparisons stay honest.
+    return (
+        SetStream.from_graph(ctx.graph, order=spec.set_order, seed=spec.seed),
+        spec.set_order,
+    )
+
+
+def _offline_report(
+    ctx: ProblemContext, outcome: Any, solve_seconds: float, extra: dict[str, Any]
+) -> StreamingReport:
+    solution = tuple(dict.fromkeys(int(s) for s in outcome.solution))
+    coverage = ctx.graph.coverage(solution)
+    total = ctx.graph.num_elements
+    return StreamingReport(
+        algorithm=outcome.algorithm,
+        arrival_model="offline",
+        solution=solution,
+        coverage=coverage,
+        coverage_fraction=(coverage / total) if total else 1.0,
+        solution_size=len(solution),
+        passes=0,
+        space_peak=ctx.graph.num_edges,
+        space_budget=None,
+        stream_events=0,
+        timings={"solve": solve_seconds},
+        extra={**outcome.extra, **extra},
+    )
+
+
+def _distributed_report(
+    ctx: ProblemContext,
+    algorithm_name: str,
+    dist_report: Any,
+    solve_seconds: float,
+    extra: dict[str, Any],
+) -> StreamingReport:
+    solution = tuple(dict.fromkeys(int(s) for s in dist_report.solution))
+    coverage = ctx.graph.coverage(solution)
+    total = ctx.graph.num_elements
+    return StreamingReport(
+        algorithm=algorithm_name,
+        arrival_model="distributed",
+        solution=solution,
+        coverage=coverage,
+        coverage_fraction=(coverage / total) if total else 1.0,
+        solution_size=len(solution),
+        passes=dist_report.rounds,
+        space_peak=dist_report.max_machine_load,
+        space_budget=None,
+        stream_events=dist_report.communication_edges,
+        timings={"solve": solve_seconds},
+        extra={
+            "num_machines": dist_report.num_machines,
+            "strategy": dist_report.strategy,
+            "communication_edges": dist_report.communication_edges,
+            "coordinator_edges": dist_report.coordinator_edges,
+            "coverage_estimate": dist_report.coverage_estimate,
+            **extra,
+        },
+    )
+
+
+def solve(
+    problem: Problem,
+    solver: str | SolverSpec = "kcover/sketch",
+    *,
+    k: int | None = None,
+    outlier_fraction: float | None = None,
+    problem_kind: str | None = None,
+    options: Mapping[str, Any] | None = None,
+    stream: StreamSpec | EdgeStream | SetStream | None = None,
+    max_passes: int | None = None,
+    seed: int = 0,
+    extra: Mapping[str, Any] | None = None,
+) -> StreamingReport:
+    """Run any registered solver on a coverage problem and report the outcome.
+
+    Parameters
+    ----------
+    problem:
+        A :class:`CoverageInstance`, a bare :class:`BipartiteGraph`, or a
+        :class:`ProblemSpec` bound to a registered dataset.
+    solver:
+        A registry name (``"kcover/sketch"``) or a :class:`SolverSpec`.
+    k / outlier_fraction / problem_kind:
+        Problem parameters; default to the instance's own when available.
+    options:
+        Extra constructor options merged over the solver spec's options.
+    stream:
+        A :class:`StreamSpec` (order/seed/arrival), an already-built stream,
+        or ``None`` for the solver's native arrival model seeded by ``seed``.
+        Only streaming solvers consume a stream: a StreamSpec is ignored by
+        offline/distributed solvers (so mixed comparisons can share one
+        spec), but passing them a concrete stream object is an error.
+    max_passes:
+        Pass budget enforced by the runner; rejected for offline and
+        distributed solvers, which take no passes over a stream.
+    seed:
+        Seed forwarded to the solver constructor (and the default stream).
+    extra:
+        Free-form values recorded on the report.
+
+    Returns
+    -------
+    StreamingReport
+        The same report type the hand-wired pipelines produced; offline and
+        distributed solvers are wrapped into it (``arrival_model`` is then
+        ``"offline"`` / ``"distributed"`` and ``passes`` counts rounds).
+    """
+    spec = _resolve_solver(solver, options)
+    info = get_solver(spec.name)
+    ctx = _resolve_context(
+        problem,
+        k=k,
+        outlier_fraction=outlier_fraction,
+        problem_kind=problem_kind,
+        seed=seed,
+    )
+    if not info.solves(ctx.problem):
+        raise SpecError(
+            f"solver {info.name!r} solves {info.problems}, not {ctx.problem!r}; "
+            "pass problem_kind=... or pick a matching solver"
+        )
+    extra_dict = dict(extra or {})
+    if info.kind == "streaming":
+        algorithm = info.builder(ctx, **spec.options)
+        stream_obj, effective_order = _build_stream(info, algorithm, ctx, stream)
+        if effective_order is not None:
+            extra_dict.setdefault("stream_order", effective_order)
+        return StreamingRunner(ctx.graph).run(
+            algorithm, stream_obj, max_passes=max_passes, extra=extra_dict
+        )
+    if max_passes is not None:
+        raise SpecError(
+            f"max_passes does not apply to {info.kind} solver {info.name!r}"
+        )
+    if isinstance(stream, (EdgeStream, SetStream)):
+        raise SpecError(
+            f"{info.kind} solver {info.name!r} does not consume a stream object; "
+            "pass a StreamSpec (ignored) or omit stream"
+        )
+    stopwatch = Stopwatch()
+    with stopwatch.section("solve"):
+        outcome = info.builder(ctx, **spec.options)
+    seconds = stopwatch.as_dict().get("solve", 0.0)
+    if info.kind == "offline":
+        return _offline_report(ctx, outcome, seconds, extra_dict)
+    algorithm_name, dist_report = outcome
+    return _distributed_report(ctx, algorithm_name, dist_report, seconds, extra_dict)
+
+
+def run(spec: RunSpec, problem: Problem | None = None) -> list[StreamingReport]:
+    """Execute a fully-serialized :class:`RunSpec`.
+
+    ``problem`` overrides the spec's dataset-bound instance (useful when the
+    caller already materialized it); otherwise the spec must name a dataset,
+    which is materialized once and shared by all repetitions.  Returns one
+    report per repetition (stream and solver seeds advance by one per
+    repetition so repeats are independent but reproducible); ``spec.label``
+    is recorded on each report's ``extra``.
+    """
+    target = problem if problem is not None else spec.problem.build_instance()
+    extra = {"label": spec.label} if spec.label else None
+    reports = []
+    for repetition in range(spec.repetitions):
+        stream = StreamSpec(
+            order=spec.stream.order,
+            seed=spec.stream.seed + repetition,
+            arrival=spec.stream.arrival,
+        )
+        reports.append(
+            solve(
+                target,
+                spec.solver,
+                k=spec.problem.k,
+                outlier_fraction=spec.problem.outlier_fraction,
+                problem_kind=spec.problem.problem,
+                stream=stream,
+                max_passes=spec.max_passes,
+                seed=stream.seed,
+                extra=extra,
+            )
+        )
+    return reports
+
+
+class Session:
+    """Batch/comparison runs against one problem, aggregated via analysis.
+
+    Every :meth:`run` resolves a solver through the registry, executes it via
+    :func:`solve` and appends a row (with reference value and approximation
+    ratio when the problem is a :class:`CoverageInstance`) to ``self.suite``.
+    """
+
+    def __init__(
+        self,
+        problem: Problem,
+        *,
+        name: str = "session",
+        instance_name: str = "instance",
+        k: int | None = None,
+        outlier_fraction: float | None = None,
+        problem_kind: str | None = None,
+        seed: int = 0,
+        reference_value: float | None = None,
+        suite: ExperimentSuite | None = None,
+    ) -> None:
+        if isinstance(problem, ProblemSpec):
+            problem = problem.build_instance()
+        self.problem: CoverageInstance | BipartiteGraph = problem
+        self.suite = suite if suite is not None else ExperimentSuite(name)
+        self.instance_name = instance_name
+        self.seed = seed
+        self._k = k
+        self._outlier_fraction = outlier_fraction
+        self._problem_kind = problem_kind
+        self._reference = reference_value
+        # A default reference only makes sense for k-cover (Opt_k); computing
+        # it is a full offline greedy, so defer until a row actually needs it.
+        self._auto_reference = (
+            reference_value is None
+            and isinstance(problem, CoverageInstance)
+            and ProblemKind(problem_kind or problem.kind) is ProblemKind.K_COVER
+        )
+
+    @property
+    def reference_value(self) -> float | None:
+        """The reference Opt_k rows are normalized against (None if not k-cover)."""
+        if self._reference is None and self._auto_reference:
+            self._reference = kcover_reference_value(self.problem)
+            self._auto_reference = False
+        return self._reference
+
+    def run(
+        self,
+        solver: str | SolverSpec,
+        *,
+        label: str | None = None,
+        options: Mapping[str, Any] | None = None,
+        stream: StreamSpec | EdgeStream | SetStream | None = None,
+        max_passes: int | None = None,
+        seed: int | None = None,
+        extra: Mapping[str, Any] | None = None,
+    ) -> StreamingReport:
+        """Run one solver and append its row to the suite."""
+        run_seed = self.seed if seed is None else seed
+        if stream is None:
+            stream = StreamSpec(seed=run_seed)
+        report = solve(
+            self.problem,
+            solver,
+            k=self._k,
+            outlier_fraction=self._outlier_fraction,
+            problem_kind=self._problem_kind,
+            options=options,
+            stream=stream,
+            max_passes=max_passes,
+            seed=run_seed,
+            extra=dict(extra or {}),
+        )
+        metrics: dict[str, Any] = {}
+        graph = (
+            self.problem.graph
+            if isinstance(self.problem, CoverageInstance)
+            else self.problem
+        )
+        reference = self.reference_value
+        if reference is not None:
+            metrics["reference_value"] = reference
+            metrics["approx_ratio"] = approximation_ratio(report.coverage, reference)
+        metrics["n"] = graph.num_sets
+        metrics["m"] = graph.num_elements
+        metrics["input_edges"] = graph.num_edges
+        self.suite.add_report(
+            label or report.algorithm, self.instance_name, report, extra=metrics
+        )
+        return report
+
+    def compare(
+        self,
+        solvers: Iterable[str | SolverSpec | Sequence[Any]],
+        **common: Any,
+    ) -> list[StreamingReport]:
+        """Run several solvers; entries are names, specs or (label, name[, options])."""
+        reports = []
+        for entry in solvers:
+            if isinstance(entry, (str, SolverSpec)):
+                reports.append(self.run(entry, **common))
+                continue
+            entry = list(entry)
+            if len(entry) == 2:
+                label, name = entry
+                reports.append(self.run(name, label=label, **common))
+            elif len(entry) == 3:
+                label, name, options = entry
+                reports.append(self.run(name, label=label, options=options, **common))
+            else:
+                raise SpecError(
+                    "compare entries must be a solver name/spec, (label, name) "
+                    f"or (label, name, options); got {entry!r}"
+                )
+        return reports
+
+    def to_table(self, columns: Sequence[str] | None = None) -> Table:
+        """Render the accumulated rows as a table."""
+        return self.suite.to_table(columns)
+
+    def aggregate(self, metric: str, by: str = "algorithm") -> dict[str, dict[str, float]]:
+        """Summary statistics of one metric grouped by a field."""
+        return self.suite.aggregate(metric, by=by)
+
+    def __len__(self) -> int:
+        return len(self.suite)

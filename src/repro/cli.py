@@ -1,17 +1,22 @@
 """Command-line interface.
 
-``python -m repro.cli <command>`` exposes the main workflows without writing
-any Python:
+``repro <command>`` (or ``python -m repro.cli <command>``) exposes the main
+workflows without writing any Python:
 
 * ``kcover`` — run the streaming k-cover sketch (and optionally the
   baselines) on a generated workload or an edge-list file.
 * ``setcover`` — run the multi-pass streaming set cover.
 * ``outliers`` — run set cover with λ outliers.
-* ``generate`` — generate a synthetic workload and write it as an edge list.
+* ``generate`` — generate a synthetic workload and write it as an edge list
+  (``--list`` prints the dataset registry instead).
 * ``sketch`` — build the sketch of an edge-list file and report its size.
+* ``list-solvers`` — print the solver registry with capability metadata.
 
-Every command prints a small aligned table and exits with a non-zero status
-on invalid input, so the CLI is scriptable in pipelines.
+Every command is a thin lookup into the :mod:`repro.api` solver registry and
+the :mod:`repro.datasets` dataset registry — algorithms and workloads
+registered by downstream code show up here automatically.  Commands print a
+small aligned table and exit with a non-zero status on invalid input, so the
+CLI is scriptable in pipelines.
 """
 
 from __future__ import annotations
@@ -21,40 +26,13 @@ import sys
 from pathlib import Path
 from typing import Sequence
 
-from repro.baselines import SahaGetoorKCover, SieveStreamingKCover
-from repro.core import StreamingKCover, StreamingSetCover, StreamingSetCoverOutliers
+from repro.api import StreamSpec, iter_solvers, solve
 from repro.coverage.bipartite import BipartiteGraph
 from repro.coverage.io import read_edge_list, write_edge_list
-from repro.datasets import (
-    blog_watch_instance,
-    planted_kcover_instance,
-    planted_setcover_instance,
-    uniform_random_instance,
-    zipf_instance,
-)
-from repro.offline.greedy import greedy_k_cover, greedy_set_cover
-from repro.streaming import EdgeStream, SetStream, StreamingRunner
+from repro.datasets import get_dataset, iter_datasets, list_datasets
 from repro.utils.tables import Table
 
 __all__ = ["main", "build_parser"]
-
-_GENERATORS = {
-    "planted_kcover": lambda args: planted_kcover_instance(
-        args.num_sets, args.num_elements, k=args.k, seed=args.seed
-    ),
-    "planted_setcover": lambda args: planted_setcover_instance(
-        args.num_sets, args.num_elements, cover_size=max(2, args.k), seed=args.seed
-    ),
-    "uniform": lambda args: uniform_random_instance(
-        args.num_sets, args.num_elements, density=args.density, k=args.k, seed=args.seed
-    ),
-    "zipf": lambda args: zipf_instance(
-        args.num_sets, args.num_elements, k=args.k, seed=args.seed
-    ),
-    "blog_watch": lambda args: blog_watch_instance(
-        num_blogs=args.num_sets, num_stories=args.num_elements, k=args.k, seed=args.seed
-    ),
-}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -68,7 +46,7 @@ def build_parser() -> argparse.ArgumentParser:
     def add_instance_options(p: argparse.ArgumentParser) -> None:
         p.add_argument("--edges", type=Path, default=None,
                        help="edge-list file (set<TAB>element); overrides --generator")
-        p.add_argument("--generator", choices=sorted(_GENERATORS), default="planted_kcover")
+        p.add_argument("--generator", choices=list_datasets(), default="planted_kcover")
         p.add_argument("--num-sets", type=int, default=100)
         p.add_argument("--num-elements", type=int, default=5000)
         p.add_argument("--density", type=float, default=0.05)
@@ -100,18 +78,22 @@ def build_parser() -> argparse.ArgumentParser:
     generate = sub.add_parser("generate", help="generate a workload as an edge-list file")
     add_instance_options(generate)
     generate.add_argument("--k", type=int, default=10)
-    generate.add_argument("--output", type=Path, required=True)
+    generate.add_argument("--output", type=Path, default=None)
+    generate.add_argument("--list", action="store_true", dest="list_datasets",
+                          help="list the registered dataset generators and exit")
 
     sketch = sub.add_parser("sketch", help="build the H_{<=n} sketch of an instance")
     add_instance_options(sketch)
     sketch.add_argument("--k", type=int, default=10)
     sketch.add_argument("--epsilon", type=float, default=0.2)
     sketch.add_argument("--scale", type=float, default=0.1)
+
+    sub.add_parser("list-solvers", help="list the registered solvers and their capabilities")
     return parser
 
 
 def _load_graph(args: argparse.Namespace) -> BipartiteGraph:
-    """Build the input graph from a file or a generator."""
+    """Build the input graph from a file or a registered generator."""
     if args.edges is not None:
         pairs = read_edge_list(args.edges)
         num_sets = max(int(s) for s, _ in pairs) + 1 if pairs else 1
@@ -119,8 +101,13 @@ def _load_graph(args: argparse.Namespace) -> BipartiteGraph:
         for set_label, element_label in pairs:
             graph.add_edge(int(set_label), int(element_label))
         return graph
-    instance = _GENERATORS[args.generator](args)
-    return instance.graph
+    return _generate_instance(args).graph
+
+
+def _generate_instance(args: argparse.Namespace):
+    return get_dataset(args.generator).build(
+        args.num_sets, args.num_elements, k=args.k, density=args.density, seed=args.seed
+    )
 
 
 def _print(table: Table, stream) -> None:
@@ -129,59 +116,60 @@ def _print(table: Table, stream) -> None:
 
 def _cmd_kcover(args: argparse.Namespace, out) -> int:
     graph = _load_graph(args)
-    runner = StreamingRunner(graph)
+    stream = StreamSpec(order="random", seed=args.seed)
     table = Table(["algorithm", "coverage", "fraction", "size", "passes", "space"])
-    algo = StreamingKCover(
-        graph.num_sets, max(1, graph.num_elements), k=args.k,
-        epsilon=args.epsilon, scale=args.scale, seed=args.seed,
+    report = solve(
+        graph, "kcover/sketch", problem_kind="k_cover", k=args.k, seed=args.seed,
+        options={"epsilon": args.epsilon, "scale": args.scale}, stream=stream,
     )
-    report = runner.run(algo, EdgeStream.from_graph(graph, order="random", seed=args.seed))
     table.add_row(algorithm="sketch-kcover", coverage=report.coverage,
                   fraction=report.coverage_fraction, size=report.solution_size,
                   passes=report.passes, space=report.space_peak)
     if args.baselines:
-        for name, baseline in (
-            ("saha-getoor", SahaGetoorKCover(k=args.k)),
-            ("sieve-streaming", SieveStreamingKCover(k=args.k, epsilon=0.1)),
+        for name, solver, options in (
+            ("saha-getoor", "kcover/saha-getoor", {}),
+            ("sieve-streaming", "kcover/sieve", {"epsilon": 0.1}),
         ):
-            rep = runner.run(baseline, SetStream.from_graph(graph, order="random", seed=args.seed))
+            rep = solve(graph, solver, problem_kind="k_cover", k=args.k,
+                        seed=args.seed, options=options, stream=stream)
             table.add_row(algorithm=name, coverage=rep.coverage, fraction=rep.coverage_fraction,
                           size=rep.solution_size, passes=rep.passes, space=rep.space_peak)
-    greedy = greedy_k_cover(graph, args.k)
+    greedy = solve(graph, "offline/greedy", problem_kind="k_cover", k=args.k, seed=args.seed)
     table.add_row(algorithm="offline-greedy", coverage=greedy.coverage,
-                  fraction=graph.coverage_fraction(greedy.selected),
-                  size=greedy.size, passes="-", space=graph.num_edges)
+                  fraction=greedy.coverage_fraction,
+                  size=greedy.solution_size, passes="-", space=greedy.space_peak)
     _print(table, out)
     return 0
 
 
 def _cmd_setcover(args: argparse.Namespace, out) -> int:
     graph = _load_graph(args)
-    runner = StreamingRunner(graph)
-    algo = StreamingSetCover(
-        graph.num_sets, max(1, graph.num_elements), epsilon=args.epsilon,
-        rounds=args.rounds, scale=args.scale, seed=args.seed, max_guesses=14,
+    report = solve(
+        graph, "setcover/sketch", problem_kind="set_cover", seed=args.seed,
+        options={"epsilon": args.epsilon, "rounds": args.rounds,
+                 "scale": args.scale, "max_guesses": 14},
+        stream=StreamSpec(order="random", seed=args.seed),
     )
-    report = runner.run(algo, EdgeStream.from_graph(graph, order="random", seed=args.seed))
-    greedy = greedy_set_cover(graph, allow_partial=True)
+    greedy = solve(graph, "offline/greedy", problem_kind="set_cover", seed=args.seed,
+                   options={"allow_partial": True})
     table = Table(["algorithm", "cover_size", "fraction", "passes", "space"])
     table.add_row(algorithm="sketch-setcover", cover_size=report.solution_size,
                   fraction=report.coverage_fraction, passes=report.passes,
                   space=report.space_peak)
-    table.add_row(algorithm="offline-greedy", cover_size=greedy.size, fraction=1.0,
-                  passes="-", space=graph.num_edges)
+    table.add_row(algorithm="offline-greedy", cover_size=greedy.solution_size, fraction=1.0,
+                  passes="-", space=greedy.space_peak)
     _print(table, out)
     return 0
 
 
 def _cmd_outliers(args: argparse.Namespace, out) -> int:
     graph = _load_graph(args)
-    runner = StreamingRunner(graph)
-    algo = StreamingSetCoverOutliers(
-        graph.num_sets, max(1, graph.num_elements), outlier_fraction=args.outlier_fraction,
-        epsilon=args.epsilon, scale=args.scale, seed=args.seed, max_guesses=16,
+    report = solve(
+        graph, "outliers/sketch", problem_kind="set_cover_outliers",
+        outlier_fraction=args.outlier_fraction, seed=args.seed,
+        options={"epsilon": args.epsilon, "scale": args.scale, "max_guesses": 16},
+        stream=StreamSpec(order="random", seed=args.seed),
     )
-    report = runner.run(algo, EdgeStream.from_graph(graph, order="random", seed=args.seed))
     table = Table(["algorithm", "cover_size", "fraction", "target", "passes", "space"])
     table.add_row(algorithm="sketch-outliers", cover_size=report.solution_size,
                   fraction=report.coverage_fraction, target=1 - args.outlier_fraction,
@@ -191,7 +179,15 @@ def _cmd_outliers(args: argparse.Namespace, out) -> int:
 
 
 def _cmd_generate(args: argparse.Namespace, out) -> int:
-    instance = _GENERATORS[args.generator](args)
+    if args.list_datasets:
+        table = Table(["name", "summary"])
+        for info in iter_datasets():
+            table.add_row(**info.describe())
+        _print(table, out)
+        return 0
+    if args.output is None:
+        raise ValueError("generate requires --output (or --list to see the generators)")
+    instance = _generate_instance(args)
     count = write_edge_list(instance.graph.edges(), args.output)
     print(
         f"wrote {count} edges (n={instance.n}, m={instance.m}) to {args.output}",
@@ -223,12 +219,21 @@ def _cmd_sketch(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _cmd_list_solvers(args: argparse.Namespace, out) -> int:
+    table = Table(["name", "kind", "problems", "arrival", "passes", "space", "summary"])
+    for info in iter_solvers():
+        table.add_row(**info.capabilities())
+    _print(table, out)
+    return 0
+
+
 _COMMANDS = {
     "kcover": _cmd_kcover,
     "setcover": _cmd_setcover,
     "outliers": _cmd_outliers,
     "generate": _cmd_generate,
     "sketch": _cmd_sketch,
+    "list-solvers": _cmd_list_solvers,
 }
 
 

@@ -1,4 +1,9 @@
-"""Synthetic workload generators."""
+"""Synthetic workload generators and the dataset registry.
+
+Named generators are registered in :mod:`repro.datasets.registry`
+(:func:`register_dataset` / :func:`list_datasets`); the CLI's ``--generator``
+choices and :meth:`repro.api.ProblemSpec.build_instance` resolve through it.
+"""
 
 from repro.datasets.adversarial import (
     disjointness_family,
@@ -22,8 +27,22 @@ from repro.datasets.realworld_like import (
     data_summarization_instance,
     labeled_blog_watch_system,
 )
+from repro.datasets.registry import (
+    DatasetInfo,
+    get_dataset,
+    iter_datasets,
+    list_datasets,
+    register_dataset,
+    unregister_dataset,
+)
 
 __all__ = [
+    "DatasetInfo",
+    "register_dataset",
+    "unregister_dataset",
+    "get_dataset",
+    "list_datasets",
+    "iter_datasets",
     "disjointness_family",
     "purification_family",
     "uniform_sampling_trap",

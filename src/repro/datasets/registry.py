@@ -1,0 +1,181 @@
+"""Dataset registry: named workload generators behind one uniform signature.
+
+The CLI's ``--generator`` choices, ``repro generate --list`` and
+:meth:`repro.api.ProblemSpec.build_instance` all resolve names through this
+table instead of hard-coding generator wiring.  Every registered builder
+accepts the uniform CLI-facing signature
+
+    ``build(num_sets, num_elements, *, k=10, density=0.05, seed=0, **kwargs)``
+
+mapping those knobs onto whatever the underlying generator calls them
+(e.g. ``num_blogs`` / ``num_stories`` for the blog-watch workload), with
+``**kwargs`` passing through generator-specific options for programmatic
+callers.  Dominating-set datasets are built from a graph on ``num_sets``
+nodes, so their ground set equals their set family (``m = n``) and
+``num_elements`` does not apply — their summaries say so, since the CLI
+always passes it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.coverage.instance import CoverageInstance
+from repro.errors import UnknownDatasetError
+from repro.utils.registry import NamedRegistry
+
+__all__ = [
+    "DatasetInfo",
+    "register_dataset",
+    "unregister_dataset",
+    "get_dataset",
+    "list_datasets",
+    "iter_datasets",
+]
+
+
+@dataclass(frozen=True)
+class DatasetInfo:
+    """A registry entry: the builder plus a one-line summary."""
+
+    name: str
+    summary: str
+    build: Callable[..., CoverageInstance]
+
+    def describe(self) -> dict[str, str]:
+        """Name and summary as a plain dict (for tables)."""
+        return {"name": self.name, "summary": self.summary}
+
+
+_REGISTRY: NamedRegistry[DatasetInfo] = NamedRegistry(
+    "dataset", UnknownDatasetError, "repro.datasets.list_datasets()"
+)
+
+
+def register_dataset(
+    name: str, *, summary: str = ""
+) -> Callable[[Callable[..., CoverageInstance]], Callable[..., CoverageInstance]]:
+    """Decorator registering a workload builder under ``name``."""
+
+    def decorator(build: Callable[..., CoverageInstance]) -> Callable[..., CoverageInstance]:
+        _REGISTRY.add(name, DatasetInfo(name=name, summary=summary, build=build))
+        return build
+
+    return decorator
+
+
+def unregister_dataset(name: str) -> None:
+    """Remove a registered dataset (mainly for tests and plugins)."""
+    _REGISTRY.remove(name)
+
+
+def get_dataset(name: str) -> DatasetInfo:
+    """Look up a dataset, raising :class:`UnknownDatasetError` with hints."""
+    return _REGISTRY.get(name)
+
+
+def list_datasets() -> list[str]:
+    """Sorted dataset names."""
+    return _REGISTRY.names()
+
+
+def iter_datasets() -> list[DatasetInfo]:
+    """All registry entries, sorted by name."""
+    return _REGISTRY.values()
+
+
+# --------------------------------------------------------------------- #
+# Built-in registrations (uniform CLI-facing signature).
+# --------------------------------------------------------------------- #
+def _register_builtins() -> None:
+    from repro.datasets.graphs import (
+        barabasi_albert_instance,
+        erdos_renyi_instance,
+        watts_strogatz_instance,
+    )
+    from repro.datasets.random_instances import (
+        planted_kcover_instance,
+        planted_setcover_instance,
+        uniform_random_instance,
+        zipf_instance,
+    )
+    from repro.datasets.realworld_like import (
+        blog_watch_instance,
+        data_summarization_instance,
+    )
+
+    @register_dataset(
+        "planted_kcover",
+        summary="k planted sets jointly cover ~90% of the ground set (known Opt_k)",
+    )
+    def _planted_kcover(num_sets, num_elements, *, k=10, density=0.05, seed=0, **kwargs):
+        return planted_kcover_instance(num_sets, num_elements, k=k, seed=seed, **kwargs)
+
+    @register_dataset(
+        "planted_setcover",
+        summary="ground set partitioned by a planted minimum cover of known size",
+    )
+    def _planted_setcover(num_sets, num_elements, *, k=10, density=0.05, seed=0, **kwargs):
+        kwargs.setdefault("cover_size", max(2, k))
+        return planted_setcover_instance(num_sets, num_elements, seed=seed, **kwargs)
+
+    @register_dataset(
+        "uniform",
+        summary="bipartite Erdos-Renyi memberships (each edge present w.p. density)",
+    )
+    def _uniform(num_sets, num_elements, *, k=10, density=0.05, seed=0, **kwargs):
+        return uniform_random_instance(
+            num_sets, num_elements, density=density, k=k, seed=seed, **kwargs
+        )
+
+    @register_dataset(
+        "zipf",
+        summary="heavy-tailed element popularity (exercises the degree cap)",
+    )
+    def _zipf(num_sets, num_elements, *, k=10, density=0.05, seed=0, **kwargs):
+        return zipf_instance(num_sets, num_elements, k=k, seed=seed, **kwargs)
+
+    @register_dataset(
+        "blog_watch",
+        summary="blogs covering stories with a few hub blogs (Saha-Getoor scenario)",
+    )
+    def _blog_watch(num_sets, num_elements, *, k=10, density=0.05, seed=0, **kwargs):
+        return blog_watch_instance(
+            num_blogs=num_sets, num_stories=num_elements, k=k, seed=seed, **kwargs
+        )
+
+    @register_dataset(
+        "data_summarization",
+        summary="documents covering vocabulary terms with latent topics",
+    )
+    def _data_summarization(num_sets, num_elements, *, k=10, density=0.05, seed=0, **kwargs):
+        return data_summarization_instance(
+            num_documents=num_sets, vocabulary=num_elements, k=k, seed=seed, **kwargs
+        )
+
+    @register_dataset(
+        "barabasi_albert",
+        summary="dominating-set view of a preferential-attachment graph on num_sets nodes (m = n; num_elements unused)",
+    )
+    def _barabasi_albert(num_sets, num_elements, *, k=10, density=0.05, seed=0, **kwargs):
+        return barabasi_albert_instance(num_sets, k=k, seed=seed, **kwargs)
+
+    @register_dataset(
+        "erdos_renyi",
+        summary="dominating-set view of a G(num_sets, density) random graph (m = n; num_elements unused)",
+    )
+    def _erdos_renyi(num_sets, num_elements, *, k=10, density=0.05, seed=0, **kwargs):
+        return erdos_renyi_instance(
+            num_sets, edge_probability=density, k=k, seed=seed, **kwargs
+        )
+
+    @register_dataset(
+        "watts_strogatz",
+        summary="dominating-set view of a small-world graph on num_sets nodes (m = n; num_elements unused)",
+    )
+    def _watts_strogatz(num_sets, num_elements, *, k=10, density=0.05, seed=0, **kwargs):
+        return watts_strogatz_instance(num_sets, k=k, seed=seed, **kwargs)
+
+
+_register_builtins()

@@ -15,6 +15,9 @@ __all__ = [
     "PassBudgetExceeded",
     "InfeasibleError",
     "StreamExhausted",
+    "SpecError",
+    "UnknownSolverError",
+    "UnknownDatasetError",
 ]
 
 
@@ -54,3 +57,20 @@ class InfeasibleError(ReproError):
 
 class StreamExhausted(ReproError):
     """A pass was requested on a stream that cannot be replayed."""
+
+
+class SpecError(ReproError, ValueError):
+    """A run/problem/solver/stream spec is malformed or inconsistent.
+
+    Subclasses :class:`ValueError` so spec mistakes surface as ordinary
+    usage errors to callers (e.g. the CLI's non-zero exit path) while still
+    being catchable under :class:`ReproError`.
+    """
+
+
+class UnknownSolverError(SpecError):
+    """A solver name was not found in the :mod:`repro.api` registry."""
+
+
+class UnknownDatasetError(SpecError):
+    """A dataset name was not found in the :mod:`repro.datasets` registry."""

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Any, Iterable, Protocol, runtime_checkable
 
 from repro.coverage.bipartite import BipartiteGraph
+from repro.errors import PassBudgetExceeded, ReproError
 from repro.streaming.passes import MultiPassDriver
 from repro.streaming.space import SpaceMeter
 from repro.streaming.stream import EdgeStream, SetStream
@@ -106,7 +107,14 @@ class StreamingRunner:
         max_passes: int | None = None,
         extra: dict[str, Any] | None = None,
     ) -> StreamingReport:
-        """Drive ``algorithm`` over ``stream`` until it stops asking for passes."""
+        """Drive ``algorithm`` over ``stream`` until it stops asking for passes.
+
+        Raises :class:`repro.errors.PassBudgetExceeded` as soon as the
+        algorithm asks for a pass the ``max_passes`` budget cannot grant, so
+        budget exhaustion surfaces as an error instead of a silently
+        truncated run, and cross-checks the driver's pass accounting against
+        the runner's own count to catch duplicate or skipped passes.
+        """
         self._check_model(algorithm, stream)
         driver = MultiPassDriver(stream, max_passes=max_passes)
         stopwatch = Stopwatch()
@@ -120,8 +128,15 @@ class StreamingRunner:
                     events += 1
                 algorithm.finish_pass(pass_index)
             pass_index += 1
+            if driver.passes_used != pass_index:
+                raise ReproError(
+                    f"pass accounting mismatch: runner completed {pass_index} "
+                    f"pass(es) but the driver counted {driver.passes_used}"
+                )
             if not algorithm.wants_another_pass():
                 break
+            if driver.remaining_passes() == 0:
+                raise PassBudgetExceeded(pass_index + 1, driver.max_passes)
         with stopwatch.section("solve"):
             solution = tuple(dict.fromkeys(int(s) for s in algorithm.result()))
         coverage = self._reference.coverage(solution)

@@ -1,0 +1,57 @@
+"""Generic name -> entry registry shared by the solver and dataset registries.
+
+Both :mod:`repro.api.registry` and :mod:`repro.datasets.registry` need the
+same plumbing — duplicate-name rejection, lookup with did-you-mean hints,
+sorted listing — so it lives here once, parameterized by the label used in
+error messages and the lookup error class.
+"""
+
+from __future__ import annotations
+
+import difflib
+from typing import Generic, TypeVar
+
+from repro.errors import SpecError
+
+__all__ = ["NamedRegistry"]
+
+Entry = TypeVar("Entry")
+
+
+class NamedRegistry(Generic[Entry]):
+    """A string-keyed registry with duplicate protection and lookup hints."""
+
+    def __init__(self, kind_label: str, unknown_error: type[SpecError], see_also: str) -> None:
+        self._entries: dict[str, Entry] = {}
+        self._kind_label = kind_label
+        self._unknown_error = unknown_error
+        self._see_also = see_also
+
+    def add(self, name: str, entry: Entry) -> None:
+        """Register ``entry`` under ``name``; duplicates raise :class:`SpecError`."""
+        if name in self._entries:
+            raise SpecError(f"{self._kind_label} {name!r} is already registered")
+        self._entries[name] = entry
+
+    def remove(self, name: str) -> None:
+        """Remove an entry if present (mainly for tests and plugins)."""
+        self._entries.pop(name, None)
+
+    def get(self, name: str) -> Entry:
+        """Look up an entry, raising the unknown-error with close-match hints."""
+        try:
+            return self._entries[name]
+        except KeyError:
+            close = difflib.get_close_matches(name, self._entries, n=3, cutoff=0.4)
+            hint = f"; did you mean {', '.join(close)}?" if close else ""
+            raise self._unknown_error(
+                f"unknown {self._kind_label} {name!r}{hint} (see {self._see_also})"
+            ) from None
+
+    def names(self) -> list[str]:
+        """Sorted registered names."""
+        return sorted(self._entries)
+
+    def values(self) -> list[Entry]:
+        """All entries, sorted by name."""
+        return [self._entries[name] for name in sorted(self._entries)]

@@ -1,0 +1,306 @@
+"""Integration tests: repro.solve() runs every registered solver family."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import (
+    ProblemSpec,
+    RunSpec,
+    Session,
+    SolverSpec,
+    StreamSpec,
+    register_solver,
+    run,
+    solve,
+    unregister_solver,
+)
+from repro.datasets import planted_kcover_instance, planted_setcover_instance
+from repro.errors import SpaceBudgetExceeded, SpecError
+from repro.streaming import SetStream, SpaceMeter, StreamingReport
+
+KCOVER_SOLVERS = [
+    ("kcover/sketch", {"scale": 0.2}),
+    ("kcover/ensemble", {"scale": 0.2, "replicas": 2}),
+    ("kcover/saha-getoor", {}),
+    ("kcover/sieve", {"epsilon": 0.1}),
+    ("kcover/mcgregor-vu", {"epsilon": 0.3}),
+    ("kcover/distributed", {"scale": 0.3, "num_machines": 3}),
+    ("offline/greedy", {}),
+    ("offline/local-search", {}),
+]
+
+SETCOVER_SOLVERS = [
+    ("setcover/sketch", {"epsilon": 0.5, "rounds": 2, "max_guesses": 12}),
+    ("setcover/demaine", {"rounds": 2}),
+    ("setcover/harpeled", {"passes": 3}),
+    ("offline/greedy", {"allow_partial": False}),
+]
+
+OUTLIER_SOLVERS = [
+    ("outliers/sketch", {"epsilon": 0.5, "max_guesses": 12}),
+    ("outliers/emek-rosen", {"passes": 3}),
+    ("offline/greedy", {}),
+]
+
+
+@pytest.fixture(scope="module")
+def kcover_instance():
+    return planted_kcover_instance(40, 800, k=4, planted_coverage=0.9, seed=13)
+
+
+@pytest.fixture(scope="module")
+def setcover_instance():
+    return planted_setcover_instance(30, 400, cover_size=6, seed=17)
+
+
+class TestEverySolverFamily:
+    @pytest.mark.parametrize("solver,options", KCOVER_SOLVERS)
+    def test_kcover_family(self, kcover_instance, solver, options):
+        report = solve(kcover_instance, solver, options=options, seed=13)
+        assert isinstance(report, StreamingReport)
+        assert report.coverage > 0
+        assert report.solution_size <= kcover_instance.k
+        assert 0.0 < report.coverage_fraction <= 1.0
+
+    @pytest.mark.parametrize("solver,options", SETCOVER_SOLVERS)
+    def test_setcover_family(self, setcover_instance, solver, options):
+        report = solve(setcover_instance, solver, options=options, seed=17)
+        assert report.solution_size >= 1
+        assert report.coverage_fraction > 0.5
+
+    @pytest.mark.parametrize("solver,options", OUTLIER_SOLVERS)
+    def test_outliers_family(self, setcover_instance, solver, options):
+        report = solve(
+            setcover_instance,
+            solver,
+            problem_kind="set_cover_outliers",
+            outlier_fraction=0.1,
+            options=options,
+            seed=17,
+        )
+        assert report.solution_size >= 1
+        assert report.coverage_fraction >= 0.5
+
+    def test_offline_report_shape(self, kcover_instance):
+        report = solve(kcover_instance, "offline/greedy")
+        assert report.arrival_model == "offline"
+        assert report.passes == 0
+        assert report.space_peak == kcover_instance.num_edges
+        assert "solve" in report.timings
+
+    def test_distributed_report_shape(self, kcover_instance):
+        report = solve(
+            kcover_instance, "kcover/distributed", options={"num_machines": 3, "scale": 0.3}
+        )
+        assert report.arrival_model == "distributed"
+        assert report.passes == 2  # two MapReduce rounds
+        assert report.extra["num_machines"] == 3
+        assert report.extra["communication_edges"] > 0
+
+    def test_solver_spec_and_options_merge(self, kcover_instance):
+        spec = SolverSpec("kcover/sketch", {"scale": 0.5})
+        report = solve(kcover_instance, spec, options={"scale": 0.2}, seed=13)
+        direct = solve(kcover_instance, "kcover/sketch", options={"scale": 0.2}, seed=13)
+        assert report.solution == direct.solution
+        assert report.space_peak == direct.space_peak
+
+
+class TestSolveOnGraphAndSpecs:
+    def test_bare_graph(self, tiny_graph):
+        report = solve(tiny_graph, "kcover/sketch", k=2, options={"scale": 1.0}, seed=0)
+        assert report.solution_size <= 2
+
+    def test_problem_spec_with_dataset(self):
+        spec = ProblemSpec(
+            problem="k_cover",
+            k=3,
+            dataset="planted_kcover",
+            dataset_args={"num_sets": 20, "num_elements": 200, "k": 3, "seed": 5},
+        )
+        report = solve(spec, "kcover/sketch", options={"scale": 0.5}, seed=5)
+        assert report.solution_size <= 3
+
+    def test_run_spec_repetitions_are_seeded(self):
+        spec = RunSpec(
+            problem=ProblemSpec(
+                problem="k_cover",
+                k=3,
+                dataset="planted_kcover",
+                dataset_args={"num_sets": 20, "num_elements": 200, "k": 3, "seed": 5},
+            ),
+            solver=SolverSpec("kcover/sketch", {"scale": 0.5}),
+            stream=StreamSpec(order="random", seed=1),
+            repetitions=2,
+        )
+        reports = run(spec)
+        assert len(reports) == 2
+        assert all(r.coverage > 0 for r in reports)
+
+    def test_run_spec_round_trips_through_dict(self):
+        spec = RunSpec(
+            problem=ProblemSpec(
+                problem="k_cover",
+                k=3,
+                dataset="planted_kcover",
+                dataset_args={"num_sets": 20, "num_elements": 200, "k": 3, "seed": 5},
+            ),
+            solver=SolverSpec("kcover/sketch", {"scale": 0.5}),
+        )
+        replayed = run(RunSpec.from_dict(spec.to_dict()))[0]
+        original = run(spec)[0]
+        assert replayed.solution == original.solution
+
+    def test_rejects_unknown_problem_type(self):
+        with pytest.raises(SpecError):
+            solve({"edges": []}, "kcover/sketch")
+
+    def test_bare_graph_kcover_requires_k(self, tiny_graph):
+        with pytest.raises(SpecError, match="requires k"):
+            solve(tiny_graph, "kcover/sketch", problem_kind="k_cover")
+
+    def test_rejects_unrecognized_stream_type(self, tiny_graph):
+        with pytest.raises(SpecError, match="StreamSpec"):
+            solve(tiny_graph, "kcover/sketch", k=2, stream={"order": "given"})
+
+    def test_run_spec_label_recorded_on_reports(self):
+        spec = RunSpec(
+            problem=ProblemSpec(
+                problem="k_cover",
+                k=3,
+                dataset="planted_kcover",
+                dataset_args={"num_sets": 20, "num_elements": 200, "k": 3, "seed": 5},
+            ),
+            solver=SolverSpec("kcover/sketch", {"scale": 0.5}),
+            label="my-run",
+        )
+        report = run(spec)[0]
+        assert report.extra["label"] == "my-run"
+
+
+class TestErrorPaths:
+    def test_problem_solver_mismatch(self, kcover_instance):
+        with pytest.raises(SpecError, match="setcover/sketch"):
+            solve(kcover_instance, "setcover/sketch")
+
+    def test_arrival_model_mismatch_surfaces_check_model(self, kcover_instance):
+        # Forcing a set stream onto the edge-arrival sketch must trip the
+        # runner's _check_model, not silently feed wrong events.
+        with pytest.raises(TypeError, match="edge arrivals"):
+            solve(
+                kcover_instance,
+                "kcover/sketch",
+                options={"scale": 0.2},
+                stream=StreamSpec(arrival="set"),
+            )
+
+    def test_explicit_stream_object_mismatch(self, kcover_instance):
+        stream = SetStream.from_graph(kcover_instance.graph)
+        with pytest.raises(TypeError):
+            solve(kcover_instance, "kcover/sketch", options={"scale": 0.2}, stream=stream)
+
+    def test_offline_solver_rejects_max_passes(self, kcover_instance):
+        with pytest.raises(SpecError, match="max_passes"):
+            solve(kcover_instance, "offline/greedy", max_passes=1)
+
+    def test_non_streaming_solver_rejects_stream_object(self, kcover_instance):
+        stream = SetStream.from_graph(kcover_instance.graph)
+        with pytest.raises(SpecError, match="stream object"):
+            solve(kcover_instance, "offline/greedy", stream=stream)
+
+    def test_non_streaming_solver_tolerates_shared_stream_spec(self, kcover_instance):
+        # Mixed comparisons share one StreamSpec; offline solvers ignore it.
+        report = solve(kcover_instance, "offline/greedy", stream=StreamSpec(seed=3))
+        assert report.arrival_model == "offline"
+
+    def test_outlier_solver_requires_fraction(self, setcover_instance):
+        with pytest.raises(SpecError, match="outlier_fraction"):
+            solve(setcover_instance, "outliers/sketch", problem_kind="set_cover_outliers")
+
+    def test_space_budget_exceeded_propagates(self, kcover_instance):
+        class HoardingAlgorithm:
+            def __init__(self) -> None:
+                self.name = "hoarder"
+                self.arrival_model = "edge"
+                self.space = SpaceMeter(unit="edges", budget=3)
+
+            def start_pass(self, pass_index):
+                pass
+
+            def process(self, event):
+                self.space.charge(1)
+
+            def finish_pass(self, pass_index):
+                pass
+
+            def wants_another_pass(self):
+                return False
+
+            def result(self):
+                return []
+
+        @register_solver(
+            "test/hoarder",
+            kind="streaming",
+            problems=("k_cover",),
+            arrival="edge",
+            summary="test-only: overruns its space budget",
+        )
+        def _build(ctx, **options):
+            return HoardingAlgorithm()
+
+        try:
+            with pytest.raises(SpaceBudgetExceeded):
+                solve(kcover_instance, "test/hoarder")
+        finally:
+            unregister_solver("test/hoarder")
+
+
+class TestSession:
+    def test_compare_aggregates_rows(self, kcover_instance):
+        session = Session(kcover_instance, instance_name="planted", seed=13)
+        reports = session.compare(
+            [
+                ("sketch", "kcover/sketch", {"scale": 0.2}),
+                ("sieve", "kcover/sieve"),
+                "offline/greedy",
+            ]
+        )
+        assert len(reports) == 3
+        assert len(session.suite) == 3
+        assert session.suite.algorithms() == ["sketch", "sieve", "offline-greedy"]
+        row = session.suite.rows[0].as_dict()
+        assert row["approx_ratio"] > 0.5
+        assert row["input_edges"] == kcover_instance.num_edges
+        table = session.to_table(["algorithm", "coverage", "approx_ratio"])
+        assert "sketch" in table.to_grid()
+
+    def test_reference_value_defaults_to_planted(self, kcover_instance):
+        session = Session(kcover_instance)
+        assert session.reference_value == kcover_instance.planted_value
+
+    def test_no_kcover_reference_on_setcover_sessions(self, setcover_instance):
+        # A k-cover Opt_k reference is meaningless for set cover: rows must
+        # not carry an approx_ratio unless the caller supplies a reference.
+        session = Session(setcover_instance, seed=17)
+        session.run("setcover/sketch", options={"rounds": 2, "max_guesses": 12})
+        assert session.reference_value is None
+        assert "approx_ratio" not in session.suite.rows[0].as_dict()
+
+    def test_aggregate(self, kcover_instance):
+        session = Session(kcover_instance, seed=13)
+        session.run("kcover/sketch", options={"scale": 0.2})
+        session.run("kcover/sketch", options={"scale": 0.2}, seed=14)
+        stats = session.aggregate("coverage")
+        assert "bateni-sketch-kcover" in stats
+
+    def test_compare_rejects_malformed_entry(self, kcover_instance):
+        session = Session(kcover_instance)
+        with pytest.raises(SpecError):
+            session.compare([("label", "kcover/sketch", {}, "extra")])
+
+    def test_session_on_bare_graph(self, tiny_graph):
+        session = Session(tiny_graph, k=2, problem_kind="k_cover")
+        report = session.run("kcover/sketch", options={"scale": 1.0})
+        assert report.solution_size <= 2
+        assert session.suite.rows[0].as_dict()["n"] == tiny_graph.num_sets

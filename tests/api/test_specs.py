@@ -1,0 +1,155 @@
+"""Unit tests for the serializable run specs (repro.api.specs)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import ProblemSpec, RunSpec, SolverSpec, StreamSpec
+from repro.errors import SpecError
+
+
+class TestProblemSpec:
+    def test_round_trip(self):
+        spec = ProblemSpec(
+            problem="k_cover",
+            k=5,
+            dataset="planted_kcover",
+            dataset_args={"num_sets": 30, "num_elements": 300, "k": 5, "seed": 3},
+        )
+        data = spec.to_dict()
+        json.dumps(data)  # JSON-serializable end to end
+        assert ProblemSpec.from_dict(data) == spec
+
+    def test_rejects_unknown_problem(self):
+        with pytest.raises(SpecError):
+            ProblemSpec(problem="vertex_cover")
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(SpecError):
+            ProblemSpec(k=0)
+        with pytest.raises(SpecError):
+            ProblemSpec(k=True)
+
+    def test_rejects_bad_outlier_fraction(self):
+        with pytest.raises(SpecError):
+            ProblemSpec(problem="set_cover_outliers", outlier_fraction=1.5)
+
+    def test_outliers_requires_fraction(self):
+        with pytest.raises(SpecError):
+            ProblemSpec(problem="set_cover_outliers")
+
+    def test_rejects_unknown_keys(self):
+        with pytest.raises(SpecError):
+            ProblemSpec.from_dict({"problem": "k_cover", "budget": 3})
+
+    def test_rejects_non_serializable_dataset_args(self):
+        with pytest.raises(SpecError):
+            ProblemSpec(dataset="zipf", dataset_args={"rng": object()})
+
+    def test_for_instance(self, planted_kcover):
+        spec = ProblemSpec.for_instance(planted_kcover)
+        assert spec.problem == "k_cover"
+        assert spec.k == planted_kcover.k
+
+    def test_build_instance_from_registry(self):
+        spec = ProblemSpec(
+            problem="k_cover",
+            k=3,
+            dataset="planted_kcover",
+            dataset_args={"num_sets": 20, "num_elements": 200, "k": 3, "seed": 1},
+        )
+        instance = spec.build_instance()
+        assert instance.n == 20
+        assert instance.k == 3
+
+    def test_build_instance_without_dataset_fails(self):
+        with pytest.raises(SpecError):
+            ProblemSpec().build_instance()
+
+
+class TestSolverSpec:
+    def test_round_trip(self):
+        spec = SolverSpec("kcover/sketch", {"epsilon": 0.2, "scale": 0.1})
+        assert SolverSpec.from_dict(spec.to_dict()) == spec
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(SpecError):
+            SolverSpec("")
+
+    def test_rejects_non_mapping_options(self):
+        with pytest.raises(SpecError):
+            SolverSpec("kcover/sketch", options=[1, 2])
+
+    def test_rejects_non_serializable_option(self):
+        with pytest.raises(SpecError):
+            SolverSpec("kcover/sketch", {"hash_fn": lambda x: x})
+
+
+class TestStreamSpec:
+    def test_round_trip(self):
+        spec = StreamSpec(order="set_grouped", seed=9, arrival="edge")
+        assert StreamSpec.from_dict(spec.to_dict()) == spec
+
+    def test_rejects_unknown_order(self):
+        with pytest.raises(SpecError):
+            StreamSpec(order="sorted")
+
+    def test_rejects_bad_arrival(self):
+        with pytest.raises(SpecError):
+            StreamSpec(arrival="batch")
+
+    def test_set_order_degrades_to_random(self):
+        assert StreamSpec(order="adversarial_tail").set_order == "random"
+        assert StreamSpec(order="given").set_order == "given"
+
+
+class TestRunSpec:
+    def _spec(self) -> RunSpec:
+        return RunSpec(
+            problem=ProblemSpec(problem="k_cover", k=4),
+            solver=SolverSpec("kcover/sketch", {"scale": 0.1}),
+            stream=StreamSpec(order="random", seed=2),
+            max_passes=3,
+            repetitions=2,
+            label="run",
+        )
+
+    def test_round_trip(self):
+        spec = self._spec()
+        data = spec.to_dict()
+        json.dumps(data)
+        assert RunSpec.from_dict(data) == spec
+
+    def test_json_round_trip(self):
+        spec = self._spec()
+        assert RunSpec.from_dict(json.loads(json.dumps(spec.to_dict()))) == spec
+
+    def test_rejects_invalid_nested_field(self):
+        data = self._spec().to_dict()
+        data["problem"]["problem"] = "magic"
+        with pytest.raises(SpecError):
+            RunSpec.from_dict(data)
+
+    def test_rejects_unknown_keys(self):
+        data = self._spec().to_dict()
+        data["budget"] = 10
+        with pytest.raises(SpecError):
+            RunSpec.from_dict(data)
+
+    def test_rejects_bad_repetitions(self):
+        with pytest.raises(SpecError):
+            RunSpec(
+                problem=ProblemSpec(), solver=SolverSpec("kcover/sketch"), repetitions=0
+            )
+
+    def test_rejects_bad_max_passes(self):
+        with pytest.raises(SpecError):
+            RunSpec(
+                problem=ProblemSpec(), solver=SolverSpec("kcover/sketch"), max_passes=-1
+            )
+
+    def test_requires_spec_types(self):
+        with pytest.raises(SpecError):
+            RunSpec(problem={"problem": "k_cover"}, solver=SolverSpec("kcover/sketch"))

@@ -100,3 +100,112 @@ class TestCommands:
     def test_error_exit_code_on_missing_file(self, tmp_path):
         code, _ = _run(["kcover", "--edges", str(tmp_path / "missing.tsv")])
         assert code == 2
+
+
+class TestRegistryCommands:
+    def test_list_solvers(self):
+        code, output = _run(["list-solvers"])
+        assert code == 0
+        for name in ("kcover/sketch", "setcover/sketch", "outliers/sketch",
+                     "offline/greedy", "kcover/distributed"):
+            assert name in output
+
+    def test_generate_list_datasets(self):
+        code, output = _run(["generate", "--list"])
+        assert code == 0
+        for name in ("planted_kcover", "planted_setcover", "uniform", "zipf",
+                     "blog_watch"):
+            assert name in output
+
+    def test_generate_without_output_or_list_fails(self):
+        code, _ = _run(["generate"])
+        assert code == 2
+
+    def test_registered_dataset_available_as_generator(self):
+        code, output = _run(
+            ["kcover", "--generator", "uniform", "--num-sets", "20",
+             "--num-elements", "200", "--k", "3", "--seed", "4"]
+        )
+        assert code == 0
+        assert "sketch-kcover" in output
+
+
+class TestFacadeEquivalence:
+    """The migrated CLI must produce the exact tables the hand-wired one did."""
+
+    def test_kcover_table_matches_legacy_wiring(self):
+        from repro.baselines import SahaGetoorKCover, SieveStreamingKCover
+        from repro.core import StreamingKCover
+        from repro.datasets import planted_kcover_instance
+        from repro.offline.greedy import greedy_k_cover
+        from repro.streaming import EdgeStream, SetStream, StreamingRunner
+        from repro.utils.tables import Table
+
+        num_sets, num_elements, k, seed = 30, 500, 3, 1
+        graph = planted_kcover_instance(num_sets, num_elements, k=k, seed=seed).graph
+
+        # The pre-registry pipeline, wired by hand exactly as cli.py used to.
+        runner = StreamingRunner(graph)
+        table = Table(["algorithm", "coverage", "fraction", "size", "passes", "space"])
+        algo = StreamingKCover(
+            graph.num_sets, max(1, graph.num_elements), k=k,
+            epsilon=0.2, scale=0.1, seed=seed,
+        )
+        report = runner.run(algo, EdgeStream.from_graph(graph, order="random", seed=seed))
+        table.add_row(algorithm="sketch-kcover", coverage=report.coverage,
+                      fraction=report.coverage_fraction, size=report.solution_size,
+                      passes=report.passes, space=report.space_peak)
+        for name, baseline in (
+            ("saha-getoor", SahaGetoorKCover(k=k)),
+            ("sieve-streaming", SieveStreamingKCover(k=k, epsilon=0.1)),
+        ):
+            rep = runner.run(baseline, SetStream.from_graph(graph, order="random", seed=seed))
+            table.add_row(algorithm=name, coverage=rep.coverage, fraction=rep.coverage_fraction,
+                          size=rep.solution_size, passes=rep.passes, space=rep.space_peak)
+        greedy = greedy_k_cover(graph, k)
+        table.add_row(algorithm="offline-greedy", coverage=greedy.coverage,
+                      fraction=graph.coverage_fraction(greedy.selected),
+                      size=greedy.size, passes="-", space=graph.num_edges)
+        legacy = table.to_grid() + "\n"
+
+        code, output = _run(
+            ["kcover", "--num-sets", str(num_sets), "--num-elements", str(num_elements),
+             "--k", str(k), "--baselines", "--seed", str(seed)]
+        )
+        assert code == 0
+        assert output == legacy
+
+    def test_setcover_table_matches_legacy_wiring(self):
+        from repro.core import StreamingSetCover
+        from repro.datasets import planted_setcover_instance
+        from repro.offline.greedy import greedy_set_cover
+        from repro.streaming import EdgeStream, StreamingRunner
+        from repro.utils.tables import Table
+
+        num_sets, num_elements, k, seed, rounds = 30, 400, 5, 2, 2
+        graph = planted_setcover_instance(
+            num_sets, num_elements, cover_size=max(2, k), seed=seed
+        ).graph
+
+        runner = StreamingRunner(graph)
+        algo = StreamingSetCover(
+            graph.num_sets, max(1, graph.num_elements), epsilon=0.5,
+            rounds=rounds, scale=0.1, seed=seed, max_guesses=14,
+        )
+        report = runner.run(algo, EdgeStream.from_graph(graph, order="random", seed=seed))
+        greedy = greedy_set_cover(graph, allow_partial=True)
+        table = Table(["algorithm", "cover_size", "fraction", "passes", "space"])
+        table.add_row(algorithm="sketch-setcover", cover_size=report.solution_size,
+                      fraction=report.coverage_fraction, passes=report.passes,
+                      space=report.space_peak)
+        table.add_row(algorithm="offline-greedy", cover_size=greedy.size, fraction=1.0,
+                      passes="-", space=graph.num_edges)
+        legacy = table.to_grid() + "\n"
+
+        code, output = _run(
+            ["setcover", "--generator", "planted_setcover", "--num-sets", str(num_sets),
+             "--num-elements", str(num_elements), "--k", str(k),
+             "--rounds", str(rounds), "--seed", str(seed)]
+        )
+        assert code == 0
+        assert output == legacy

@@ -1,0 +1,71 @@
+"""Unit tests for the dataset registry (repro.datasets.registry)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.coverage.instance import CoverageInstance
+from repro.datasets import (
+    get_dataset,
+    iter_datasets,
+    list_datasets,
+    register_dataset,
+    unregister_dataset,
+)
+from repro.errors import SpecError, UnknownDatasetError
+
+EXPECTED_DATASETS = {
+    "planted_kcover",
+    "planted_setcover",
+    "uniform",
+    "zipf",
+    "blog_watch",
+    "data_summarization",
+    "barabasi_albert",
+    "erdos_renyi",
+    "watts_strogatz",
+}
+
+
+class TestBuiltinDatasets:
+    def test_all_builtins_registered(self):
+        assert EXPECTED_DATASETS <= set(list_datasets())
+
+    def test_iter_datasets_described(self):
+        for info in iter_datasets():
+            described = info.describe()
+            assert described["name"] == info.name
+            assert described["summary"]
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED_DATASETS))
+    def test_every_builtin_builds_an_instance(self, name):
+        instance = get_dataset(name).build(20, 150, k=3, density=0.05, seed=2)
+        assert isinstance(instance, CoverageInstance)
+        assert instance.graph.num_edges > 0
+
+    def test_planted_setcover_maps_k_to_cover_size(self):
+        instance = get_dataset("planted_setcover").build(20, 150, k=4, seed=2)
+        assert len(instance.planted_solution) == 4
+
+    def test_unknown_dataset_suggests_close_match(self):
+        with pytest.raises(UnknownDatasetError, match="zipf"):
+            get_dataset("zipff")
+
+
+class TestRegistration:
+    def test_register_and_unregister(self, tiny_graph):
+        @register_dataset("test_tiny", summary="test-only")
+        def _build(num_sets, num_elements, *, k=10, density=0.05, seed=0, **kwargs):
+            return CoverageInstance(graph=tiny_graph, k=min(k, tiny_graph.num_sets))
+
+        try:
+            assert "test_tiny" in list_datasets()
+            instance = get_dataset("test_tiny").build(1, 1, k=2)
+            assert instance.k == 2
+        finally:
+            unregister_dataset("test_tiny")
+        assert "test_tiny" not in list_datasets()
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(SpecError):
+            register_dataset("zipf")(lambda *a, **k: None)

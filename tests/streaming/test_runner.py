@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.errors import PassBudgetExceeded, ReproError
 from repro.streaming.events import EdgeArrival
 from repro.streaming.runner import StreamingAlgorithm, StreamingReport, StreamingRunner
 from repro.streaming.space import SpaceMeter
@@ -96,3 +97,46 @@ class TestRunner:
             DupAlgo(), EdgeStream.from_graph(tiny_graph, order="given")
         )
         assert report.solution == (0, 1)
+
+
+class TestPassBudget:
+    def test_run_within_budget(self, tiny_graph):
+        report = StreamingRunner(tiny_graph).run(
+            CountingEdgeAlgorithm(passes=2),
+            EdgeStream.from_graph(tiny_graph, order="given"),
+            max_passes=2,
+        )
+        assert report.passes == 2
+
+    def test_exhaustion_raises_pass_budget_exceeded(self, tiny_graph):
+        algo = CountingEdgeAlgorithm(passes=3)
+        with pytest.raises(PassBudgetExceeded) as excinfo:
+            StreamingRunner(tiny_graph).run(
+                algo, EdgeStream.from_graph(tiny_graph, order="given"), max_passes=2
+            )
+        # The error surfaces as soon as the algorithm asks for pass 3.
+        assert excinfo.value.used == 3
+        assert excinfo.value.budget == 2
+        assert algo.passes_done == 2
+
+    def test_duplicate_pass_accounting_detected(self, tiny_graph):
+        stream = EdgeStream.from_graph(tiny_graph, order="given")
+        algo = CountingEdgeAlgorithm(passes=2)
+
+        # Simulate a driver whose accounting drifts: patch MultiPassDriver to
+        # double-charge the pass counter.
+        import repro.streaming.runner as runner_module
+
+        class DriftingDriver(runner_module.MultiPassDriver):
+            def new_pass(self):
+                iterator = super().new_pass()
+                self._passes_used += 1  # corrupt the count on purpose
+                return iterator
+
+        original = runner_module.MultiPassDriver
+        runner_module.MultiPassDriver = DriftingDriver
+        try:
+            with pytest.raises(ReproError, match="pass accounting mismatch"):
+                StreamingRunner(tiny_graph).run(algo, stream)
+        finally:
+            runner_module.MultiPassDriver = original
