@@ -199,6 +199,7 @@ def solve(
     options: Mapping[str, Any] | None = None,
     stream: StreamSpec | EdgeStream | SetStream | None = None,
     max_passes: int | None = None,
+    batch_size: int | None = None,
     seed: int = 0,
     extra: Mapping[str, Any] | None = None,
 ) -> StreamingReport:
@@ -224,6 +225,12 @@ def solve(
     max_passes:
         Pass budget enforced by the runner; rejected for offline and
         distributed solvers, which take no passes over a stream.
+    batch_size:
+        Columnar drive mode: ``None`` feeds scalar events, a positive
+        integer feeds :class:`~repro.streaming.batches.EventBatch` chunks of
+        that size (identical reports, higher throughput).  Overrides the
+        stream spec's ``batch_size``; rejected for offline and distributed
+        solvers.
     seed:
         Seed forwarded to the solver constructor (and the default stream).
     extra:
@@ -256,12 +263,25 @@ def solve(
         stream_obj, effective_order = _build_stream(info, algorithm, ctx, stream)
         if effective_order is not None:
             extra_dict.setdefault("stream_order", effective_order)
+        effective_batch = batch_size
+        if effective_batch is None and isinstance(stream, StreamSpec):
+            effective_batch = stream.batch_size
+        if effective_batch is not None:
+            extra_dict.setdefault("batch_size", effective_batch)
         return StreamingRunner(ctx.graph).run(
-            algorithm, stream_obj, max_passes=max_passes, extra=extra_dict
+            algorithm,
+            stream_obj,
+            max_passes=max_passes,
+            batch_size=effective_batch,
+            extra=extra_dict,
         )
     if max_passes is not None:
         raise SpecError(
             f"max_passes does not apply to {info.kind} solver {info.name!r}"
+        )
+    if batch_size is not None:
+        raise SpecError(
+            f"batch_size does not apply to {info.kind} solver {info.name!r}"
         )
     if isinstance(stream, (EdgeStream, SetStream)):
         raise SpecError(
@@ -296,6 +316,7 @@ def run(spec: RunSpec, problem: Problem | None = None) -> list[StreamingReport]:
             order=spec.stream.order,
             seed=spec.stream.seed + repetition,
             arrival=spec.stream.arrival,
+            batch_size=spec.stream.batch_size,
         )
         reports.append(
             solve(

@@ -192,12 +192,16 @@ class StreamSpec:
     runner's model check for mismatched solvers.  ``order`` must be one of
     :data:`repro.streaming.stream.STREAM_ORDERS`; set-arrival streams only
     distinguish ``given`` from shuffled orders, so anything else degrades to
-    ``random`` for them.
+    ``random`` for them.  ``batch_size`` selects the drive mode: ``None``
+    feeds scalar events, a positive integer feeds columnar
+    :class:`~repro.streaming.batches.EventBatch` chunks of that size (the two
+    modes produce identical reports; batches are faster).
     """
 
     order: str = "random"
     seed: int = 0
     arrival: str | None = None
+    batch_size: int | None = None
 
     def __post_init__(self) -> None:
         if self.order not in STREAM_ORDERS:
@@ -210,6 +214,15 @@ class StreamSpec:
             raise SpecError(
                 f"arrival must be one of {_ARRIVALS} or None, got {self.arrival!r}"
             )
+        if self.batch_size is not None:
+            if (
+                isinstance(self.batch_size, bool)
+                or not isinstance(self.batch_size, int)
+                or self.batch_size < 1
+            ):
+                raise SpecError(
+                    f"batch_size must be a positive integer or None, got {self.batch_size!r}"
+                )
 
     @property
     def set_order(self) -> str:
@@ -218,7 +231,12 @@ class StreamSpec:
 
     def to_dict(self) -> dict[str, Any]:
         """Plain-dict form (JSON-serializable)."""
-        return {"order": self.order, "seed": self.seed, "arrival": self.arrival}
+        return {
+            "order": self.order,
+            "seed": self.seed,
+            "arrival": self.arrival,
+            "batch_size": self.batch_size,
+        }
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "StreamSpec":

@@ -20,7 +20,9 @@ grows, exactly as in the original paper.
 from __future__ import annotations
 
 import math
+from typing import Iterable
 
+from repro.streaming.batches import EventBatch
 from repro.streaming.events import SetArrival
 from repro.streaming.space import SpaceMeter
 from repro.utils.validation import check_open_unit, check_positive_int
@@ -87,7 +89,25 @@ class SieveStreamingKCover:
 
     def process(self, event: SetArrival) -> None:
         """Offer one arriving set to every active thresholded candidate."""
-        members = set(event.elements)
+        self._offer(event.set_id, event.elements)
+
+    def process_batch(self, batch: EventBatch) -> None:
+        """Offer a whole columnar set batch, set by set.
+
+        Reads the batch's CSR columns directly (no per-event object
+        construction); each set goes through the same offer logic as
+        :meth:`process`, so batched and scalar runs are identical.
+        """
+        if batch.offsets is None:
+            raise TypeError("SieveStreamingKCover consumes set batches, got an edge batch")
+        set_ids = batch.set_ids.tolist()
+        bounds = batch.offsets.tolist()
+        elements = batch.elements.tolist()
+        for index, set_id in enumerate(set_ids):
+            self._offer(set_id, elements[bounds[index] : bounds[index + 1]])
+
+    def _offer(self, set_id: int, elements: Iterable[int]) -> None:
+        members = set(elements)
         singleton_value = float(len(members))
         if singleton_value > self._v_max:
             self._v_max = singleton_value
@@ -99,7 +119,7 @@ class SieveStreamingKCover:
             remaining = self.k - len(candidate.selected)
             required = (candidate.threshold / 2.0 - len(candidate.covered)) / remaining
             if gain >= required and gain > 0:
-                candidate.selected.append(event.set_id)
+                candidate.selected.append(set_id)
                 new_elements = members - candidate.covered
                 candidate.covered |= new_elements
                 self.space.charge(len(new_elements) + 1)

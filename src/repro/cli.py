@@ -52,8 +52,14 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--density", type=float, default=0.05)
         p.add_argument("--seed", type=int, default=0)
 
+    def add_stream_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--batch-size", type=int, default=None,
+                       help="drive the stream in columnar batches of this many "
+                            "events (default: scalar events; results are identical)")
+
     kcover = sub.add_parser("kcover", help="single-pass streaming k-cover (Algorithm 3)")
     add_instance_options(kcover)
+    add_stream_options(kcover)
     kcover.add_argument("--k", type=int, default=10)
     kcover.add_argument("--epsilon", type=float, default=0.2)
     kcover.add_argument("--scale", type=float, default=0.1,
@@ -63,6 +69,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     setcover = sub.add_parser("setcover", help="multi-pass streaming set cover (Algorithm 6)")
     add_instance_options(setcover)
+    add_stream_options(setcover)
     setcover.add_argument("--k", type=int, default=10)
     setcover.add_argument("--epsilon", type=float, default=0.5)
     setcover.add_argument("--rounds", type=int, default=3)
@@ -70,6 +77,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     outliers = sub.add_parser("outliers", help="set cover with λ outliers (Algorithm 5)")
     add_instance_options(outliers)
+    add_stream_options(outliers)
     outliers.add_argument("--k", type=int, default=10)
     outliers.add_argument("--epsilon", type=float, default=0.5)
     outliers.add_argument("--outlier-fraction", type=float, default=0.1)
@@ -116,7 +124,7 @@ def _print(table: Table, stream) -> None:
 
 def _cmd_kcover(args: argparse.Namespace, out) -> int:
     graph = _load_graph(args)
-    stream = StreamSpec(order="random", seed=args.seed)
+    stream = StreamSpec(order="random", seed=args.seed, batch_size=args.batch_size)
     table = Table(["algorithm", "coverage", "fraction", "size", "passes", "space"])
     report = solve(
         graph, "kcover/sketch", problem_kind="k_cover", k=args.k, seed=args.seed,
@@ -148,7 +156,7 @@ def _cmd_setcover(args: argparse.Namespace, out) -> int:
         graph, "setcover/sketch", problem_kind="set_cover", seed=args.seed,
         options={"epsilon": args.epsilon, "rounds": args.rounds,
                  "scale": args.scale, "max_guesses": 14},
-        stream=StreamSpec(order="random", seed=args.seed),
+        stream=StreamSpec(order="random", seed=args.seed, batch_size=args.batch_size),
     )
     greedy = solve(graph, "offline/greedy", problem_kind="set_cover", seed=args.seed,
                    options={"allow_partial": True})
@@ -168,7 +176,7 @@ def _cmd_outliers(args: argparse.Namespace, out) -> int:
         graph, "outliers/sketch", problem_kind="set_cover_outliers",
         outlier_fraction=args.outlier_fraction, seed=args.seed,
         options={"epsilon": args.epsilon, "scale": args.scale, "max_guesses": 16},
-        stream=StreamSpec(order="random", seed=args.seed),
+        stream=StreamSpec(order="random", seed=args.seed, batch_size=args.batch_size),
     )
     table = Table(["algorithm", "cover_size", "fraction", "target", "passes", "space"])
     table.add_row(algorithm="sketch-outliers", cover_size=report.solution_size,

@@ -31,6 +31,7 @@ from repro.core.params import SketchParams
 from repro.core.sketch import CoverageSketch
 from repro.core.streaming_sketch import StreamingSketchBuilder
 from repro.offline.greedy import greedy_k_cover
+from repro.streaming.batches import EventBatch
 from repro.streaming.events import EdgeArrival
 from repro.streaming.space import SpaceMeter
 from repro.utils.rng import derive_seed
@@ -88,6 +89,12 @@ class SketchEnsemble:
     def process(self, event: EdgeArrival) -> None:
         """Feed one :class:`EdgeArrival` to every replica."""
         self.add_edge(event.set_id, event.element)
+
+    def process_batch(self, batch: EventBatch) -> None:
+        """Feed a columnar edge batch to every replica (vectorised per replica)."""
+        self._sketches = None
+        for builder in self._builders:
+            builder.process_batch(batch)
 
     def consume(self, events: Iterable[EdgeArrival | tuple[int, int]]) -> None:
         """Feed a whole stream of edges."""
@@ -188,6 +195,10 @@ class EnsembleKCover:
     def process(self, event: EdgeArrival) -> None:
         """Feed one edge to every replica."""
         self.ensemble.process(event)
+
+    def process_batch(self, batch: EventBatch) -> None:
+        """Feed a columnar edge batch to every replica."""
+        self.ensemble.process_batch(batch)
 
     def finish_pass(self, pass_index: int) -> None:
         """Nothing to finalise until :meth:`result`."""

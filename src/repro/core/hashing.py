@@ -12,14 +12,19 @@ families with deterministic, seed-controlled behaviour:
   fully random function for many sampling applications.
 
 Both return floats in ``[0, 1)`` and expose ``rank`` (the raw 64-bit value)
-for exact tie-breaking where float precision would be a concern.
+for exact tie-breaking where float precision would be a concern.  Both also
+expose vectorised ``rank_many`` / ``value_many`` over whole ``uint64`` arrays
+(bit-for-bit identical to the scalar forms), which the batched streaming path
+uses to hash an entire event batch in a few array operations.
 """
 
 from __future__ import annotations
 
 from typing import Protocol, runtime_checkable
 
-from repro.utils.rng import MASK64, SplitMix64, mix64
+import numpy as np
+
+from repro.utils.rng import MASK64, SplitMix64, mix64, mix64_array
 
 __all__ = ["HashFamily", "UniformHash", "TabulationHash", "make_hash"]
 
@@ -28,7 +33,13 @@ _INV_2_64 = 1.0 / float(1 << 64)
 
 @runtime_checkable
 class HashFamily(Protocol):
-    """Protocol for element hash functions used by the sketches."""
+    """Protocol for element hash functions used by the sketches.
+
+    ``rank_many`` / ``value_many`` are optional accelerations: consumers
+    (e.g. the batched sketch builder) feature-detect them with ``getattr``
+    and fall back to the scalar methods, so third-party hash families only
+    need ``value`` and ``rank``.
+    """
 
     def value(self, element: int) -> float:
         """Hash of the element as a float in ``[0, 1)``."""
@@ -60,6 +71,14 @@ class UniformHash:
         """Hash of the element as a float in ``[0, 1)``."""
         return self.rank(element) * _INV_2_64
 
+    def rank_many(self, elements: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`rank` over a ``uint64`` array of element ids."""
+        return mix64_array(np.asarray(elements, dtype=np.uint64), seed=self.seed)
+
+    def value_many(self, elements: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`value`: ``float64`` array bit-identical to scalar."""
+        return self.rank_many(elements).astype(np.float64) * _INV_2_64
+
     def __call__(self, element: int) -> float:
         return self.value(element)
 
@@ -77,7 +96,7 @@ class TabulationHash:
     which is what the sketches need.
     """
 
-    __slots__ = ("seed", "_tables")
+    __slots__ = ("seed", "_tables", "_table_array")
 
     _NUM_TABLES = 8
     _TABLE_SIZE = 256
@@ -89,6 +108,7 @@ class TabulationHash:
             [generator.next_uint64() for _ in range(self._TABLE_SIZE)]
             for _ in range(self._NUM_TABLES)
         ]
+        self._table_array = np.array(self._tables, dtype=np.uint64)
 
     def rank(self, element: int) -> int:
         """64-bit hash rank of an element."""
@@ -102,6 +122,19 @@ class TabulationHash:
     def value(self, element: int) -> float:
         """Hash of the element as a float in ``[0, 1)``."""
         return self.rank(element) * _INV_2_64
+
+    def rank_many(self, elements: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`rank`: per-byte table lookups over the array."""
+        key = np.asarray(elements, dtype=np.uint64)
+        out = np.zeros_like(key)
+        for table_index in range(self._NUM_TABLES):
+            byte = (key >> np.uint64(8 * table_index)) & np.uint64(0xFF)
+            out ^= self._table_array[table_index][byte.astype(np.intp)]
+        return out
+
+    def value_many(self, elements: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`value`: ``float64`` array bit-identical to scalar."""
+        return self.rank_many(elements).astype(np.float64) * _INV_2_64
 
     def __call__(self, element: int) -> float:
         return self.value(element)

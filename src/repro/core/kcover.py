@@ -22,6 +22,7 @@ from repro.core.params import SketchParams
 from repro.core.sketch import CoverageSketch
 from repro.core.streaming_sketch import StreamingSketchBuilder
 from repro.offline.greedy import greedy_k_cover
+from repro.streaming.batches import EventBatch
 from repro.streaming.events import EdgeArrival
 from repro.streaming.space import SpaceMeter
 from repro.utils.validation import check_open_unit, check_positive_int
@@ -137,6 +138,10 @@ class StreamingKCover:
     def process(self, event: EdgeArrival) -> None:
         """Feed one membership edge into the sketch builder."""
         self._builder.process(event)
+
+    def process_batch(self, batch: EventBatch) -> None:
+        """Feed a columnar edge batch into the sketch builder (vectorised)."""
+        self._builder.process_batch(batch)
 
     def finish_pass(self, pass_index: int) -> None:
         """Mark the stream as fully consumed."""

@@ -29,7 +29,10 @@ import math
 from itertools import combinations
 from typing import Iterable, Sequence
 
+import numpy as np
+
 from repro.core.hashing import HashFamily, UniformHash
+from repro.streaming.batches import EventBatch
 from repro.streaming.events import EdgeArrival
 from repro.streaming.space import SpaceMeter
 from repro.utils.validation import check_open_unit, check_positive_int
@@ -68,7 +71,15 @@ class KMVSketch:
 
     def add(self, item: int) -> None:
         """Insert one item (by id)."""
-        value = self._hash.value(int(item))
+        self.add_hashed(self._hash.value(int(item)))
+
+    def add_hashed(self, value: float) -> None:
+        """Insert one already-hashed value in ``[0, 1)``.
+
+        Exposed so batched callers can hash a whole column of items in one
+        vectorised call and stream the values in; semantics are identical to
+        :meth:`add` on the pre-image.
+        """
         if value in self._members:
             return
         if len(self._heap) < self.capacity:
@@ -81,6 +92,15 @@ class KMVSketch:
 
     def update_many(self, items: Iterable[int]) -> None:
         """Insert many items."""
+        value_many = getattr(self._hash, "value_many", None)
+        if value_many is not None:
+            items = list(items)
+            if not items:
+                return
+            values = value_many(np.asarray(items, dtype=np.uint64))
+            for value in values.tolist():
+                self.add_hashed(value)
+            return
         for item in items:
             self.add(item)
 
@@ -159,6 +179,7 @@ class L0CoverageOracle:
         self.capacity = capacity if capacity is not None else kmv_size_for_epsilon(epsilon)
         self.space = space if space is not None else SpaceMeter(unit="words")
         shared_hash = UniformHash(seed)
+        self._hash = shared_hash
         self._sketches = [KMVSketch(self.capacity, shared_hash) for _ in range(num_sets)]
         self.queries = 0
         # Charge the fixed sketch arrays up front (capacity words per set).
@@ -184,6 +205,26 @@ class L0CoverageOracle:
     def process(self, event: EdgeArrival) -> None:
         """Process one :class:`EdgeArrival`."""
         self.add_edge(event.set_id, event.element)
+
+    def process_batch(self, batch: EventBatch) -> None:
+        """Process a columnar edge batch: one vectorised hash, then scatter.
+
+        Equivalent to processing the batch's edges one at a time — the
+        per-set KMV insertions happen in stream order with identical hash
+        values; only the hashing is amortised over the whole batch.
+        """
+        if batch.offsets is not None:
+            raise TypeError("L0CoverageOracle consumes edge batches, got a set batch")
+        if len(batch) == 0:
+            return
+        if len(batch.set_ids) and int(batch.set_ids.max()) >= self.num_sets:
+            raise ValueError(
+                f"set id {int(batch.set_ids.max())} out of range"
+            )
+        values = self._hash.value_many(batch.elements)
+        sketches = self._sketches
+        for set_id, value in zip(batch.set_ids.tolist(), values.tolist()):
+            sketches[set_id].add_hashed(value)
 
     def consume(self, events: Iterable[EdgeArrival | tuple[int, int]]) -> None:
         """Feed a whole stream of edges."""

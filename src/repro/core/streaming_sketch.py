@@ -38,10 +38,13 @@ from __future__ import annotations
 import heapq
 from typing import Iterable
 
+import numpy as np
+
 from repro.coverage.bipartite import BipartiteGraph
 from repro.core.hashing import HashFamily, UniformHash
 from repro.core.params import SketchParams
 from repro.core.sketch import CoverageSketch
+from repro.streaming.batches import EventBatch
 from repro.streaming.events import EdgeArrival
 from repro.streaming.space import SpaceMeter
 from repro.utils.rng import spawn_rng
@@ -155,7 +158,10 @@ class StreamingSketchBuilder:
     def add_edge(self, set_id: int, element: int) -> bool:
         """Process one membership edge; returns whether it was stored."""
         self._edges_seen += 1
-        rank = self._rank(element)
+        return self._admit(set_id, element, self._rank(element))
+
+    def _admit(self, set_id: int, element: int, rank: float) -> bool:
+        """Admission decision for one edge whose rank is already computed."""
         if rank >= self._admission_threshold:
             self._edges_discarded += 1
             return False
@@ -180,6 +186,43 @@ class StreamingSketchBuilder:
     def process(self, event: EdgeArrival) -> bool:
         """Process an :class:`EdgeArrival` event (same as :meth:`add_edge`)."""
         return self.add_edge(event.set_id, event.element)
+
+    def process_batch(self, batch: EventBatch) -> int:
+        """Process a whole columnar edge batch; returns the edges stored.
+
+        The batch's elements are hashed in one vectorised call and edges
+        whose rank already clears the current admission threshold are
+        rejected wholesale — since the threshold only ever decreases, the
+        scalar path would reject every one of them too.  Survivors then go
+        through the ordinary per-edge admission (threshold re-check, degree
+        cap, dedup, eviction), so the builder state after a batch is
+        byte-identical to feeding the same edges one at a time.
+        """
+        if batch.offsets is not None:
+            raise TypeError("StreamingSketchBuilder consumes edge batches, got a set batch")
+        count = len(batch)
+        if count == 0:
+            return 0
+        value_many = getattr(self.hash_fn, "value_many", None)
+        if self._permutation_ranks is not None or value_many is None:
+            stored = 0
+            for event in batch.iter_events():
+                if self.process(event):
+                    stored += 1
+            return stored
+        ranks = value_many(batch.elements)
+        survivors = np.flatnonzero(ranks < self._admission_threshold)
+        self._edges_seen += count
+        self._edges_discarded += count - len(survivors)
+        stored = 0
+        if len(survivors):
+            set_ids = batch.set_ids[survivors].tolist()
+            elements = batch.elements[survivors].tolist()
+            survivor_ranks = ranks[survivors].tolist()
+            for set_id, element, rank in zip(set_ids, elements, survivor_ranks):
+                if self._admit(set_id, element, rank):
+                    stored += 1
+        return stored
 
     def consume(self, events: Iterable[EdgeArrival | tuple[int, int]]) -> None:
         """Feed a whole iterable of edges / events through the builder."""

@@ -28,8 +28,19 @@ from repro.coverage.bipartite import BipartiteGraph
 
 __all__ = ["BitsetCoverage"]
 
-#: Lookup table with the popcount of every byte value.
+#: Lookup table with the popcount of every byte value (fallback path).
 _POPCOUNT_TABLE = np.array([bin(value).count("1") for value in range(256)], dtype=np.int64)
+
+#: numpy >= 2.0 ships a native popcount ufunc; keep the byte table as the
+#: fallback for older numpy builds.
+_HAS_BITWISE_COUNT = hasattr(np, "bitwise_count")
+
+
+def _popcount_bytes(rows: np.ndarray, axis: int | None = None) -> np.ndarray | int:
+    """Popcount of packed byte rows, summed over ``axis`` (or everything)."""
+    if _HAS_BITWISE_COUNT:
+        return np.bitwise_count(rows).sum(axis=axis, dtype=np.int64)
+    return _POPCOUNT_TABLE[rows].sum(axis=axis)
 
 
 class BitsetCoverage:
@@ -78,7 +89,7 @@ class BitsetCoverage:
     # ------------------------------------------------------------------ #
     @staticmethod
     def _popcount(row: np.ndarray) -> int:
-        return int(_POPCOUNT_TABLE[row].sum())
+        return int(_popcount_bytes(row))
 
     def union_bits(self, set_ids: Iterable[int]) -> np.ndarray:
         """The packed union bit-row of a family of sets."""
@@ -104,7 +115,7 @@ class BitsetCoverage:
         ``n`` candidates.
         """
         remaining = np.bitwise_and(self._packed, np.bitwise_not(covered_bits))
-        return _POPCOUNT_TABLE[remaining].sum(axis=1)
+        return _popcount_bytes(remaining, axis=1)
 
     def greedy_k_cover(self, k: int) -> tuple[list[int], int]:
         """Vectorised greedy k-cover; returns (selection, coverage).
@@ -130,5 +141,17 @@ class BitsetCoverage:
         return chosen, self._popcount(covered)
 
     def evaluate_many(self, families: Sequence[Iterable[int]]) -> list[int]:
-        """Coverage of several families (convenience for sweeps)."""
-        return [self.coverage(family) for family in families]
+        """Coverage of several families (convenience for sweeps).
+
+        When every family has the same non-zero size (the common sweep shape,
+        e.g. all size-k candidates), the unions are computed as one stacked
+        OR-reduction over a ``(families, sets, bytes)`` gather instead of a
+        Python loop; ragged inputs fall back to per-family evaluation.
+        """
+        ids = [[int(s) for s in family] for family in families]
+        lengths = {len(family) for family in ids}
+        if len(lengths) == 1 and lengths != {0}:
+            gathered = self._packed[np.array(ids, dtype=np.intp)]
+            unions = np.bitwise_or.reduce(gathered, axis=1)
+            return [int(count) for count in _popcount_bytes(unions, axis=1)]
+        return [self.coverage(family) for family in ids]

@@ -7,15 +7,22 @@ from repro.streaming.adapters import (
     set_events_to_edge_events,
     set_stream_from_edge_stream,
 )
+from repro.streaming.batches import EventBatch
 from repro.streaming.events import EdgeArrival, SetArrival
 from repro.streaming.passes import MultiPassDriver
-from repro.streaming.runner import StreamingAlgorithm, StreamingReport, StreamingRunner
+from repro.streaming.runner import (
+    StreamingAlgorithm,
+    StreamingReport,
+    StreamingRunner,
+    process_event_batch,
+)
 from repro.streaming.space import SpaceMeter
 from repro.streaming.stream import STREAM_ORDERS, EdgeStream, SetStream
 
 __all__ = [
     "EdgeArrival",
     "SetArrival",
+    "EventBatch",
     "EdgeStream",
     "SetStream",
     "STREAM_ORDERS",
@@ -24,6 +31,7 @@ __all__ = [
     "StreamingAlgorithm",
     "StreamingReport",
     "StreamingRunner",
+    "process_event_batch",
     "edge_events_to_set_events",
     "edge_stream_from_set_stream",
     "interleave_edges",

@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Callable, Iterator, TypeVar
 
 from repro.errors import PassBudgetExceeded
+from repro.streaming.batches import EventBatch
 from repro.streaming.events import EdgeArrival, SetArrival
 from repro.streaming.stream import EdgeStream, SetStream
 
@@ -61,6 +62,17 @@ class MultiPassDriver:
             raise PassBudgetExceeded(self._passes_used + 1, self._max_passes)
         self._passes_used += 1
         return iter(self._stream)
+
+    def new_batch_pass(self, batch_size: int) -> Iterator[EventBatch]:
+        """Start a new pass and return an iterator over its columnar batches.
+
+        Counts against the pass budget exactly like :meth:`new_pass`; the
+        batches replay the same pass in the same event order.
+        """
+        if self._max_passes is not None and self._passes_used >= self._max_passes:
+            raise PassBudgetExceeded(self._passes_used + 1, self._max_passes)
+        self._passes_used += 1
+        return self._stream.iter_batches(batch_size)
 
     def run_pass(self, consumer: Callable[[object], None]) -> int:
         """Run one full pass, feeding every event to ``consumer``.

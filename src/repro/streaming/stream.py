@@ -30,6 +30,7 @@ from typing import Iterable, Iterator, Sequence
 import numpy as np
 
 from repro.coverage.bipartite import BipartiteGraph
+from repro.streaming.batches import EventBatch
 from repro.streaming.events import EdgeArrival, SetArrival
 from repro.utils.rng import spawn_rng
 
@@ -81,6 +82,10 @@ class EdgeStream:
         if order not in STREAM_ORDERS:
             raise ValueError(f"unknown order {order!r}; expected one of {STREAM_ORDERS}")
         self._edges = [(int(s), int(e)) for s, e in edges]
+        # Columnar mirror of the edge list (built lazily so purely scalar
+        # consumers never pay for it): the batched path and the sort-based
+        # orders slice and hash these whole arrays instead of Python tuples.
+        self._columns: tuple[np.ndarray, np.ndarray] | None = None
         self._num_sets = int(num_sets)
         self._order = order
         self._seed = int(seed)
@@ -144,26 +149,53 @@ class EdgeStream:
     # ------------------------------------------------------------------ #
     # iteration
     # ------------------------------------------------------------------ #
-    def _ordered_edges(self, pass_index: int) -> list[tuple[int, int]]:
-        edges = self._edges
+    def _edge_columns(self) -> tuple[np.ndarray, np.ndarray]:
+        """The (set_ids, elements) uint64 columns, built on first use."""
+        if self._columns is None:
+            self._columns = (
+                np.fromiter(
+                    (s for s, _ in self._edges), dtype=np.uint64, count=len(self._edges)
+                ),
+                np.fromiter(
+                    (e for _, e in self._edges), dtype=np.uint64, count=len(self._edges)
+                ),
+            )
+        return self._columns
+
+    def _ordered_indices(self, pass_index: int) -> np.ndarray:
+        """Index permutation realising the configured order for one pass.
+
+        The scalar iterator and the batched iterator share this permutation,
+        which is what makes them event-for-event identical.  The sort-based
+        orders use stable ``np.lexsort``, matching the stable ``sorted`` the
+        scalar path historically used.
+        """
+        count = len(self._edges)
         if self._order == "given":
-            return list(edges)
+            return np.arange(count, dtype=np.int64)
         if self._order == "random":
             rng = spawn_rng(self._seed, f"edge-stream-pass-{pass_index}")
-            permutation = rng.permutation(len(edges))
-            return [edges[i] for i in permutation]
+            return rng.permutation(count)
         if self._order == "set_grouped":
-            return sorted(edges, key=lambda edge: (edge[0], edge[1]))
+            sets, elements = self._edge_columns()
+            return np.lexsort((elements, sets))
         if self._order == "element_grouped":
-            return sorted(edges, key=lambda edge: (edge[1], edge[0]))
+            sets, elements = self._edge_columns()
+            return np.lexsort((sets, elements))
         if self._order == "adversarial_tail":
             favored = self._favored_tail()
-            head = [edge for edge in edges if edge[0] not in favored]
-            tail = [edge for edge in edges if edge[0] in favored]
+            sets, _ = self._edge_columns()
+            mask = np.isin(sets, np.array(sorted(favored), dtype=np.uint64))
+            head = np.flatnonzero(~mask)
+            tail = np.flatnonzero(mask)
             rng = spawn_rng(self._seed, f"edge-stream-adv-{pass_index}")
             head_order = rng.permutation(len(head))
-            return [head[i] for i in head_order] + tail
+            return np.concatenate([head[head_order], tail])
         raise AssertionError(f"unhandled order {self._order}")  # pragma: no cover
+
+    def _ordered_edges(self, pass_index: int) -> list[tuple[int, int]]:
+        edges = self._edges
+        return [edges[i] for i in self._ordered_indices(pass_index)]
 
     def _favored_tail(self) -> frozenset[int]:
         if self._favored_sets is not None:
@@ -182,6 +214,25 @@ class EdgeStream:
         self._passes += 1
         for set_id, element in self._ordered_edges(pass_index):
             yield EdgeArrival(set_id, element)
+
+    def iter_batches(self, batch_size: int) -> Iterator[EventBatch]:
+        """Yield one pass as columnar edge batches of at most ``batch_size``.
+
+        Counts as one pass (like ``__iter__``) and visits the edges in
+        exactly the same order as the scalar iterator for the same pass
+        index, so batched and scalar consumers see identical streams.
+        """
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        pass_index = self._passes
+        self._passes += 1
+        indices = self._ordered_indices(pass_index)
+        col_sets, col_elements = self._edge_columns()
+        sets = col_sets[indices]
+        elements = col_elements[indices]
+        for start in range(0, len(indices), batch_size):
+            stop = start + batch_size
+            yield EventBatch(sets[start:stop], elements[start:stop])
 
     def pass_events(self) -> list[EdgeArrival]:
         """Materialise one pass as a list (counts as a pass)."""
@@ -227,6 +278,30 @@ class SetStream:
         self._order = order
         self._seed = int(seed)
         self._passes = 0
+        # Columnar mirror (CSR layout over the stored set order) backing the
+        # batched iterator; built lazily so scalar consumers never pay for it.
+        self._csr: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+
+    def _csr_columns(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The (set_ids, offsets, elements) CSR columns, built on first use."""
+        if self._csr is None:
+            set_ids = np.fromiter(
+                (set_id for set_id, _ in self._sets), dtype=np.uint64, count=len(self._sets)
+            )
+            lengths = np.fromiter(
+                (len(members) for _, members in self._sets),
+                dtype=np.int64,
+                count=len(self._sets),
+            )
+            offsets = np.zeros(len(self._sets) + 1, dtype=np.int64)
+            np.cumsum(lengths, out=offsets[1:])
+            elements = np.fromiter(
+                (e for _, members in self._sets for e in members),
+                dtype=np.uint64,
+                count=int(offsets[-1]),
+            )
+            self._csr = (set_ids, offsets, elements)
+        return self._csr
 
     @classmethod
     def from_graph(
@@ -253,16 +328,44 @@ class SetStream:
         """How many passes have been started so far."""
         return self._passes
 
+    def _ordered_indices(self, pass_index: int) -> np.ndarray:
+        if self._order == "random":
+            rng = spawn_rng(self._seed, f"set-stream-pass-{pass_index}")
+            return rng.permutation(len(self._sets))
+        return np.arange(len(self._sets), dtype=np.int64)
+
     def __iter__(self) -> Iterator[SetArrival]:
         pass_index = self._passes
         self._passes += 1
-        order = list(range(len(self._sets)))
-        if self._order == "random":
-            rng = spawn_rng(self._seed, f"set-stream-pass-{pass_index}")
-            order = list(rng.permutation(len(self._sets)))
-        for index in order:
+        for index in self._ordered_indices(pass_index):
             set_id, members = self._sets[index]
             yield SetArrival(set_id=set_id, elements=members)
+
+    def iter_batches(self, batch_size: int) -> Iterator[EventBatch]:
+        """Yield one pass as columnar set batches of at most ``batch_size`` sets.
+
+        Counts as one pass and preserves the scalar iteration order, with
+        each batch carrying its sets' members in CSR layout.
+        """
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        pass_index = self._passes
+        self._passes += 1
+        order = self._ordered_indices(pass_index)
+        col_set_ids, col_offsets, col_elements = self._csr_columns()
+        starts = col_offsets[:-1]
+        ends = col_offsets[1:]
+        for begin in range(0, len(order), batch_size):
+            chunk = order[begin : begin + batch_size]
+            lengths = ends[chunk] - starts[chunk]
+            offsets = np.zeros(len(chunk) + 1, dtype=np.int64)
+            np.cumsum(lengths, out=offsets[1:])
+            elements = (
+                np.concatenate([col_elements[starts[i] : ends[i]] for i in chunk])
+                if len(chunk)
+                else np.empty(0, dtype=np.uint64)
+            )
+            yield EventBatch(col_set_ids[chunk], elements, offsets)
 
     def reset_pass_count(self) -> None:
         """Reset the pass counter."""

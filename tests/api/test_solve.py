@@ -203,6 +203,35 @@ class TestErrorPaths:
         with pytest.raises(SpecError, match="max_passes"):
             solve(kcover_instance, "offline/greedy", max_passes=1)
 
+    def test_offline_solver_rejects_batch_size(self, kcover_instance):
+        with pytest.raises(SpecError, match="batch_size"):
+            solve(kcover_instance, "offline/greedy", batch_size=64)
+
+    def test_offline_solver_ignores_spec_batch_size(self, kcover_instance):
+        # Mixed comparisons share one StreamSpec; offline solvers ignore it.
+        report = solve(
+            kcover_instance, "offline/greedy", stream=StreamSpec(seed=3, batch_size=64)
+        )
+        assert report.arrival_model == "offline"
+
+    def test_batch_size_recorded_and_equivalent(self, kcover_instance):
+        scalar = solve(kcover_instance, "kcover/sketch", stream=StreamSpec(seed=3))
+        batched = solve(
+            kcover_instance, "kcover/sketch", stream=StreamSpec(seed=3, batch_size=128)
+        )
+        assert batched.extra["batch_size"] == 128
+        assert batched.solution == scalar.solution
+        assert batched.space_peak == scalar.space_peak
+
+    def test_explicit_batch_size_overrides_spec(self, kcover_instance):
+        report = solve(
+            kcover_instance,
+            "kcover/sketch",
+            stream=StreamSpec(seed=3, batch_size=8),
+            batch_size=256,
+        )
+        assert report.extra["batch_size"] == 256
+
     def test_non_streaming_solver_rejects_stream_object(self, kcover_instance):
         stream = SetStream.from_graph(kcover_instance.graph)
         with pytest.raises(SpecError, match="stream object"):

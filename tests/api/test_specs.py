@@ -104,6 +104,17 @@ class TestStreamSpec:
         assert StreamSpec(order="adversarial_tail").set_order == "random"
         assert StreamSpec(order="given").set_order == "given"
 
+    def test_batch_size_round_trip(self):
+        spec = StreamSpec(order="random", seed=1, batch_size=256)
+        assert spec.to_dict()["batch_size"] == 256
+        assert StreamSpec.from_dict(spec.to_dict()) == spec
+        assert StreamSpec().batch_size is None
+
+    def test_rejects_bad_batch_size(self):
+        for bad in (0, -4, True, 2.5):
+            with pytest.raises(SpecError, match="batch_size"):
+                StreamSpec(batch_size=bad)
+
 
 class TestRunSpec:
     def _spec(self) -> RunSpec:

@@ -155,3 +155,51 @@ class TestL0KCover:
         oracle = L0CoverageOracle(5, epsilon=0.2)
         with pytest.raises(ValueError):
             l0_greedy_k_cover(oracle, 0)
+
+
+class TestOracleBatchProcessing:
+    def test_process_batch_matches_scalar(self):
+        from repro.streaming.stream import EdgeStream
+
+        instance = planted_kcover_instance(20, 400, k=4, seed=31)
+        scalar = L0CoverageOracle(instance.n, epsilon=0.3, seed=2)
+        batched = L0CoverageOracle(instance.n, epsilon=0.3, seed=2)
+        for event in EdgeStream.from_graph(instance.graph, order="random", seed=4):
+            scalar.process(event)
+        stream = EdgeStream.from_graph(instance.graph, order="random", seed=4)
+        for batch in stream.iter_batches(64):
+            batched.process_batch(batch)
+        for set_id in range(instance.n):
+            assert (
+                batched.sketch_of(set_id).values() == scalar.sketch_of(set_id).values()
+            )
+
+    def test_process_batch_rejects_set_batches(self):
+        from repro.streaming.batches import EventBatch
+
+        oracle = L0CoverageOracle(4, epsilon=0.3)
+        with pytest.raises(TypeError, match="edge batches"):
+            oracle.process_batch(EventBatch.from_sets([(0, (1, 2))]))
+
+    def test_process_batch_range_check(self):
+        from repro.streaming.batches import EventBatch
+
+        oracle = L0CoverageOracle(4, epsilon=0.3)
+        with pytest.raises(ValueError, match="out of range"):
+            oracle.process_batch(EventBatch.from_edges([(9, 1)]))
+
+
+class TestKMVVectorisedUpdate:
+    def test_update_many_matches_scalar_adds(self):
+        items = [3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 97, 93]
+        one_by_one = KMVSketch(8, seed=5)
+        for item in items:
+            one_by_one.add(item)
+        bulk = KMVSketch(8, seed=5)
+        bulk.update_many(items)
+        assert sorted(bulk.values()) == sorted(one_by_one.values())
+
+    def test_update_many_empty(self):
+        sketch = KMVSketch(8, seed=5)
+        sketch.update_many([])
+        assert sketch.size == 0

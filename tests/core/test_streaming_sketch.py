@@ -171,3 +171,51 @@ class TestPermutationRankSource:
         params = SketchParams.explicit(4, 8, 2, 0.5, edge_budget=10, degree_cap=2)
         builder = StreamingSketchBuilder(params, seed=3, rank_source="permutation")
         assert builder.describe()["rank_source"] == "permutation"
+
+
+class TestBatchProcessing:
+    """process_batch must be byte-identical to the scalar edge path."""
+
+    def _drain(self, builder, instance, *, batch_size=None, order="random", seed=5):
+        stream = EdgeStream.from_graph(instance.graph, order=order, seed=seed)
+        if batch_size is None:
+            for event in stream:
+                builder.process(event)
+        else:
+            for batch in stream.iter_batches(batch_size):
+                builder.process_batch(batch)
+
+    @pytest.mark.parametrize("batch_size", [1, 7, 1024])
+    def test_matches_scalar_with_evictions(self, planted_kcover, batch_size):
+        params = _params(planted_kcover, edge_budget=120, degree_cap=8)
+        scalar = StreamingSketchBuilder(params, seed=3)
+        batched = StreamingSketchBuilder(params, seed=3)
+        self._drain(scalar, planted_kcover)
+        self._drain(batched, planted_kcover, batch_size=batch_size)
+        assert batched.describe() == scalar.describe()
+        assert sorted(batched.sketch().graph.edges()) == sorted(scalar.sketch().graph.edges())
+        assert batched.space.peak == scalar.space.peak
+
+    def test_permutation_rank_source_falls_back_to_scalar(self, planted_kcover):
+        params = _params(planted_kcover, edge_budget=120, degree_cap=8)
+        scalar = StreamingSketchBuilder(params, seed=3, rank_source="permutation")
+        batched = StreamingSketchBuilder(params, seed=3, rank_source="permutation")
+        self._drain(scalar, planted_kcover)
+        self._drain(batched, planted_kcover, batch_size=64)
+        assert batched.describe() == scalar.describe()
+
+    def test_rejects_set_batches(self, figure1_graph):
+        from repro.streaming.batches import EventBatch
+
+        params = SketchParams.explicit(4, 8, 2, 0.5, edge_budget=100, degree_cap=10)
+        builder = StreamingSketchBuilder(params, seed=1)
+        with pytest.raises(TypeError, match="edge batches"):
+            builder.process_batch(EventBatch.from_sets([(0, (1, 2))]))
+
+    def test_empty_batch_is_a_noop(self, figure1_graph):
+        from repro.streaming.batches import EventBatch
+
+        params = SketchParams.explicit(4, 8, 2, 0.5, edge_budget=100, degree_cap=10)
+        builder = StreamingSketchBuilder(params, seed=1)
+        assert builder.process_batch(EventBatch.from_edges([])) == 0
+        assert builder.edges_seen == 0

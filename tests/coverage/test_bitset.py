@@ -81,3 +81,42 @@ class TestVectorisedGreedy:
     def test_invalid_k(self, tiny_graph):
         with pytest.raises(ValueError):
             BitsetCoverage(tiny_graph).greedy_k_cover(0)
+
+
+class TestPopcountBackends:
+    def test_table_fallback_matches_native(self, tiny_graph):
+        """The byte-table fallback and np.bitwise_count agree everywhere."""
+        import repro.coverage.bitset as bitset_module
+
+        fast = BitsetCoverage(tiny_graph)
+        families = [[0], [1, 3], [0, 1, 2, 3]]
+        native = [fast.coverage(f) for f in families]
+        original = bitset_module._HAS_BITWISE_COUNT
+        bitset_module._HAS_BITWISE_COUNT = False
+        try:
+            fallback = [fast.coverage(f) for f in families]
+            gains = fast.marginal_gains(np.zeros(fast._packed.shape[1], dtype=np.uint8))
+        finally:
+            bitset_module._HAS_BITWISE_COUNT = original
+        assert fallback == native
+        assert gains.tolist() == [fast.set_size(s) for s in range(fast.num_sets)]
+
+
+class TestEvaluateManyVectorised:
+    def test_uniform_length_families_take_stacked_path(self):
+        instance = uniform_random_instance(30, 200, density=0.08, seed=9)
+        fast = BitsetCoverage(instance.graph)
+        families = [[i, (i + 7) % 30, (i + 13) % 30] for i in range(30)]
+        assert fast.evaluate_many(families) == [fast.coverage(f) for f in families]
+
+    def test_ragged_families_fall_back(self, tiny_graph):
+        fast = BitsetCoverage(tiny_graph)
+        families = [[], [0], [1, 3], [0, 1, 2, 3]]
+        assert fast.evaluate_many(families) == [fast.coverage(f) for f in families]
+
+    def test_duplicate_ids_in_family(self, tiny_graph):
+        fast = BitsetCoverage(tiny_graph)
+        assert fast.evaluate_many([[2, 2], [0, 0]]) == [3, 3]
+
+    def test_empty_input(self, tiny_graph):
+        assert BitsetCoverage(tiny_graph).evaluate_many([]) == []

@@ -1,0 +1,90 @@
+"""Batched-vs-scalar equivalence across the whole solver registry.
+
+The batched streaming engine's contract is that driving any registered
+streaming solver with columnar batches — native ``process_batch`` or the
+unrolling shim alike — produces a report byte-identical to the scalar event
+path: same solution, coverage, pass count and space peak.  This property is
+what lets benchmarks use batches while every correctness claim is made about
+the scalar reference semantics.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.api  # noqa: F401 - populates the solver registry
+from repro.api import StreamSpec, list_solvers, solve
+from repro.datasets import planted_kcover_instance, planted_setcover_instance
+
+BATCH_SIZES = (1, 7, 1024)
+SEEDS = (0, 3)
+
+#: Per-problem workload plus solve() kwargs keeping multi-pass solvers fast.
+_PROBLEM_SETUP = {
+    "k_cover": (lambda: planted_kcover_instance(40, 900, k=6, seed=21), {}),
+    "set_cover": (
+        lambda: planted_setcover_instance(30, 500, cover_size=6, seed=22),
+        {"max_passes": 60},
+    ),
+    "set_cover_outliers": (
+        lambda: planted_setcover_instance(30, 500, cover_size=6, seed=23),
+        {"max_passes": 80, "outlier_fraction": 0.1},
+    ),
+}
+
+
+def _report_key(report):
+    """The fields the equivalence contract covers (timings naturally differ)."""
+    return (
+        report.solution,
+        report.coverage,
+        report.coverage_fraction,
+        report.solution_size,
+        report.passes,
+        report.space_peak,
+        report.space_budget,
+        report.stream_events,
+    )
+
+
+def _cases():
+    for problem, (build, kwargs) in _PROBLEM_SETUP.items():
+        for name in list_solvers(problem=problem, kind="streaming"):
+            yield pytest.param(problem, name, build, kwargs, id=f"{problem}:{name}")
+
+
+@pytest.mark.parametrize("problem,name,build,kwargs", list(_cases()))
+def test_every_streaming_solver_is_batch_invariant(problem, name, build, kwargs):
+    instance = build()
+    for seed in SEEDS:
+        scalar = solve(
+            instance,
+            name,
+            problem_kind=problem,
+            stream=StreamSpec(order="random", seed=seed),
+            seed=seed,
+            **kwargs,
+        )
+        for batch_size in BATCH_SIZES:
+            batched = solve(
+                instance,
+                name,
+                problem_kind=problem,
+                stream=StreamSpec(order="random", seed=seed, batch_size=batch_size),
+                seed=seed,
+                **kwargs,
+            )
+            assert _report_key(batched) == _report_key(scalar), (
+                f"{name} diverged from the scalar path at batch_size={batch_size}, "
+                f"seed={seed}"
+            )
+
+
+def test_registry_covers_all_three_problems():
+    """The sweep above must actually exercise every streaming solver."""
+    swept = {
+        name
+        for problem in _PROBLEM_SETUP
+        for name in list_solvers(problem=problem, kind="streaming")
+    }
+    assert swept == set(list_solvers(kind="streaming"))

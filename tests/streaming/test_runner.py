@@ -140,3 +140,104 @@ class TestPassBudget:
                 StreamingRunner(tiny_graph).run(algo, stream)
         finally:
             runner_module.MultiPassDriver = original
+
+
+class BatchCountingAlgorithm(CountingEdgeAlgorithm):
+    """Edge algorithm with a native process_batch, for dispatch tests."""
+
+    def __init__(self, passes: int = 1) -> None:
+        super().__init__(passes)
+        self.batches = 0
+
+    def process_batch(self, batch) -> None:
+        self.batches += 1
+        for event in batch.iter_events():
+            self.process(event)
+
+
+class TestBatchedDrive:
+    def test_shim_unrolls_batches_for_scalar_algorithms(self, tiny_graph):
+        scalar = CountingEdgeAlgorithm()
+        batched = CountingEdgeAlgorithm()
+        runner = StreamingRunner(tiny_graph)
+        ref = runner.run(scalar, EdgeStream.from_graph(tiny_graph, order="given"))
+        rep = runner.run(
+            batched, EdgeStream.from_graph(tiny_graph, order="given"), batch_size=3
+        )
+        assert rep.solution == ref.solution
+        assert rep.stream_events == ref.stream_events
+        assert rep.space_peak == ref.space_peak
+        assert batched.events == scalar.events
+
+    def test_native_process_batch_preferred(self, tiny_graph):
+        algo = BatchCountingAlgorithm()
+        report = StreamingRunner(tiny_graph).run(
+            algo, EdgeStream.from_graph(tiny_graph, order="given"), batch_size=4
+        )
+        assert algo.batches == 3  # 9 edges in batches of 4 -> [4, 4, 1]
+        assert report.stream_events == tiny_graph.num_edges
+
+    def test_batched_multi_pass_respects_budget(self, tiny_graph):
+        algo = BatchCountingAlgorithm(passes=3)
+        with pytest.raises(PassBudgetExceeded):
+            StreamingRunner(tiny_graph).run(
+                algo,
+                EdgeStream.from_graph(tiny_graph, order="given"),
+                max_passes=2,
+                batch_size=2,
+            )
+
+    def test_invalid_batch_size(self, tiny_graph):
+        with pytest.raises(ValueError, match="batch_size"):
+            StreamingRunner(tiny_graph).run(
+                CountingEdgeAlgorithm(),
+                EdgeStream.from_graph(tiny_graph, order="given"),
+                batch_size=0,
+            )
+
+
+class TestReportDerivedFields:
+    def test_events_per_second_derived_from_stream_timing(self, tiny_graph):
+        report = StreamingRunner(tiny_graph).run(
+            CountingEdgeAlgorithm(), EdgeStream.from_graph(tiny_graph, order="given")
+        )
+        assert report.events_per_second is not None
+        assert report.events_per_second == pytest.approx(
+            report.stream_events / report.timings["stream"]
+        )
+        assert report.as_dict()["events_per_second"] == report.events_per_second
+
+    def test_events_per_second_none_without_stream_timing(self):
+        report = StreamingReport(
+            algorithm="offline",
+            arrival_model="offline",
+            solution=(0,),
+            coverage=1,
+            coverage_fraction=1.0,
+            solution_size=1,
+            passes=0,
+            space_peak=0,
+            space_budget=None,
+            stream_events=0,
+            timings={"solve": 0.5},
+        )
+        assert report.events_per_second is None
+        assert report.as_dict()["events_per_second"] is None
+
+    def test_extra_cannot_overwrite_core_columns(self, tiny_graph):
+        report = StreamingRunner(tiny_graph).run(
+            CountingEdgeAlgorithm(),
+            EdgeStream.from_graph(tiny_graph, order="given"),
+            extra={"coverage": -1, "note": "ok"},
+        )
+        with pytest.raises(ValueError, match="collide"):
+            report.as_dict()
+
+    def test_extra_cannot_overwrite_timing_columns(self, tiny_graph):
+        report = StreamingRunner(tiny_graph).run(
+            CountingEdgeAlgorithm(),
+            EdgeStream.from_graph(tiny_graph, order="given"),
+            extra={"time.stream": 0.0},
+        )
+        with pytest.raises(ValueError, match="collide"):
+            report.as_dict()
