@@ -157,6 +157,7 @@ def run_streaming_comparison(
     set_order: str = "random",
     seed: int = 0,
     reference_value: float | None = None,
+    kernel: Any | None = None,
 ) -> list[ExperimentRow]:
     """Run several streaming algorithms on one instance and record their rows.
 
@@ -175,12 +176,16 @@ def run_streaming_comparison(
         Stream orders for edge-arrival and set-arrival consumers.
     reference_value:
         Reference ``Opt_k`` (defaults to the planted/greedy reference).
+    kernel:
+        Optional :class:`repro.coverage.bitset.BitsetCoverage` snapshot of
+        the instance graph; the greedy reference then runs on its vectorised
+        lazy path — the same kernel the offline solvers use.
     """
     runner = StreamingRunner(instance.graph)
     reference = (
         reference_value
         if reference_value is not None
-        else kcover_reference_value(instance)
+        else kcover_reference_value(instance, kernel=kernel)
     )
     rows = []
     for label, factory in algorithms:

@@ -10,11 +10,14 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 from repro.coverage.bipartite import BipartiteGraph
 from repro.coverage.instance import CoverageInstance
 from repro.offline.greedy import greedy_k_cover
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.coverage.bitset import BitsetCoverage
 
 __all__ = [
     "approximation_ratio",
@@ -26,16 +29,23 @@ __all__ = [
 ]
 
 
-def kcover_reference_value(instance: CoverageInstance, *, use_planted: bool = True) -> int:
+def kcover_reference_value(
+    instance: CoverageInstance,
+    *,
+    use_planted: bool = True,
+    kernel: "BitsetCoverage | None" = None,
+) -> int:
     """The best available reference value for ``Opt_k``.
 
     The planted value is used when the generator provided one (it is exact or
     a lower bound on the optimum); otherwise the offline greedy value is used
     (a ``1 − 1/e`` lower bound on the optimum, the customary yardstick).
+    ``kernel`` optionally runs that greedy on a packed-bitset snapshot of the
+    instance graph — the fast path for large reference sweeps.
     """
     if use_planted and instance.planted_value is not None:
         return int(instance.planted_value)
-    return greedy_k_cover(instance.graph, instance.k).coverage
+    return greedy_k_cover(instance.graph, instance.k, kernel=kernel).coverage
 
 
 def approximation_ratio(achieved: float, reference: float) -> float:

@@ -42,6 +42,7 @@ def _resolve_context(
     outlier_fraction: float | None = None,
     problem_kind: str | None = None,
     seed: int = 0,
+    coverage_backend: str | None = None,
 ) -> ProblemContext:
     """Normalize the accepted problem descriptions into a ProblemContext."""
     if isinstance(problem, ProblemSpec):
@@ -56,6 +57,11 @@ def _resolve_context(
             ),
             problem_kind=problem_kind or problem.problem,
             seed=seed,
+            coverage_backend=(
+                coverage_backend
+                if coverage_backend is not None
+                else problem.coverage_backend
+            ),
         )
     if isinstance(problem, CoverageInstance):
         kind = problem_kind or problem.kind.value
@@ -70,6 +76,7 @@ def _resolve_context(
             ),
             seed=seed,
             instance=problem,
+            coverage_backend=coverage_backend,
         )
     if isinstance(problem, BipartiteGraph):
         if problem_kind is None:
@@ -90,6 +97,7 @@ def _resolve_context(
             k=k if k is not None else 1,
             outlier_fraction=outlier_fraction or 0.0,
             seed=seed,
+            coverage_backend=coverage_backend,
         )
     raise SpecError(
         "problem must be a CoverageInstance, a BipartiteGraph or a ProblemSpec, "
@@ -201,6 +209,8 @@ def solve(
     max_passes: int | None = None,
     batch_size: int | None = None,
     seed: int = 0,
+    coverage_backend: str | None = None,
+    coverage_kernel: Any | None = None,
     extra: Mapping[str, Any] | None = None,
 ) -> StreamingReport:
     """Run any registered solver on a coverage problem and report the outcome.
@@ -233,6 +243,17 @@ def solve(
         solvers.
     seed:
         Seed forwarded to the solver constructor (and the default stream).
+    coverage_backend:
+        Optional coverage kernel backend name (``"auto"``, ``"bytes"``,
+        ``"words"``); solvers that evaluate coverage offline (the greedy and
+        local-search references) then run on the packed-bitset kernel.
+        Defaults to the problem spec's ``coverage_backend`` when solving a
+        :class:`ProblemSpec`; ``None`` keeps the default evaluation path.
+    coverage_kernel:
+        An already-packed :class:`repro.coverage.bitset.BitsetCoverage` of
+        the problem graph; skips re-packing when the caller runs many
+        solvers against one graph (:class:`Session` does this).  Implies
+        its own backend when ``coverage_backend`` is not given.
     extra:
         Free-form values recorded on the report.
 
@@ -251,7 +272,10 @@ def solve(
         outlier_fraction=outlier_fraction,
         problem_kind=problem_kind,
         seed=seed,
+        coverage_backend=coverage_backend,
     )
+    if coverage_kernel is not None:
+        ctx.preset_kernel(coverage_kernel)
     if not info.solves(ctx.problem):
         raise SpecError(
             f"solver {info.name!r} solves {info.problems}, not {ctx.problem!r}; "
@@ -310,6 +334,18 @@ def run(spec: RunSpec, problem: Problem | None = None) -> list[StreamingReport]:
     """
     target = problem if problem is not None else spec.problem.build_instance()
     extra = {"label": spec.label} if spec.label else None
+    # Offline repetitions all evaluate on the same graph: pack the coverage
+    # kernel once for the whole sweep instead of once per repetition.
+    kernel = None
+    if (
+        spec.problem.coverage_backend is not None
+        and get_solver(spec.solver.name).kind == "offline"
+        and isinstance(target, (CoverageInstance, BipartiteGraph))
+    ):
+        from repro.coverage.bitset import BitsetCoverage
+
+        graph = target.graph if isinstance(target, CoverageInstance) else target
+        kernel = BitsetCoverage(graph, backend=spec.problem.coverage_backend)
     reports = []
     for repetition in range(spec.repetitions):
         stream = StreamSpec(
@@ -328,6 +364,8 @@ def run(spec: RunSpec, problem: Problem | None = None) -> list[StreamingReport]:
                 stream=stream,
                 max_passes=spec.max_passes,
                 seed=stream.seed,
+                coverage_backend=spec.problem.coverage_backend,
+                coverage_kernel=kernel,
                 extra=extra,
             )
         )
@@ -354,8 +392,11 @@ class Session:
         seed: int = 0,
         reference_value: float | None = None,
         suite: ExperimentSuite | None = None,
+        coverage_backend: str | None = None,
     ) -> None:
         if isinstance(problem, ProblemSpec):
+            if coverage_backend is None:
+                coverage_backend = problem.coverage_backend
             problem = problem.build_instance()
         self.problem: CoverageInstance | BipartiteGraph = problem
         self.suite = suite if suite is not None else ExperimentSuite(name)
@@ -364,6 +405,8 @@ class Session:
         self._k = k
         self._outlier_fraction = outlier_fraction
         self._problem_kind = problem_kind
+        self.coverage_backend = coverage_backend
+        self._kernel_cache: Any | None = None
         self._reference = reference_value
         # A default reference only makes sense for k-cover (Opt_k); computing
         # it is a full offline greedy, so defer until a row actually needs it.
@@ -373,11 +416,37 @@ class Session:
             and ProblemKind(problem_kind or problem.kind) is ProblemKind.K_COVER
         )
 
+    def _kernel(self) -> Any | None:
+        """The session-wide packed kernel (one packing per Session), or None.
+
+        Shared by the greedy reference and every offline solver run, so a
+        sweep over many solvers/seeds pays the O(n·m) packing cost once.
+        """
+        if self.coverage_backend is None:
+            return None
+        if self._kernel_cache is None:
+            from repro.coverage.bitset import BitsetCoverage
+
+            graph = (
+                self.problem.graph
+                if isinstance(self.problem, CoverageInstance)
+                else self.problem
+            )
+            self._kernel_cache = BitsetCoverage(graph, backend=self.coverage_backend)
+        return self._kernel_cache
+
     @property
     def reference_value(self) -> float | None:
         """The reference Opt_k rows are normalized against (None if not k-cover)."""
         if self._reference is None and self._auto_reference:
-            self._reference = kcover_reference_value(self.problem)
+            # Packing is only worth paying when the reference actually runs a
+            # greedy; a planted value short-circuits before touching it.
+            kernel = (
+                self._kernel()
+                if getattr(self.problem, "planted_value", None) is None
+                else None
+            )
+            self._reference = kcover_reference_value(self.problem, kernel=kernel)
             self._auto_reference = False
         return self._reference
 
@@ -396,6 +465,10 @@ class Session:
         run_seed = self.seed if seed is None else seed
         if stream is None:
             stream = StreamSpec(seed=run_seed)
+        # Only offline solvers evaluate through the kernel; pack it once per
+        # session and only when a run actually consumes it.
+        solver_spec = _resolve_solver(solver, None)
+        needs_kernel = get_solver(solver_spec.name).kind == "offline"
         report = solve(
             self.problem,
             solver,
@@ -406,6 +479,8 @@ class Session:
             stream=stream,
             max_passes=max_passes,
             seed=run_seed,
+            coverage_backend=self.coverage_backend,
+            coverage_kernel=self._kernel() if needs_kernel else None,
             extra=dict(extra or {}),
         )
         metrics: dict[str, Any] = {}

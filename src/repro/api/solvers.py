@@ -229,18 +229,24 @@ def _outliers_emek_rosen(ctx: ProblemContext, **options: Any) -> ThresholdPartia
     summary="Offline lazy greedy (1-1/e for k-cover, H_m for set cover)",
 )
 def _offline_greedy(ctx: ProblemContext, **options: Any) -> OfflineOutcome:
+    kernel = ctx.kernel()
     if ctx.problem == "k_cover":
-        result = greedy_k_cover(ctx.graph, ctx.k, **options)
+        result = greedy_k_cover(ctx.graph, ctx.k, kernel=kernel, **options)
     elif ctx.problem == "set_cover":
         allow_partial = options.pop("allow_partial", True)
-        result = greedy_set_cover(ctx.graph, allow_partial=allow_partial, **options)
+        result = greedy_set_cover(
+            ctx.graph, allow_partial=allow_partial, kernel=kernel, **options
+        )
     else:
         target = 1.0 - _require_outliers(ctx, "offline/greedy")
-        result = greedy_partial_cover(ctx.graph, target, **options)
+        result = greedy_partial_cover(ctx.graph, target, kernel=kernel, **options)
+    extra: dict[str, Any] = {"evaluations": result.evaluations}
+    if kernel is not None:
+        extra["coverage_backend"] = kernel.backend.name
     return OfflineOutcome(
         algorithm="offline-greedy",
         solution=list(result.selected),
-        extra={"evaluations": result.evaluations},
+        extra=extra,
     )
 
 
@@ -253,11 +259,18 @@ def _offline_greedy(ctx: ProblemContext, **options: Any) -> OfflineOutcome:
     summary="Single-swap local search for k-cover",
 )
 def _offline_local_search(ctx: ProblemContext, **options: Any) -> OfflineOutcome:
-    result = local_search_k_cover(ctx.graph, ctx.k, **_seeded(ctx, options))
+    kernel = ctx.kernel()
+    result = local_search_k_cover(ctx.graph, ctx.k, kernel=kernel, **_seeded(ctx, options))
+    extra: dict[str, Any] = {
+        "iterations": result.iterations,
+        "improved_from": result.improved_from,
+    }
+    if kernel is not None:
+        extra["coverage_backend"] = kernel.backend.name
     return OfflineOutcome(
         algorithm="offline-local-search",
         solution=list(result.selected),
-        extra={"iterations": result.iterations, "improved_from": result.improved_from},
+        extra=extra,
     )
 
 

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, fields
 from typing import Any, Mapping
 
+from repro.coverage.kernels import kernel_backend_choices
 from repro.errors import SpecError
 from repro.streaming.stream import STREAM_ORDERS
 
@@ -92,6 +93,12 @@ class ProblemSpec:
     :mod:`repro.datasets` registry; :meth:`build_instance` then materializes
     the :class:`repro.coverage.instance.CoverageInstance` from the spec
     alone, making a :class:`RunSpec` self-contained.
+
+    ``coverage_backend`` optionally names a registered coverage kernel
+    backend (``"auto"``, ``"bytes"``, ``"words"``, ...); solvers that
+    evaluate the coverage function offline (the greedy / local-search
+    references) then run on that packed-bitset kernel instead of Python
+    sets.  ``None`` keeps the solver's default evaluation path.
     """
 
     problem: str = "k_cover"
@@ -99,6 +106,7 @@ class ProblemSpec:
     outlier_fraction: float | None = None
     dataset: str | None = None
     dataset_args: dict[str, Any] = field(default_factory=dict)
+    coverage_backend: str | None = None
 
     def __post_init__(self) -> None:
         if self.problem not in PROBLEM_KINDS:
@@ -122,6 +130,13 @@ class ProblemSpec:
             raise SpecError("set_cover_outliers requires outlier_fraction")
         if self.dataset is not None and not isinstance(self.dataset, str):
             raise SpecError(f"dataset must be a string or None, got {self.dataset!r}")
+        if self.coverage_backend is not None:
+            choices = kernel_backend_choices()
+            if self.coverage_backend not in choices:
+                raise SpecError(
+                    f"unknown coverage_backend {self.coverage_backend!r}; "
+                    f"expected one of {choices} or None"
+                )
         object.__setattr__(
             self, "dataset_args", _check_options_dict(self.dataset_args, "dataset_args")
         )
@@ -149,6 +164,7 @@ class ProblemSpec:
             "outlier_fraction": self.outlier_fraction,
             "dataset": self.dataset,
             "dataset_args": dict(self.dataset_args),
+            "coverage_backend": self.coverage_backend,
         }
 
     @classmethod

@@ -22,9 +22,12 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from repro.coverage.bipartite import BipartiteGraph
 from repro.core.hashing import UniformHash
 from repro.offline.greedy import greedy_k_cover
+from repro.streaming.batches import EventBatch
 from repro.streaming.events import EdgeArrival
 from repro.streaming.space import SpaceMeter
 from repro.utils.validation import check_open_unit, check_positive_int
@@ -96,14 +99,46 @@ class McGregorVuKCover:
 
     def process(self, event: EdgeArrival) -> None:
         """Route the edge into every guess whose subsample admits the element."""
-        element_hash = self._hash.value(event.element)
+        self._route(event.set_id, event.element, self._hash.value(event.element))
+
+    def process_batch(self, batch: EventBatch) -> None:
+        """Route a whole columnar edge batch, sampling test vectorised.
+
+        The per-edge sampling test — "is the element's hash below the guess's
+        subsample rate?" — is evaluated for the entire batch with one
+        ``value_many`` call, and edges whose hash exceeds the largest rate of
+        any live guess are dropped wholesale (rates are fixed per guess and
+        guesses only leave the live set by overflowing, so the scalar path
+        would drop every one of them too).  Survivors go through the scalar
+        routing, keeping batched runs byte-identical to the unrolling shim.
+        """
+        if batch.offsets is not None:
+            raise TypeError("McGregorVuKCover consumes edge batches, got a set batch")
+        value_many = getattr(self._hash, "value_many", None)
+        if value_many is None or len(batch) == 0:
+            for event in batch.iter_events():
+                self.process(event)
+            return
+        values = value_many(batch.elements)
+        max_rate = max((s.rate for s in self._guesses if not s.overflowed), default=0.0)
+        survivors = np.flatnonzero(values <= max_rate)
+        if not len(survivors):
+            return
+        set_ids = batch.set_ids[survivors].tolist()
+        elements = batch.elements[survivors].tolist()
+        hashes = values[survivors].tolist()
+        for set_id, element, element_hash in zip(set_ids, elements, hashes):
+            self._route(set_id, element, element_hash)
+
+    def _route(self, set_id: int, element: int, element_hash: float) -> None:
+        """Per-edge admission into every guess (shared scalar logic)."""
         for state in self._guesses:
             if state.overflowed or element_hash > state.rate:
                 continue
             if state.graph.num_edges >= state.max_edges:
                 state.overflowed = True
                 continue
-            if state.graph.add_edge(event.set_id, event.element):
+            if state.graph.add_edge(set_id, element):
                 self.space.charge(1)
 
     def finish_pass(self, pass_index: int) -> None:

@@ -19,6 +19,11 @@ tie-breaking open we break ties by set id.)
 
 from __future__ import annotations
 
+from typing import Iterable
+
+import numpy as np
+
+from repro.streaming.batches import EventBatch
 from repro.streaming.events import SetArrival
 from repro.streaming.space import SpaceMeter
 from repro.utils.validation import check_positive_int
@@ -52,17 +57,54 @@ class SahaGetoorKCover:
 
     def process(self, event: SetArrival) -> None:
         """Consider one arriving set for insertion or swap."""
-        members = set(event.elements)
+        self._offer(event.set_id, event.elements)
+
+    def process_batch(self, batch: EventBatch) -> None:
+        """Offer a whole columnar set batch without per-event objects.
+
+        Reads the CSR columns directly and prefilters with the vectorised
+        member counts: once the ``k`` slots are full, a swap requires the
+        arriving set's marginal gain to reach ``swap_factor`` times the
+        minimum slot charge, and the member count bounds the gain from
+        above — so sets whose count already fails the test are skipped
+        outright.  The minimum charge never decreases while the solution is
+        full (a swap replaces the minimum-charge victim with a strictly
+        larger charge), so the test stays valid as the batch advances, and
+        survivors go through the exact scalar offer logic: batched runs are
+        byte-identical to the unrolling shim.
+        """
+        if batch.offsets is None:
+            raise TypeError("SahaGetoorKCover consumes set batches, got an edge batch")
+        set_ids = batch.set_ids.tolist()
+        bounds = batch.offsets.tolist()
+        member_counts = np.diff(batch.offsets)
+        elements = batch.elements
+        min_charge = None
+        for index, set_id in enumerate(set_ids):
+            if len(self._slots) >= self.k:
+                if min_charge is None:
+                    min_charge = min(len(charge) for _, charge in self._slots)
+                if member_counts[index] < self.swap_factor * max(1, min_charge):
+                    continue
+            if self._offer(set_id, elements[bounds[index] : bounds[index + 1]].tolist()):
+                min_charge = None  # a swap (or fill-up) moved the charges
+
+    def _offer(self, set_id: int, elements: Iterable[int]) -> bool:
+        """Scalar offer logic shared by the event and batch paths.
+
+        Returns whether the maintained solution changed.
+        """
+        members = set(elements)
         gain = members - self._covered
         if len(self._slots) < self.k:
             if not gain and self._slots:
-                return
-            self._slots.append((event.set_id, set(gain)))
+                return False
+            self._slots.append((set_id, set(gain)))
             self._covered |= gain
             self.space.charge(len(gain) + 1)
-            return
+            return True
         if not gain:
-            return
+            return False
         # Find the slot with the smallest charge.
         victim_index = min(
             range(len(self._slots)), key=lambda i: (len(self._slots[i][1]), self._slots[i][0])
@@ -75,9 +117,11 @@ class SahaGetoorKCover:
             self._covered -= victim_charge
             self.space.release(len(victim_charge) + 1)
             gain = members - self._covered
-            self._slots[victim_index] = (event.set_id, set(gain))
+            self._slots[victim_index] = (set_id, set(gain))
             self._covered |= gain
             self.space.charge(len(gain) + 1)
+            return True
+        return False
 
     def finish_pass(self, pass_index: int) -> None:
         """Nothing to finalise."""

@@ -28,7 +28,8 @@ from typing import Sequence
 
 from repro.api import StreamSpec, iter_solvers, solve
 from repro.coverage.bipartite import BipartiteGraph
-from repro.coverage.io import read_edge_list, write_edge_list
+from repro.coverage.io import open_columnar, read_edge_list, write_columnar, write_edge_list
+from repro.coverage.kernels import kernel_backend_choices
 from repro.datasets import get_dataset, iter_datasets, list_datasets
 from repro.utils.tables import Table
 
@@ -45,7 +46,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     def add_instance_options(p: argparse.ArgumentParser) -> None:
         p.add_argument("--edges", type=Path, default=None,
-                       help="edge-list file (set<TAB>element); overrides --generator")
+                       help="edge-list file (set<TAB>element) or columnar directory "
+                            "(written by 'generate --format columnar'); overrides "
+                            "--generator")
         p.add_argument("--generator", choices=list_datasets(), default="planted_kcover")
         p.add_argument("--num-sets", type=int, default=100)
         p.add_argument("--num-elements", type=int, default=5000)
@@ -56,6 +59,11 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--batch-size", type=int, default=None,
                        help="drive the stream in columnar batches of this many "
                             "events (default: scalar events; results are identical)")
+        p.add_argument("--coverage-backend", choices=kernel_backend_choices(),
+                       default=None,
+                       help="packed-bitset kernel for the offline coverage "
+                            "evaluations (greedy reference rows); default keeps "
+                            "the set-based path")
 
     kcover = sub.add_parser("kcover", help="single-pass streaming k-cover (Algorithm 3)")
     add_instance_options(kcover)
@@ -87,6 +95,10 @@ def build_parser() -> argparse.ArgumentParser:
     add_instance_options(generate)
     generate.add_argument("--k", type=int, default=10)
     generate.add_argument("--output", type=Path, default=None)
+    generate.add_argument("--format", choices=("edge-list", "columnar"),
+                          default="edge-list", dest="output_format",
+                          help="'edge-list' writes set<TAB>element text; 'columnar' "
+                               "writes a memory-mappable uint64 column directory")
     generate.add_argument("--list", action="store_true", dest="list_datasets",
                           help="list the registered dataset generators and exit")
 
@@ -103,6 +115,12 @@ def build_parser() -> argparse.ArgumentParser:
 def _load_graph(args: argparse.Namespace) -> BipartiteGraph:
     """Build the input graph from a file or a registered generator."""
     if args.edges is not None:
+        if args.edges.is_dir():
+            columns = open_columnar(args.edges)
+            graph = BipartiteGraph(max(1, columns.num_sets))
+            for set_id, element in columns.pairs():
+                graph.add_edge(set_id, element)
+            return graph
         pairs = read_edge_list(args.edges)
         num_sets = max(int(s) for s, _ in pairs) + 1 if pairs else 1
         graph = BipartiteGraph(num_sets)
@@ -142,7 +160,8 @@ def _cmd_kcover(args: argparse.Namespace, out) -> int:
                         seed=args.seed, options=options, stream=stream)
             table.add_row(algorithm=name, coverage=rep.coverage, fraction=rep.coverage_fraction,
                           size=rep.solution_size, passes=rep.passes, space=rep.space_peak)
-    greedy = solve(graph, "offline/greedy", problem_kind="k_cover", k=args.k, seed=args.seed)
+    greedy = solve(graph, "offline/greedy", problem_kind="k_cover", k=args.k,
+                   seed=args.seed, coverage_backend=args.coverage_backend)
     table.add_row(algorithm="offline-greedy", coverage=greedy.coverage,
                   fraction=greedy.coverage_fraction,
                   size=greedy.solution_size, passes="-", space=greedy.space_peak)
@@ -159,7 +178,8 @@ def _cmd_setcover(args: argparse.Namespace, out) -> int:
         stream=StreamSpec(order="random", seed=args.seed, batch_size=args.batch_size),
     )
     greedy = solve(graph, "offline/greedy", problem_kind="set_cover", seed=args.seed,
-                   options={"allow_partial": True})
+                   options={"allow_partial": True},
+                   coverage_backend=args.coverage_backend)
     table = Table(["algorithm", "cover_size", "fraction", "passes", "space"])
     table.add_row(algorithm="sketch-setcover", cover_size=report.solution_size,
                   fraction=report.coverage_fraction, passes=report.passes,
@@ -177,6 +197,7 @@ def _cmd_outliers(args: argparse.Namespace, out) -> int:
         outlier_fraction=args.outlier_fraction, seed=args.seed,
         options={"epsilon": args.epsilon, "scale": args.scale, "max_guesses": 16},
         stream=StreamSpec(order="random", seed=args.seed, batch_size=args.batch_size),
+        coverage_backend=args.coverage_backend,
     )
     table = Table(["algorithm", "cover_size", "fraction", "target", "passes", "space"])
     table.add_row(algorithm="sketch-outliers", cover_size=report.solution_size,
@@ -196,7 +217,14 @@ def _cmd_generate(args: argparse.Namespace, out) -> int:
     if args.output is None:
         raise ValueError("generate requires --output (or --list to see the generators)")
     instance = _generate_instance(args)
-    count = write_edge_list(instance.graph.edges(), args.output)
+    if args.output_format == "columnar":
+        count = write_columnar(
+            instance.graph.edges(),
+            args.output,
+            num_sets=instance.graph.num_sets,
+        )
+    else:
+        count = write_edge_list(instance.graph.edges(), args.output)
     print(
         f"wrote {count} edges (n={instance.n}, m={instance.m}) to {args.output}",
         file=out,

@@ -5,26 +5,48 @@ from repro.coverage.bitset import BitsetCoverage
 from repro.coverage.coverage_fn import CoverageFunction
 from repro.coverage.instance import CoverageInstance, ProblemKind
 from repro.coverage.io import (
+    ColumnarEdges,
+    columnar_from_edge_list,
     load_system,
+    open_columnar,
     read_edge_list,
     save_system,
     system_from_json,
     system_to_json,
+    write_columnar,
     write_edge_list,
+)
+from repro.coverage.kernels import (
+    KernelBackend,
+    get_kernel_backend,
+    kernel_backend_choices,
+    list_kernel_backends,
+    register_kernel_backend,
+    resolve_kernel_backend,
 )
 from repro.coverage.setsystem import SetSystem
 
 __all__ = [
     "BipartiteGraph",
     "BitsetCoverage",
+    "ColumnarEdges",
     "CoverageFunction",
     "CoverageInstance",
+    "KernelBackend",
     "ProblemKind",
     "SetSystem",
+    "columnar_from_edge_list",
+    "get_kernel_backend",
+    "kernel_backend_choices",
+    "list_kernel_backends",
     "load_system",
+    "open_columnar",
     "read_edge_list",
+    "register_kernel_backend",
+    "resolve_kernel_backend",
     "save_system",
     "system_from_json",
     "system_to_json",
+    "write_columnar",
     "write_edge_list",
 ]

@@ -1,0 +1,183 @@
+"""Pluggable packing/popcount backends for the bitset coverage kernels.
+
+:class:`repro.coverage.bitset.BitsetCoverage` evaluates the coverage function
+with three primitive operations on packed bit rows — OR (union), AND-NOT
+(residual membership) and popcount (cardinality).  The first two are dtype
+agnostic whole-array numpy ops; packing layout and popcount are not, and that
+is exactly what a :class:`KernelBackend` encapsulates:
+
+* ``"bytes"`` — the original layout: rows packed 8 elements per ``uint8``
+  lane with ``np.packbits``, popcounts via ``np.bitwise_count`` (byte lookup
+  table on older numpy).
+* ``"words"`` — rows packed 64 elements per ``uint64`` lane (the byte packing
+  padded to a whole number of words and reinterpreted), so union / AND-NOT /
+  marginal-gain kernels touch 8x fewer lanes; popcounts via
+  ``np.bitwise_count`` on the words, falling back to the byte table over a
+  ``uint8`` view.
+* ``"auto"`` — resolves to ``"words"`` when numpy ships the native popcount
+  ufunc, and to ``"bytes"`` otherwise.
+
+Backends register by name in a :class:`~repro.utils.registry.NamedRegistry`
+(mirroring the solver registry), so an accelerator-backed kernel can plug in
+with ``register_kernel_backend`` and immediately be selectable through
+``BitsetCoverage(graph, backend=...)``, ``ProblemSpec.coverage_backend`` and
+the CLI's ``--coverage-backend``.  The two shipped backends are bit-for-bit
+identical on every query (property-tested).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import SpecError
+from repro.utils.registry import NamedRegistry
+
+__all__ = [
+    "KernelBackend",
+    "register_kernel_backend",
+    "unregister_kernel_backend",
+    "get_kernel_backend",
+    "resolve_kernel_backend",
+    "list_kernel_backends",
+    "kernel_backend_choices",
+]
+
+#: Lookup table with the popcount of every byte value (fallback path).
+_POPCOUNT_TABLE = np.array([bin(value).count("1") for value in range(256)], dtype=np.int64)
+
+#: numpy >= 2.0 ships a native popcount ufunc; the byte table is the fallback.
+_HAS_BITWISE_COUNT = hasattr(np, "bitwise_count")
+
+
+@dataclass(frozen=True)
+class KernelBackend:
+    """One packing/popcount strategy for the bitset coverage kernels.
+
+    Attributes
+    ----------
+    name:
+        Registry key (``"bytes"``, ``"words"``, ...).
+    dtype:
+        Lane dtype of packed rows; union/AND-NOT run on arrays of this dtype.
+    elements_per_lane:
+        How many ground-set elements one lane encodes.
+    summary:
+        One-line description for tables and diagnostics.
+    pack:
+        ``(num_rows, num_elements) bool -> (num_rows, lanes) dtype`` packing.
+    popcount:
+        ``(rows, axis) -> int64`` summed popcount of packed rows over
+        ``axis`` (or everything when ``axis`` is None).
+    """
+
+    name: str
+    dtype: np.dtype
+    elements_per_lane: int
+    summary: str
+    pack: Callable[[np.ndarray], np.ndarray]
+    popcount: Callable[[np.ndarray, int | None], np.ndarray | int]
+
+    def empty_row(self, num_lanes: int) -> np.ndarray:
+        """An all-zero packed row of ``num_lanes`` lanes."""
+        return np.zeros(num_lanes, dtype=self.dtype)
+
+
+def _pack_bytes(dense: np.ndarray) -> np.ndarray:
+    return np.packbits(dense, axis=1)
+
+
+def _popcount_bytes(rows: np.ndarray, axis: int | None = None) -> np.ndarray | int:
+    if _HAS_BITWISE_COUNT:
+        return np.bitwise_count(rows).sum(axis=axis, dtype=np.int64)
+    return _POPCOUNT_TABLE[rows].sum(axis=axis)
+
+
+def _pack_words(dense: np.ndarray) -> np.ndarray:
+    packed = np.packbits(dense, axis=1)
+    byte_lanes = packed.shape[1]
+    word_lanes = -(-byte_lanes // 8)
+    if byte_lanes != word_lanes * 8:
+        padded = np.zeros((packed.shape[0], word_lanes * 8), dtype=np.uint8)
+        padded[:, :byte_lanes] = packed
+        packed = padded
+    return np.ascontiguousarray(packed).view(np.uint64)
+
+
+def _popcount_words(rows: np.ndarray, axis: int | None = None) -> np.ndarray | int:
+    if _HAS_BITWISE_COUNT:
+        return np.bitwise_count(rows).sum(axis=axis, dtype=np.int64)
+    # Byte-table fallback: reinterpret each word as its 8 bytes.  The view
+    # multiplies the last-axis length by 8, so per-row sums stay per-row.
+    bytes_view = np.ascontiguousarray(rows).view(np.uint8)
+    return _POPCOUNT_TABLE[bytes_view].sum(axis=axis)
+
+
+_REGISTRY: NamedRegistry[KernelBackend] = NamedRegistry(
+    "coverage kernel backend", SpecError, "repro.coverage.list_kernel_backends()"
+)
+
+
+def register_kernel_backend(backend: KernelBackend) -> KernelBackend:
+    """Register a backend under its name; duplicates raise :class:`SpecError`."""
+    if backend.name == "auto":
+        raise SpecError("'auto' is reserved for backend auto-selection")
+    _REGISTRY.add(backend.name, backend)
+    return backend
+
+
+def unregister_kernel_backend(name: str) -> None:
+    """Remove a registered backend (mainly for tests and plugins)."""
+    _REGISTRY.remove(name)
+
+
+def get_kernel_backend(name: str) -> KernelBackend:
+    """Look up a backend by exact name (``"auto"`` is not a concrete backend)."""
+    return _REGISTRY.get(name)
+
+
+def list_kernel_backends() -> list[str]:
+    """Sorted names of the registered backends (excluding ``"auto"``)."""
+    return _REGISTRY.names()
+
+
+def resolve_kernel_backend(backend: str | KernelBackend = "auto") -> KernelBackend:
+    """Resolve a backend name (or pass an instance through).
+
+    ``"auto"`` picks the word backend when numpy has a native popcount ufunc
+    and the byte backend otherwise.
+    """
+    if isinstance(backend, KernelBackend):
+        return backend
+    if backend == "auto":
+        return get_kernel_backend("words" if _HAS_BITWISE_COUNT else "bytes")
+    return get_kernel_backend(backend)
+
+
+register_kernel_backend(
+    KernelBackend(
+        name="bytes",
+        dtype=np.dtype(np.uint8),
+        elements_per_lane=8,
+        summary="uint8 lanes via np.packbits (8 elements per lane)",
+        pack=_pack_bytes,
+        popcount=_popcount_bytes,
+    )
+)
+
+register_kernel_backend(
+    KernelBackend(
+        name="words",
+        dtype=np.dtype(np.uint64),
+        elements_per_lane=64,
+        summary="uint64 lanes (64 elements per lane, 8x fewer lanes than bytes)",
+        pack=_pack_words,
+        popcount=_popcount_words,
+    )
+)
+
+def kernel_backend_choices() -> tuple[str, ...]:
+    """Valid values for user-facing backend options (CLI, specs)."""
+    return ("auto", *list_kernel_backends())

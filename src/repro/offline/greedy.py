@@ -12,7 +12,12 @@ These are the classical algorithms the paper composes with its sketch:
 
 All functions operate directly on a :class:`BipartiteGraph` — the same code
 path is used whether the graph is a full instance or one of the paper's
-sketches (that composability is precisely Theorem 2.7's point).
+sketches (that composability is precisely Theorem 2.7's point).  Every entry
+point also accepts ``kernel=``, a :class:`repro.coverage.bitset.BitsetCoverage`
+snapshot of the same graph: the selection loop then runs on the kernel's
+packed bit rows (vectorised subset-gain re-evaluation under the same lazy
+max-heap policy), which is substantially faster on dense instances while
+achieving the same coverage up to tie-breaking.
 """
 
 from __future__ import annotations
@@ -20,11 +25,14 @@ from __future__ import annotations
 import heapq
 import math
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
 
 from repro.coverage.bipartite import BipartiteGraph
 from repro.errors import InfeasibleError
 from repro.utils.validation import check_fraction, check_positive_int
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a hard import
+    from repro.coverage.bitset import BitsetCoverage
 
 __all__ = [
     "GreedyResult",
@@ -62,6 +70,22 @@ class GreedyResult:
         return len(self.selected)
 
 
+def _kernel_greedy(
+    kernel: "BitsetCoverage",
+    *,
+    max_sets: int | None,
+    target_coverage: int | None,
+    forbidden: frozenset[int] = frozenset(),
+) -> GreedyResult:
+    """Run the greedy loop on a packed-bitset kernel instead of the graph."""
+    selected, coverage, gains, evaluations = kernel.greedy(
+        max_sets=max_sets, target_coverage=target_coverage, forbidden=forbidden
+    )
+    return GreedyResult(
+        selected=selected, coverage=coverage, gains=gains, evaluations=evaluations
+    )
+
+
 def _lazy_greedy(
     graph: BipartiteGraph,
     *,
@@ -82,6 +106,11 @@ def _lazy_greedy(
     # Max-heap of (-cached_gain, set_id, version). Python's heapq is a
     # min-heap, hence the negation. ``version`` is the number of selections
     # made when the gain was computed; a stale entry is re-evaluated lazily.
+    # Only *fresh* tops are ever selected: a refreshed entry always goes back
+    # through the heap, so ties resolve to the smallest set id among the
+    # maximal-gain candidates — exactly the argmax tie-break of the eager
+    # and kernel (BitsetCoverage) greedy paths, keeping the achieved
+    # selection independent of which implementation evaluates it.
     heap: list[tuple[int, int, int]] = []
     for set_id in graph.set_ids():
         if set_id in forbidden:
@@ -100,16 +129,12 @@ def _lazy_greedy(
 
     while heap and not done():
         neg_gain, set_id, version = heapq.heappop(heap)
-        if version == len(selected):
-            gain = -neg_gain
-        else:
+        if version != len(selected):
             gain = len(graph.elements_of(set_id) - covered)
             evaluations += 1
-            # If it is still at least as good as the next candidate, take it;
-            # otherwise push it back with the refreshed gain.
-            if heap and gain < -heap[0][0]:
-                heapq.heappush(heap, (-gain, set_id, len(selected)))
-                continue
+            heapq.heappush(heap, (-gain, set_id, len(selected)))
+            continue
+        gain = -neg_gain
         if gain <= 0:
             break
         selected.append(set_id)
@@ -122,7 +147,11 @@ def _lazy_greedy(
 
 
 def greedy_k_cover(
-    graph: BipartiteGraph, k: int, *, forbidden: Iterable[int] = ()
+    graph: BipartiteGraph,
+    k: int,
+    *,
+    forbidden: Iterable[int] = (),
+    kernel: "BitsetCoverage | None" = None,
 ) -> GreedyResult:
     """The ``1 − 1/e`` greedy for k-cover (``Greedy(k, G)`` in the paper).
 
@@ -135,21 +164,37 @@ def greedy_k_cover(
     forbidden:
         Set ids the greedy is not allowed to pick (used by tests and by
         residual constructions).
+    kernel:
+        Optional packed-bitset snapshot of ``graph``; when given the
+        selection runs on its vectorised lazy path (same coverage up to
+        tie-breaking, much faster on dense instances).
     """
     check_positive_int(k, "k")
+    if kernel is not None:
+        return _kernel_greedy(
+            kernel, max_sets=k, target_coverage=None, forbidden=frozenset(forbidden)
+        )
     return _lazy_greedy(
         graph, max_sets=k, target_coverage=None, forbidden=frozenset(forbidden)
     )
 
 
-def greedy_set_cover(graph: BipartiteGraph, *, allow_partial: bool = False) -> GreedyResult:
+def greedy_set_cover(
+    graph: BipartiteGraph,
+    *,
+    allow_partial: bool = False,
+    kernel: "BitsetCoverage | None" = None,
+) -> GreedyResult:
     """The ``ln m`` greedy for set cover.
 
     Raises :class:`InfeasibleError` when the family does not cover the ground
     set, unless ``allow_partial`` is true (then the maximal achievable
     coverage is returned).
     """
-    result = _lazy_greedy(graph, max_sets=None, target_coverage=graph.num_elements)
+    if kernel is not None:
+        result = _kernel_greedy(kernel, max_sets=None, target_coverage=graph.num_elements)
+    else:
+        result = _lazy_greedy(graph, max_sets=None, target_coverage=graph.num_elements)
     if result.coverage < graph.num_elements and not allow_partial:
         raise InfeasibleError(
             f"the family covers only {result.coverage} of {graph.num_elements} elements"
@@ -157,7 +202,12 @@ def greedy_set_cover(graph: BipartiteGraph, *, allow_partial: bool = False) -> G
     return result
 
 
-def greedy_partial_cover(graph: BipartiteGraph, target_fraction: float) -> GreedyResult:
+def greedy_partial_cover(
+    graph: BipartiteGraph,
+    target_fraction: float,
+    *,
+    kernel: "BitsetCoverage | None" = None,
+) -> GreedyResult:
     """Greedy until at least ``target_fraction`` of the elements are covered.
 
     Used for set cover with outliers: covering a ``1 − λ`` fraction.
@@ -166,7 +216,10 @@ def greedy_partial_cover(graph: BipartiteGraph, target_fraction: float) -> Greed
     check_fraction(target_fraction, "target_fraction")
     target = math.ceil(target_fraction * graph.num_elements - 1e-9)
     target = min(graph.num_elements, max(0, target))
-    result = _lazy_greedy(graph, max_sets=None, target_coverage=target)
+    if kernel is not None:
+        result = _kernel_greedy(kernel, max_sets=None, target_coverage=target)
+    else:
+        result = _lazy_greedy(graph, max_sets=None, target_coverage=target)
     if result.coverage < target:
         raise InfeasibleError(
             f"cannot cover {target} elements; maximum achievable is {result.coverage}"
@@ -174,6 +227,8 @@ def greedy_partial_cover(graph: BipartiteGraph, target_fraction: float) -> Greed
     return result
 
 
-def greedy_order(graph: BipartiteGraph) -> list[int]:
+def greedy_order(graph: BipartiteGraph, *, kernel: "BitsetCoverage | None" = None) -> list[int]:
     """The full greedy selection order (all sets with positive gain)."""
+    if kernel is not None:
+        return _kernel_greedy(kernel, max_sets=None, target_coverage=None).selected
     return _lazy_greedy(graph, max_sets=None, target_coverage=None).selected

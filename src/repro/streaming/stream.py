@@ -71,8 +71,9 @@ class EdgeStream:
 
     def __init__(
         self,
-        edges: Iterable[tuple[int, int]],
+        edges: Iterable[tuple[int, int]] | None = None,
         *,
+        columns: tuple[np.ndarray, np.ndarray] | None = None,
         num_sets: int,
         num_elements_hint: int | None = None,
         order: str = "given",
@@ -81,20 +82,44 @@ class EdgeStream:
     ) -> None:
         if order not in STREAM_ORDERS:
             raise ValueError(f"unknown order {order!r}; expected one of {STREAM_ORDERS}")
-        self._edges = [(int(s), int(e)) for s, e in edges]
-        # Columnar mirror of the edge list (built lazily so purely scalar
-        # consumers never pay for it): the batched path and the sort-based
-        # orders slice and hash these whole arrays instead of Python tuples.
-        self._columns: tuple[np.ndarray, np.ndarray] | None = None
+        if (edges is None) == (columns is None):
+            raise ValueError("provide exactly one of edges= or columns=")
+        if columns is not None:
+            # Column-backed stream (e.g. memory-mapped off disk): no per-edge
+            # Python tuples exist anywhere; the batched path slices the
+            # arrays directly.
+            set_column, element_column = columns
+            self._edges: list[tuple[int, int]] | None = None
+            self._columns: tuple[np.ndarray, np.ndarray] | None = (
+                np.asarray(set_column, dtype=np.uint64),
+                np.asarray(element_column, dtype=np.uint64),
+            )
+            if len(self._columns[0]) != len(self._columns[1]):
+                raise ValueError("set and element columns must have equal length")
+            self._num_events = len(self._columns[0])
+        else:
+            self._edges = [(int(s), int(e)) for s, e in edges]
+            # Columnar mirror of the edge list (built lazily so purely scalar
+            # consumers never pay for it): the batched path and the
+            # sort-based orders slice and hash these whole arrays instead of
+            # Python tuples.
+            self._columns = None
+            self._num_events = len(self._edges)
         self._num_sets = int(num_sets)
         self._order = order
         self._seed = int(seed)
         self._passes = 0
         self._favored_sets = tuple(favored_sets) if favored_sets is not None else None
+        # For column-backed streams the default hint (a full-column unique
+        # count) is deferred to first access, so merely opening a large
+        # memory-mapped stream never scans the file.
+        self._num_elements_hint: int | None
         if num_elements_hint is not None:
             self._num_elements_hint = int(num_elements_hint)
-        else:
+        elif self._edges is not None:
             self._num_elements_hint = len({e for _, e in self._edges})
+        else:
+            self._num_elements_hint = None
 
     # ------------------------------------------------------------------ #
     # construction helpers
@@ -118,6 +143,36 @@ class EdgeStream:
             favored_sets=favored_sets,
         )
 
+    @classmethod
+    def from_columnar(
+        cls,
+        source,
+        *,
+        order: str = "given",
+        seed: int = 0,
+        favored_sets: Sequence[int] | None = None,
+    ) -> "EdgeStream":
+        """Build a stream directly over memory-mapped columnar storage.
+
+        ``source`` is a :class:`repro.coverage.io.ColumnarEdges` (or a path
+        to a directory written by :func:`repro.coverage.io.write_columnar`).
+        The mapped ``uint64`` columns back the stream as-is: batches are
+        sliced straight from disk pages and no per-edge Python objects are
+        ever constructed on the batched path, which is what makes this the
+        fast ingestion route for large workloads.
+        """
+        from repro.coverage.io import ColumnarEdges, open_columnar
+
+        columns = source if isinstance(source, ColumnarEdges) else open_columnar(source)
+        return cls(
+            columns=(columns.set_ids, columns.elements),
+            num_sets=max(1, columns.num_sets),
+            num_elements_hint=columns.num_elements,
+            order=order,
+            seed=seed,
+            favored_sets=favored_sets,
+        )
+
     # ------------------------------------------------------------------ #
     # stream metadata
     # ------------------------------------------------------------------ #
@@ -129,12 +184,14 @@ class EdgeStream:
     @property
     def num_elements_hint(self) -> int:
         """Upper bound on the number of distinct elements ``m``."""
+        if self._num_elements_hint is None:
+            self._num_elements_hint = len(np.unique(self._edge_columns()[1]))
         return self._num_elements_hint
 
     @property
     def num_events(self) -> int:
         """Length of one pass of the stream (number of edges)."""
-        return len(self._edges)
+        return self._num_events
 
     @property
     def passes_taken(self) -> int:
@@ -162,6 +219,16 @@ class EdgeStream:
             )
         return self._columns
 
+    def _pairs(self, pass_index: int):
+        """Yield the (set_id, element) int pairs of one pass, in order."""
+        indices = self._ordered_indices(pass_index)
+        if self._edges is not None:
+            for index in indices:
+                yield self._edges[index]
+            return
+        sets, elements = self._edge_columns()
+        yield from zip(sets[indices].tolist(), elements[indices].tolist())
+
     def _ordered_indices(self, pass_index: int) -> np.ndarray:
         """Index permutation realising the configured order for one pass.
 
@@ -170,7 +237,7 @@ class EdgeStream:
         orders use stable ``np.lexsort``, matching the stable ``sorted`` the
         scalar path historically used.
         """
-        count = len(self._edges)
+        count = self._num_events
         if self._order == "given":
             return np.arange(count, dtype=np.int64)
         if self._order == "random":
@@ -193,14 +260,18 @@ class EdgeStream:
             return np.concatenate([head[head_order], tail])
         raise AssertionError(f"unhandled order {self._order}")  # pragma: no cover
 
-    def _ordered_edges(self, pass_index: int) -> list[tuple[int, int]]:
-        edges = self._edges
-        return [edges[i] for i in self._ordered_indices(pass_index)]
-
     def _favored_tail(self) -> frozenset[int]:
         if self._favored_sets is not None:
             return frozenset(self._favored_sets)
         # Default: hold back the single largest set.
+        if self._edges is None:
+            sets, _ = self._edge_columns()
+            if len(sets) == 0:
+                return frozenset()
+            ids, counts = np.unique(sets, return_counts=True)
+            # ids are sorted ascending and argmax returns the first maximum,
+            # so ties go to the smallest id — like the scalar reduction below.
+            return frozenset({int(ids[np.argmax(counts)])})
         sizes: dict[int, int] = {}
         for set_id, _ in self._edges:
             sizes[set_id] = sizes.get(set_id, 0) + 1
@@ -212,7 +283,7 @@ class EdgeStream:
     def __iter__(self) -> Iterator[EdgeArrival]:
         pass_index = self._passes
         self._passes += 1
-        for set_id, element in self._ordered_edges(pass_index):
+        for set_id, element in self._pairs(pass_index):
             yield EdgeArrival(set_id, element)
 
     def iter_batches(self, batch_size: int) -> Iterator[EventBatch]:
@@ -245,8 +316,13 @@ class EdgeStream:
     def to_graph(self) -> BipartiteGraph:
         """Materialise the full underlying graph (for offline reference runs)."""
         graph = BipartiteGraph(self._num_sets)
-        for set_id, element in self._edges:
-            graph.add_edge(set_id, element)
+        if self._edges is not None:
+            for set_id, element in self._edges:
+                graph.add_edge(set_id, element)
+        else:
+            sets, elements = self._edge_columns()
+            for set_id, element in zip(sets.tolist(), elements.tolist()):
+                graph.add_edge(set_id, element)
         return graph
 
 

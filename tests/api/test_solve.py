@@ -333,3 +333,93 @@ class TestSession:
         report = session.run("kcover/sketch", options={"scale": 1.0})
         assert report.solution_size <= 2
         assert session.suite.rows[0].as_dict()["n"] == tiny_graph.num_sets
+
+
+class TestCoverageBackendPlumbing:
+    """coverage_backend reaches the offline kernels through every entry."""
+
+    def test_offline_greedy_on_kernel_matches_default(self, kcover_instance):
+        default = solve(kcover_instance, "offline/greedy", seed=13)
+        for backend in ("auto", "bytes", "words"):
+            fast = solve(
+                kcover_instance, "offline/greedy", seed=13, coverage_backend=backend
+            )
+            assert fast.coverage == default.coverage
+            assert fast.extra["coverage_backend"] in ("bytes", "words")
+        assert "coverage_backend" not in default.extra
+
+    def test_offline_local_search_accepts_backend(self, kcover_instance):
+        report = solve(
+            kcover_instance,
+            "offline/local-search",
+            seed=13,
+            options={"start_from_greedy": True},
+            coverage_backend="words",
+        )
+        assert report.extra["coverage_backend"] == "words"
+        assert report.coverage > 0
+
+    def test_problem_spec_carries_backend(self):
+        spec = ProblemSpec(
+            problem="k_cover",
+            k=4,
+            dataset="planted_kcover",
+            dataset_args={"num_sets": 25, "num_elements": 300, "k": 4, "seed": 3},
+            coverage_backend="words",
+        )
+        report = solve(spec, "offline/greedy", seed=3)
+        assert report.extra["coverage_backend"] == "words"
+        # Round-trips through RunSpec execution too.
+        reports = run(RunSpec(problem=spec, solver=SolverSpec("offline/greedy")))
+        assert reports[0].extra["coverage_backend"] == "words"
+
+    def test_explicit_backend_overrides_spec(self):
+        spec = ProblemSpec(
+            problem="k_cover",
+            k=4,
+            dataset="planted_kcover",
+            dataset_args={"num_sets": 25, "num_elements": 300, "k": 4, "seed": 3},
+            coverage_backend="bytes",
+        )
+        report = solve(spec, "offline/greedy", seed=3, coverage_backend="words")
+        assert report.extra["coverage_backend"] == "words"
+
+    def test_spec_rejects_unknown_backend(self):
+        with pytest.raises(SpecError, match="coverage_backend"):
+            ProblemSpec(problem="k_cover", k=4, coverage_backend="nibbles")
+
+    def test_streaming_solvers_ignore_backend(self, kcover_instance):
+        plain = solve(kcover_instance, "kcover/sketch", seed=13, options={"scale": 0.2})
+        kernelled = solve(
+            kcover_instance,
+            "kcover/sketch",
+            seed=13,
+            options={"scale": 0.2},
+            coverage_backend="words",
+        )
+        assert kernelled.solution == plain.solution
+
+    def test_session_backend_matches_default_reference(self, kcover_instance):
+        fast = Session(kcover_instance, seed=13, coverage_backend="words")
+        slow = Session(kcover_instance, seed=13)
+        assert fast.reference_value == slow.reference_value
+        report = fast.run("offline/greedy")
+        assert report.extra["coverage_backend"] == "words"
+
+    def test_session_packs_the_kernel_once(self, kcover_instance, monkeypatch):
+        import repro.coverage.bitset as bitset_module
+
+        calls = []
+        original_init = bitset_module.BitsetCoverage.__init__
+
+        def counting_init(self, graph, *, backend="auto"):
+            calls.append(backend)
+            original_init(self, graph, backend=backend)
+
+        monkeypatch.setattr(bitset_module.BitsetCoverage, "__init__", counting_init)
+        session = Session(kcover_instance, seed=13, coverage_backend="words")
+        session.run("offline/greedy")
+        session.run("offline/local-search")
+        session.run("offline/greedy", seed=14)
+        session.run("kcover/sketch", options={"scale": 0.2})
+        assert len(calls) == 1  # one packing serves every offline run

@@ -164,3 +164,25 @@ class TestRunSpec:
     def test_requires_spec_types(self):
         with pytest.raises(SpecError):
             RunSpec(problem={"problem": "k_cover"}, solver=SolverSpec("kcover/sketch"))
+
+
+class TestCoverageBackendField:
+    def test_round_trip(self):
+        spec = ProblemSpec(problem="k_cover", k=3, coverage_backend="words")
+        data = spec.to_dict()
+        assert data["coverage_backend"] == "words"
+        assert ProblemSpec.from_dict(data) == spec
+
+    def test_defaults_to_none(self):
+        assert ProblemSpec(problem="set_cover").coverage_backend is None
+        assert ProblemSpec.from_dict({"problem": "set_cover"}).coverage_backend is None
+
+    def test_accepts_every_registered_choice(self):
+        from repro.coverage.kernels import kernel_backend_choices
+
+        for choice in kernel_backend_choices():
+            assert ProblemSpec(problem="k_cover", k=1, coverage_backend=choice)
+
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(SpecError, match="coverage_backend"):
+            ProblemSpec(problem="k_cover", k=1, coverage_backend="trits")

@@ -62,3 +62,36 @@ class TestMcGregorVu:
         info = algo.describe()
         assert info["algorithm"] == "mcgregor-vu-sampling"
         assert info["guesses"] == algo.num_guesses()
+
+
+class TestNativeBatchPath:
+    """process_batch (value_many-prefiltered sampling test) equals scalar."""
+
+    @pytest.mark.parametrize("batch_size", [1, 7, 256])
+    def test_batched_run_is_byte_identical(self, planted_kcover, batch_size):
+        def run(batch):
+            algo = McGregorVuKCover(planted_kcover.n, planted_kcover.m, k=4, seed=2)
+            report = StreamingRunner(planted_kcover.graph).run(
+                algo,
+                EdgeStream.from_graph(planted_kcover.graph, order="random", seed=3),
+                batch_size=batch,
+            )
+            return report, algo
+
+        scalar_report, scalar_algo = run(None)
+        batched_report, batched_algo = run(batch_size)
+        assert batched_report.solution == scalar_report.solution
+        assert batched_report.space_peak == scalar_report.space_peak
+        assert [s.graph.num_edges for s in batched_algo._guesses] == [
+            s.graph.num_edges for s in scalar_algo._guesses
+        ]
+        assert [s.overflowed for s in batched_algo._guesses] == [
+            s.overflowed for s in scalar_algo._guesses
+        ]
+
+    def test_rejects_set_batches(self):
+        from repro.streaming.batches import EventBatch
+
+        algo = McGregorVuKCover(4, 10, k=2)
+        with pytest.raises(TypeError, match="edge batches"):
+            algo.process_batch(EventBatch.from_sets([(0, (1, 2))]))

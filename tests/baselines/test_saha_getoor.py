@@ -72,3 +72,40 @@ class TestSahaGetoor:
         info = algo.describe()
         assert info["algorithm"] == "saha-getoor-swap"
         assert info["k"] == 3
+
+
+class TestNativeBatchPath:
+    """process_batch (CSR-direct, count-prefiltered) equals the scalar path."""
+
+    @pytest.mark.parametrize("batch_size", [1, 3, 64])
+    @pytest.mark.parametrize("seed", [0, 4])
+    def test_batched_run_is_byte_identical(self, batch_size, seed):
+        instance = uniform_random_instance(25, 150, density=0.12, seed=seed)
+        scalar = StreamingRunner(instance.graph).run(
+            SahaGetoorKCover(k=5),
+            SetStream.from_graph(instance.graph, order="random", seed=seed),
+        )
+        batched = StreamingRunner(instance.graph).run(
+            SahaGetoorKCover(k=5),
+            SetStream.from_graph(instance.graph, order="random", seed=seed),
+            batch_size=batch_size,
+        )
+        assert batched.solution == scalar.solution
+        assert batched.coverage == scalar.coverage
+        assert batched.space_peak == scalar.space_peak
+
+    def test_prefilter_skips_small_sets_once_full(self):
+        from repro.streaming.batches import EventBatch
+
+        algo = SahaGetoorKCover(k=1)
+        algo.process_batch(EventBatch.from_sets([(0, (0, 1, 2, 3))]))
+        assert algo.result() == [0]
+        # A tiny set cannot reach 2x the minimum charge: skipped, no change.
+        algo.process_batch(EventBatch.from_sets([(1, (9,)), (2, tuple(range(10, 19)))]))
+        assert algo.result() == [2]  # the big set swapped in, the tiny one did not
+
+    def test_rejects_edge_batches(self):
+        from repro.streaming.batches import EventBatch
+
+        with pytest.raises(TypeError, match="set batches"):
+            SahaGetoorKCover(k=2).process_batch(EventBatch.from_edges([(0, 1)]))

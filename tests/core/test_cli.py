@@ -209,3 +209,46 @@ class TestFacadeEquivalence:
         )
         assert code == 0
         assert output == legacy
+
+
+class TestCoverageBackendAndColumnar:
+    def test_kcover_backend_matches_default_table(self):
+        args = ["kcover", "--num-sets", "30", "--num-elements", "500", "--k", "3",
+                "--seed", "1", "--scale", "0.2"]
+        code_default, default_output = _run(args)
+        code_words, words_output = _run(args + ["--coverage-backend", "words"])
+        assert code_default == code_words == 0
+        # The word kernel changes how the greedy reference is evaluated, not
+        # what it finds: identical tables.
+        assert words_output == default_output
+
+    def test_backend_choices_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["kcover", "--coverage-backend", "nibbles"])
+
+    def test_generate_columnar_then_consume_directory(self, tmp_path):
+        columnar_dir = tmp_path / "workload.cols"
+        code, message = _run(
+            ["generate", "--num-sets", "25", "--num-elements", "300", "--k", "4",
+             "--output", str(columnar_dir), "--format", "columnar", "--seed", "7"]
+        )
+        assert code == 0
+        assert "wrote" in message
+        assert (columnar_dir / "meta.json").exists()
+        code, output = _run(["kcover", "--edges", str(columnar_dir), "--k", "4", "--seed", "7"])
+        assert code == 0
+        assert "sketch-kcover" in output
+
+    def test_columnar_and_text_inputs_agree(self, tmp_path):
+        instance = planted_kcover_instance(20, 250, k=3, seed=9)
+        text = tmp_path / "edges.tsv"
+        write_edge_list(instance.graph.edges(), text)
+        from repro.coverage.io import columnar_from_edge_list
+
+        columnar_from_edge_list(text, tmp_path / "cols")
+        code_text, from_text = _run(["kcover", "--edges", str(text), "--k", "3", "--seed", "2"])
+        code_cols, from_cols = _run(
+            ["kcover", "--edges", str(tmp_path / "cols"), "--k", "3", "--seed", "2"]
+        )
+        assert code_text == code_cols == 0
+        assert from_cols == from_text

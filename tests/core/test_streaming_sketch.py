@@ -196,13 +196,28 @@ class TestBatchProcessing:
         assert sorted(batched.sketch().graph.edges()) == sorted(scalar.sketch().graph.edges())
         assert batched.space.peak == scalar.space.peak
 
-    def test_permutation_rank_source_falls_back_to_scalar(self, planted_kcover):
+    @pytest.mark.parametrize("batch_size", [1, 7, 64])
+    def test_permutation_rank_source_is_vectorised_and_identical(
+        self, planted_kcover, batch_size
+    ):
+        import numpy as np
+
         params = _params(planted_kcover, edge_budget=120, degree_cap=8)
         scalar = StreamingSketchBuilder(params, seed=3, rank_source="permutation")
         batched = StreamingSketchBuilder(params, seed=3, rank_source="permutation")
+        # The dense rank table serves the batched path natively (no scalar
+        # fallback): one gather ranks a whole element column.
+        column = np.array([0, 1, 2, 10**9], dtype=np.uint64)
+        ranks = batched._rank_batch(column)
+        assert ranks is not None
+        assert ranks.tolist() == [batched._rank(int(e)) for e in column]
         self._drain(scalar, planted_kcover)
-        self._drain(batched, planted_kcover, batch_size=64)
+        self._drain(batched, planted_kcover, batch_size=batch_size)
         assert batched.describe() == scalar.describe()
+        assert batched.sketch().element_hashes == scalar.sketch().element_hashes
+        assert sorted(batched.sketch().graph.edges()) == sorted(
+            scalar.sketch().graph.edges()
+        )
 
     def test_rejects_set_batches(self, figure1_graph):
         from repro.streaming.batches import EventBatch

@@ -6,8 +6,11 @@ import numpy as np
 import pytest
 
 from repro.coverage.bitset import BitsetCoverage
+from repro.coverage.kernels import list_kernel_backends
 from repro.datasets import uniform_random_instance, zipf_instance
 from repro.offline.greedy import greedy_k_cover
+
+BACKENDS = list_kernel_backends()
 
 
 class TestBasics:
@@ -22,6 +25,13 @@ class TestBasics:
         fast = BitsetCoverage(tiny_graph)
         for family in ([], [0], [1, 3], [0, 1, 2, 3], [2, 2]):
             assert fast.coverage(family) == tiny_graph.coverage(family)
+
+    def test_coverage_accepts_numpy_index_arrays(self, tiny_graph):
+        fast = BitsetCoverage(tiny_graph)
+        for family in ([0], [1, 3], [0, 1, 2, 3]):
+            for dtype in (np.int64, np.intp, np.uint32):
+                assert fast.coverage(np.array(family, dtype=dtype)) == tiny_graph.coverage(family)
+        assert fast.coverage(np.array([], dtype=np.int64)) == 0
 
     def test_coverage_fraction(self, tiny_graph):
         fast = BitsetCoverage(tiny_graph)
@@ -38,21 +48,27 @@ class TestBasics:
         fast = BitsetCoverage(tiny_graph)
         assert fast.evaluate_many([[0], [2], [0, 2]]) == [3, 3, 6]
 
+    def test_unknown_backend_rejected(self, tiny_graph):
+        with pytest.raises(Exception, match="kernel backend"):
+            BitsetCoverage(tiny_graph, backend="nibbles")
+
 
 class TestAgreementOnRandomInstances:
     @pytest.mark.parametrize("seed", [0, 1, 2])
-    def test_matches_set_based_coverage(self, seed):
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_matches_set_based_coverage(self, seed, backend):
         instance = uniform_random_instance(25, 120, density=0.1, seed=seed)
-        fast = BitsetCoverage(instance.graph)
+        fast = BitsetCoverage(instance.graph, backend=backend)
         rng = np.random.default_rng(seed)
         for _ in range(30):
             size = int(rng.integers(0, 10))
             family = list(rng.choice(25, size=size, replace=False)) if size else []
             assert fast.coverage(family) == instance.graph.coverage(family)
 
-    def test_marginal_gains_vector(self):
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_marginal_gains_vector(self, backend):
         instance = uniform_random_instance(15, 80, density=0.15, seed=3)
-        fast = BitsetCoverage(instance.graph)
+        fast = BitsetCoverage(instance.graph, backend=backend)
         covered_sets = [0, 1]
         covered_bits = fast.union_bits(covered_sets)
         gains = fast.marginal_gains(covered_bits)
@@ -61,16 +77,59 @@ class TestAgreementOnRandomInstances:
             expected = len(instance.graph.elements_of(set_id) - covered)
             assert gains[set_id] == expected
 
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_gains_for_subset_matches_full_vector(self, backend):
+        instance = uniform_random_instance(20, 100, density=0.12, seed=5)
+        fast = BitsetCoverage(instance.graph, backend=backend)
+        covered_bits = fast.union_bits(np.array([4, 9]))
+        gains = fast.marginal_gains(covered_bits)
+        subset = np.array([0, 7, 13, 19], dtype=np.intp)
+        assert fast.gains_for(subset, covered_bits).tolist() == gains[subset].tolist()
+        assert fast.gains_for(np.array([], dtype=np.intp), covered_bits).tolist() == []
+        # Iterable (non-array) ids are accepted too.
+        assert fast.gains_for([0, 7], covered_bits).tolist() == gains[[0, 7]].tolist()
+
 
 class TestVectorisedGreedy:
-    def test_matches_reference_greedy_value(self):
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("lazy", [False, True])
+    def test_matches_reference_greedy_value(self, backend, lazy):
         for seed in range(3):
             instance = zipf_instance(30, 400, edges_per_set=25, k=5, seed=seed)
-            fast = BitsetCoverage(instance.graph)
-            selection, coverage = fast.greedy_k_cover(5)
+            fast = BitsetCoverage(instance.graph, backend=backend)
+            selection, coverage = fast.greedy_k_cover(5, lazy=lazy)
             reference = greedy_k_cover(instance.graph, 5)
             assert coverage == reference.coverage
             assert instance.graph.coverage(selection) == coverage
+
+    def test_lazy_matches_eager_gains_and_evaluates_less(self):
+        instance = zipf_instance(60, 900, edges_per_set=40, k=8, seed=11)
+        fast = BitsetCoverage(instance.graph)
+        eager_sel, eager_cov, eager_gains, eager_evals = fast.greedy(max_sets=8, lazy=False)
+        lazy_sel, lazy_cov, lazy_gains, lazy_evals = fast.greedy(max_sets=8, lazy=True)
+        assert lazy_cov == eager_cov
+        assert lazy_gains == eager_gains  # greedy gain profile is tie-invariant
+        assert lazy_evals < eager_evals
+
+    def test_forbidden_sets_are_skipped(self, tiny_graph):
+        fast = BitsetCoverage(tiny_graph)
+        selection, coverage = fast.greedy_k_cover(4, forbidden=[2])
+        assert 2 not in selection
+        reference = greedy_k_cover(tiny_graph, 4, forbidden=[2])
+        assert coverage == reference.coverage
+
+    @pytest.mark.parametrize("lazy", [False, True])
+    def test_out_of_range_forbidden_ids_are_ignored(self, tiny_graph, lazy):
+        # The graph greedy treats unselectable forbidden ids as no-ops; the
+        # kernel paths must too (no negative-index masking, no IndexError).
+        fast = BitsetCoverage(tiny_graph)
+        plain = fast.greedy_k_cover(4, lazy=lazy)
+        assert fast.greedy_k_cover(4, lazy=lazy, forbidden=[-1, 99]) == plain
+
+    def test_target_coverage_stops_early(self, tiny_graph):
+        selection, coverage, gains, _ = BitsetCoverage(tiny_graph).greedy(target_coverage=3)
+        assert coverage >= 3
+        assert len(selection) == 1
 
     def test_stops_when_saturated(self, tiny_graph):
         fast = BitsetCoverage(tiny_graph)
@@ -86,20 +145,40 @@ class TestVectorisedGreedy:
 class TestPopcountBackends:
     def test_table_fallback_matches_native(self, tiny_graph):
         """The byte-table fallback and np.bitwise_count agree everywhere."""
-        import repro.coverage.bitset as bitset_module
+        import repro.coverage.kernels as kernels_module
 
-        fast = BitsetCoverage(tiny_graph)
-        families = [[0], [1, 3], [0, 1, 2, 3]]
-        native = [fast.coverage(f) for f in families]
-        original = bitset_module._HAS_BITWISE_COUNT
-        bitset_module._HAS_BITWISE_COUNT = False
-        try:
-            fallback = [fast.coverage(f) for f in families]
-            gains = fast.marginal_gains(np.zeros(fast._packed.shape[1], dtype=np.uint8))
-        finally:
-            bitset_module._HAS_BITWISE_COUNT = original
-        assert fallback == native
-        assert gains.tolist() == [fast.set_size(s) for s in range(fast.num_sets)]
+        for backend in BACKENDS:
+            fast = BitsetCoverage(tiny_graph, backend=backend)
+            families = [[0], [1, 3], [0, 1, 2, 3]]
+            native = [fast.coverage(f) for f in families]
+            original = kernels_module._HAS_BITWISE_COUNT
+            kernels_module._HAS_BITWISE_COUNT = False
+            try:
+                fallback = [fast.coverage(f) for f in families]
+                gains = fast.marginal_gains(fast.empty_bits())
+            finally:
+                kernels_module._HAS_BITWISE_COUNT = original
+            assert fallback == native
+            assert gains.tolist() == [fast.set_size(s) for s in range(fast.num_sets)]
+
+    def test_backends_bit_identical(self, tiny_graph):
+        byte_eval = BitsetCoverage(tiny_graph, backend="bytes")
+        word_eval = BitsetCoverage(tiny_graph, backend="words")
+        for family in ([], [0], [1, 3], [0, 1, 2, 3]):
+            assert byte_eval.coverage(family) == word_eval.coverage(family)
+        assert (
+            byte_eval.marginal_gains(byte_eval.empty_bits()).tolist()
+            == word_eval.marginal_gains(word_eval.empty_bits()).tolist()
+        )
+
+    def test_word_rows_use_8x_fewer_lanes(self):
+        instance = uniform_random_instance(10, 640, density=0.05, seed=1)
+        byte_eval = BitsetCoverage(instance.graph, backend="bytes")
+        word_eval = BitsetCoverage(instance.graph, backend="words")
+        assert word_eval._packed.dtype == np.uint64
+        assert byte_eval._packed.dtype == np.uint8
+        assert word_eval._packed.shape[1] * 8 >= byte_eval._packed.shape[1]
+        assert word_eval._packed.shape[1] <= -(-byte_eval._packed.shape[1] // 8)
 
 
 class TestEvaluateManyVectorised:
@@ -109,10 +188,22 @@ class TestEvaluateManyVectorised:
         families = [[i, (i + 7) % 30, (i + 13) % 30] for i in range(30)]
         assert fast.evaluate_many(families) == [fast.coverage(f) for f in families]
 
+    def test_two_dimensional_array_input(self):
+        instance = uniform_random_instance(30, 200, density=0.08, seed=9)
+        fast = BitsetCoverage(instance.graph)
+        families = np.array([[i, (i + 7) % 30, (i + 13) % 30] for i in range(30)])
+        expected = [fast.coverage(f) for f in families.tolist()]
+        assert fast.evaluate_many(families) == expected
+
     def test_ragged_families_fall_back(self, tiny_graph):
         fast = BitsetCoverage(tiny_graph)
         families = [[], [0], [1, 3], [0, 1, 2, 3]]
         assert fast.evaluate_many(families) == [fast.coverage(f) for f in families]
+
+    def test_family_entries_may_be_numpy_arrays(self, tiny_graph):
+        fast = BitsetCoverage(tiny_graph)
+        families = [np.array([0, 1]), np.array([2, 3])]
+        assert fast.evaluate_many(families) == [fast.coverage([0, 1]), fast.coverage([2, 3])]
 
     def test_duplicate_ids_in_family(self, tiny_graph):
         fast = BitsetCoverage(tiny_graph)

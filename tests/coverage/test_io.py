@@ -2,15 +2,21 @@
 
 from __future__ import annotations
 
+import json
+
+import numpy as np
 import pytest
 
 from repro.coverage.io import (
+    columnar_from_edge_list,
     graph_to_edge_lines,
     load_system,
+    open_columnar,
     read_edge_list,
     save_system,
     system_from_json,
     system_to_json,
+    write_columnar,
     write_edge_list,
 )
 from repro.coverage.setsystem import SetSystem
@@ -75,3 +81,84 @@ class TestGraphLines:
         assert len(lines) == tiny_graph.num_edges
         assert lines == sorted(lines)
         assert lines[0].count("\t") == 1
+
+
+class TestColumnar:
+    def test_integer_round_trip_preserves_order(self, tmp_path, tiny_graph):
+        edges = list(tiny_graph.edges())
+        count = write_columnar(edges, tmp_path / "cols")
+        assert count == len(edges)
+        columns = open_columnar(tmp_path / "cols")
+        assert list(columns.pairs()) == edges
+        assert columns.num_sets == tiny_graph.num_sets
+        assert columns.num_elements == tiny_graph.num_elements
+        assert columns.set_labels is None and columns.element_labels is None
+
+    def test_columns_are_memory_mapped_uint64(self, tmp_path, tiny_graph):
+        write_columnar(tiny_graph.edges(), tmp_path / "cols")
+        columns = open_columnar(tmp_path / "cols")
+        assert columns.set_ids.dtype == np.uint64
+        assert columns.elements.dtype == np.uint64
+        assert isinstance(columns.set_ids, np.memmap)
+        assert isinstance(columns.elements, np.memmap)
+
+    def test_string_labels_get_vocab_sidecar(self, tmp_path):
+        edges = [("alpha", "x"), ("beta", "x"), ("alpha", "y")]
+        write_columnar(edges, tmp_path / "cols")
+        columns = open_columnar(tmp_path / "cols")
+        assert list(columns.labelled_pairs()) == edges
+        assert columns.set_labels == ("alpha", "beta")
+        assert columns.element_labels == ("x", "y")
+        assert columns.num_sets == 2 and columns.num_elements == 2
+
+    def test_numeric_strings_keep_their_ids(self, tmp_path):
+        write_columnar([("3", "10"), ("0", "7")], tmp_path / "cols")
+        columns = open_columnar(tmp_path / "cols")
+        assert list(columns.pairs()) == [(3, 10), (0, 7)]
+        assert columns.set_labels is None
+        assert columns.num_sets == 4  # max id + 1
+
+    def test_non_canonical_numeric_strings_stay_distinct(self, tmp_path):
+        # "01" and "1" are different labels; only canonical decimal strings
+        # may take the verbatim-integer path.
+        edges = [("01", "a"), ("1", "b"), ("+2", "a")]
+        write_columnar(edges, tmp_path / "cols")
+        columns = open_columnar(tmp_path / "cols")
+        assert columns.set_labels == ("01", "1", "+2")
+        assert list(columns.labelled_pairs()) == edges
+
+    def test_explicit_size_overrides(self, tmp_path):
+        write_columnar([(0, 1)], tmp_path / "cols", num_sets=10, num_elements=50)
+        columns = open_columnar(tmp_path / "cols")
+        assert columns.num_sets == 10
+        assert columns.num_elements == 50
+
+    def test_empty_edge_list(self, tmp_path):
+        assert write_columnar([], tmp_path / "cols") == 0
+        columns = open_columnar(tmp_path / "cols")
+        assert columns.num_edges == 0
+        assert list(columns.pairs()) == []
+
+    def test_conversion_from_edge_list(self, tmp_path, tiny_graph):
+        text = tmp_path / "edges.tsv"
+        write_edge_list(tiny_graph.edges(), text)
+        count = columnar_from_edge_list(text, tmp_path / "cols")
+        assert count == tiny_graph.num_edges
+        columns = open_columnar(tmp_path / "cols")
+        assert list(columns.labelled_pairs()) == read_edge_list(text)
+
+    def test_open_rejects_non_columnar_directories(self, tmp_path):
+        with pytest.raises(ValueError, match="no meta.json"):
+            open_columnar(tmp_path)
+        (tmp_path / "meta.json").write_text(json.dumps({"format": "other"}))
+        with pytest.raises(ValueError, match="repro.columnar.v1"):
+            open_columnar(tmp_path)
+
+    def test_open_rejects_length_mismatch(self, tmp_path, tiny_graph):
+        write_columnar(tiny_graph.edges(), tmp_path / "cols")
+        meta_path = tmp_path / "cols" / "meta.json"
+        meta = json.loads(meta_path.read_text())
+        meta["num_edges"] += 1
+        meta_path.write_text(json.dumps(meta))
+        with pytest.raises(ValueError, match="num_edges"):
+            open_columnar(tmp_path / "cols")

@@ -121,3 +121,58 @@ class TestGreedyOrder:
         order = greedy_order(tiny_graph)
         k2 = greedy_k_cover(tiny_graph, 2)
         assert order[:2] == k2.selected
+
+
+class TestKernelPath:
+    """Every greedy entry point accepts a packed-bitset kernel."""
+
+    def _kernel(self, graph, backend="words"):
+        from repro.coverage.bitset import BitsetCoverage
+
+        return BitsetCoverage(graph, backend=backend)
+
+    def test_k_cover_matches(self, tiny_graph):
+        kernel = self._kernel(tiny_graph)
+        plain = greedy_k_cover(tiny_graph, 2)
+        fast = greedy_k_cover(tiny_graph, 2, kernel=kernel)
+        assert fast.coverage == plain.coverage
+        assert tiny_graph.coverage(fast.selected) == fast.coverage
+        assert fast.gains and fast.evaluations > 0
+
+    def test_k_cover_forbidden(self, tiny_graph):
+        kernel = self._kernel(tiny_graph)
+        fast = greedy_k_cover(tiny_graph, 3, forbidden=[0], kernel=kernel)
+        assert 0 not in fast.selected
+
+    def test_set_cover_matches(self, tiny_graph):
+        kernel = self._kernel(tiny_graph)
+        plain = greedy_set_cover(tiny_graph)
+        fast = greedy_set_cover(tiny_graph, kernel=kernel)
+        assert fast.coverage == plain.coverage == tiny_graph.num_elements
+
+    def test_partial_cover_matches(self, tiny_graph):
+        kernel = self._kernel(tiny_graph)
+        plain = greedy_partial_cover(tiny_graph, 0.5)
+        fast = greedy_partial_cover(tiny_graph, 0.5, kernel=kernel)
+        assert fast.coverage >= 3
+        assert plain.coverage >= 3
+
+    def test_greedy_order_matches_positive_gain_prefix(self, tiny_graph):
+        kernel = self._kernel(tiny_graph)
+        assert set(greedy_order(tiny_graph, kernel=kernel)) == set(greedy_order(tiny_graph))
+
+    def test_kernel_and_graph_greedy_agree_on_tie_heavy_instances(self):
+        # Regression: tie-breaking must not depend on which implementation
+        # evaluates the greedy — this seed hits a consequential step-4 tie.
+        from repro.datasets import zipf_instance
+
+        for seed in (6, 0, 3, 11):
+            graph = zipf_instance(40, 500, edges_per_set=30, k=6, seed=seed).graph
+            plain = greedy_k_cover(graph, 6)
+            for backend in ("bytes", "words"):
+                kernel_result = greedy_k_cover(
+                    graph, 6, kernel=self._kernel(graph, backend=backend)
+                )
+                assert kernel_result.selected == plain.selected
+                assert kernel_result.coverage == plain.coverage
+                assert kernel_result.gains == plain.gains

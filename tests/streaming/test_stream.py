@@ -134,3 +134,104 @@ class TestSetStream:
         edge_stream = SetStream.from_graph(tiny_graph).to_edge_stream(order="given")
         assert edge_stream.num_events == tiny_graph.num_edges
         assert sorted(e.as_tuple() for e in edge_stream) == sorted(tiny_graph.edges())
+
+
+class TestColumnBackedEdgeStream:
+    """EdgeStream.from_columnar: streams built over memory-mapped columns."""
+
+    @pytest.fixture
+    def columnar_path(self, tmp_path, tiny_graph):
+        from repro.coverage.io import write_columnar
+
+        write_columnar(
+            tiny_graph.edges(), tmp_path / "cols", num_sets=tiny_graph.num_sets
+        )
+        return tmp_path / "cols"
+
+    def test_metadata(self, columnar_path, tiny_graph):
+        stream = EdgeStream.from_columnar(columnar_path)
+        assert stream.num_sets == tiny_graph.num_sets
+        assert stream.num_events == tiny_graph.num_edges
+        assert stream.num_elements_hint == tiny_graph.num_elements
+        assert stream.order == "given"
+
+    @pytest.mark.parametrize("order", STREAM_ORDERS)
+    def test_scalar_iteration_matches_tuple_stream(self, columnar_path, tiny_graph, order):
+        tuple_stream = EdgeStream.from_graph(tiny_graph, order=order, seed=7)
+        column_stream = EdgeStream.from_columnar(columnar_path, order=order, seed=7)
+        expected = sorted(e.as_tuple() for e in tuple_stream)
+        got = [e.as_tuple() for e in column_stream]
+        assert sorted(got) == expected
+        if order == "given":
+            assert got == list(tiny_graph.edges())
+
+    @pytest.mark.parametrize("order", STREAM_ORDERS)
+    def test_batches_match_scalar_order(self, columnar_path, order):
+        scalar = EdgeStream.from_columnar(columnar_path, order=order, seed=3)
+        batched = EdgeStream.from_columnar(columnar_path, order=order, seed=3)
+        scalar_events = [e.as_tuple() for e in scalar]
+        batch_events = [
+            (int(s), int(e))
+            for batch in batched.iter_batches(4)
+            for s, e in zip(batch.set_ids.tolist(), batch.elements.tolist())
+        ]
+        assert batch_events == scalar_events
+
+    def test_no_tuple_materialisation_on_batched_path(self, columnar_path):
+        stream = EdgeStream.from_columnar(columnar_path)
+        list(stream.iter_batches(4))
+        assert stream._edges is None  # the batched path never builds tuples
+
+    def test_accepts_open_columnar_object(self, columnar_path, tiny_graph):
+        from repro.coverage.io import open_columnar
+
+        stream = EdgeStream.from_columnar(open_columnar(columnar_path))
+        assert stream.to_graph() == tiny_graph
+
+    def test_adversarial_tail_defaults_to_largest_set(self, columnar_path, tiny_graph):
+        tuple_stream = EdgeStream.from_graph(tiny_graph, order="adversarial_tail", seed=1)
+        column_stream = EdgeStream.from_columnar(
+            columnar_path, order="adversarial_tail", seed=1
+        )
+        assert column_stream._favored_tail() == tuple_stream._favored_tail()
+
+    def test_pass_counting_and_replay(self, columnar_path):
+        stream = EdgeStream.from_columnar(columnar_path, order="random", seed=2)
+        first = [e.as_tuple() for e in stream]
+        second = [e.as_tuple() for e in stream]
+        assert stream.passes_taken == 2
+        assert sorted(first) == sorted(second)
+
+    def test_rejects_both_edges_and_columns(self):
+        import numpy as np
+
+        with pytest.raises(ValueError, match="exactly one"):
+            EdgeStream(
+                [(0, 1)],
+                columns=(np.zeros(1, dtype=np.uint64), np.zeros(1, dtype=np.uint64)),
+                num_sets=1,
+            )
+        with pytest.raises(ValueError, match="exactly one"):
+            EdgeStream(num_sets=1)
+
+    def test_rejects_ragged_columns(self):
+        import numpy as np
+
+        with pytest.raises(ValueError, match="equal length"):
+            EdgeStream(
+                columns=(np.zeros(2, dtype=np.uint64), np.zeros(3, dtype=np.uint64)),
+                num_sets=1,
+            )
+
+    def test_sketch_built_from_columnar_matches_tuple_stream(self, columnar_path, tiny_graph):
+        from repro.core.params import SketchParams
+        from repro.core.streaming_sketch import StreamingSketchBuilder
+
+        params = SketchParams.explicit(4, 6, 2, 0.5, edge_budget=100, degree_cap=10)
+        via_tuples = StreamingSketchBuilder(params, seed=9)
+        via_columns = StreamingSketchBuilder(params, seed=9)
+        for event in EdgeStream.from_graph(tiny_graph, order="given"):
+            via_tuples.process(event)
+        for batch in EdgeStream.from_columnar(columnar_path).iter_batches(3):
+            via_columns.process_batch(batch)
+        assert via_columns.describe() == via_tuples.describe()
