@@ -40,6 +40,8 @@ def _run() -> Table:
         [
             "machines",
             "approx_ratio",
+            "machine_load_min",
+            "machine_load_mean",
             "max_machine_load",
             "communication_edges",
             "coordinator_edges",
@@ -55,6 +57,8 @@ def _run() -> Table:
         table.add_row(
             machines=machines,
             approx_ratio=achieved / reference,
+            machine_load_min=report.min_machine_load,
+            machine_load_mean=report.mean_machine_load,
             max_machine_load=report.max_machine_load,
             communication_edges=report.communication_edges,
             coordinator_edges=report.coordinator_edges,

@@ -16,6 +16,7 @@ is what the CLI, the benchmarks and the examples print.
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import Any, Iterable, Mapping, Sequence
 
 from repro.analysis.experiments import ExperimentSuite
@@ -24,6 +25,7 @@ from repro.api.registry import ProblemContext, SolverInfo, get_solver
 from repro.api.specs import ProblemSpec, RunSpec, SolverSpec, StreamSpec
 from repro.coverage.bipartite import BipartiteGraph
 from repro.coverage.instance import CoverageInstance, ProblemKind
+from repro.coverage.io import ColumnarEdges, open_columnar
 from repro.errors import SpecError
 from repro.streaming.runner import StreamingReport, StreamingRunner
 from repro.streaming.stream import EdgeStream, SetStream
@@ -32,7 +34,7 @@ from repro.utils.timer import Stopwatch
 
 __all__ = ["solve", "run", "Session"]
 
-Problem = CoverageInstance | BipartiteGraph | ProblemSpec
+Problem = CoverageInstance | BipartiteGraph | ProblemSpec | ColumnarEdges | str | Path
 
 
 def _resolve_context(
@@ -45,6 +47,25 @@ def _resolve_context(
     coverage_backend: str | None = None,
 ) -> ProblemContext:
     """Normalize the accepted problem descriptions into a ProblemContext."""
+    if isinstance(problem, (str, Path)):
+        # A path is taken to mean a columnar edge directory (the on-disk
+        # workload format); anything else should be loaded explicitly.
+        problem = open_columnar(problem)
+    if isinstance(problem, ColumnarEdges):
+        columns = problem
+        ctx = _resolve_context(
+            columns.to_graph(),
+            k=k,
+            outlier_fraction=outlier_fraction,
+            problem_kind=problem_kind,
+            seed=seed,
+            coverage_backend=coverage_backend,
+        )
+        # Keep the mmap'd view: solvers with a batched map phase (the
+        # distributed family) ingest the columns without re-materialising
+        # the edges the graph above was built from.
+        ctx.columns = columns
+        return ctx
     if isinstance(problem, ProblemSpec):
         instance = problem.build_instance()
         return _resolve_context(
@@ -100,7 +121,8 @@ def _resolve_context(
             coverage_backend=coverage_backend,
         )
     raise SpecError(
-        "problem must be a CoverageInstance, a BipartiteGraph or a ProblemSpec, "
+        "problem must be a CoverageInstance, a BipartiteGraph, a ProblemSpec, "
+        "a ColumnarEdges view or a columnar directory path, "
         f"got {type(problem).__name__}"
     )
 
@@ -192,6 +214,10 @@ def _distributed_report(
             "communication_edges": dist_report.communication_edges,
             "coordinator_edges": dist_report.coordinator_edges,
             "coverage_estimate": dist_report.coverage_estimate,
+            "machine_load_min": dist_report.min_machine_load,
+            "machine_load_mean": dist_report.mean_machine_load,
+            "machine_load_max": dist_report.max_machine_load,
+            "merged_threshold": dist_report.merged_threshold,
             **extra,
         },
     )
@@ -218,8 +244,13 @@ def solve(
     Parameters
     ----------
     problem:
-        A :class:`CoverageInstance`, a bare :class:`BipartiteGraph`, or a
-        :class:`ProblemSpec` bound to a registered dataset.
+        A :class:`CoverageInstance`, a bare :class:`BipartiteGraph`, a
+        :class:`ProblemSpec` bound to a registered dataset, or a columnar
+        workload — a :class:`repro.coverage.io.ColumnarEdges` view or the
+        path of a directory written by
+        :func:`repro.coverage.io.write_columnar`.  Columnar problems stay
+        column-backed: solvers with a batched map phase (the distributed
+        family) ingest the memory-mapped columns directly.
     solver:
         A registry name (``"kcover/sketch"``) or a :class:`SolverSpec`.
     k / outlier_fraction / problem_kind:
@@ -398,7 +429,9 @@ class Session:
             if coverage_backend is None:
                 coverage_backend = problem.coverage_backend
             problem = problem.build_instance()
-        self.problem: CoverageInstance | BipartiteGraph = problem
+        if isinstance(problem, (str, Path)):
+            problem = open_columnar(problem)
+        self.problem: CoverageInstance | BipartiteGraph | ColumnarEdges = problem
         self.suite = suite if suite is not None else ExperimentSuite(name)
         self.instance_name = instance_name
         self.seed = seed
@@ -432,6 +465,8 @@ class Session:
                 if isinstance(self.problem, CoverageInstance)
                 else self.problem
             )
+            if isinstance(graph, ColumnarEdges):
+                graph = graph.to_graph()
             self._kernel_cache = BitsetCoverage(graph, backend=self.coverage_backend)
         return self._kernel_cache
 

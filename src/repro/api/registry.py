@@ -51,6 +51,13 @@ class ProblemContext:
     hand-wired entry points used to pass.  ``coverage_backend`` optionally
     names a packed-bitset kernel backend; builders that evaluate the
     coverage function offline fetch a shared snapshot via :meth:`kernel`.
+
+    ``columns`` marks a **column-backed** context: when the problem arrived
+    as a memory-mapped columnar directory
+    (:class:`repro.coverage.io.ColumnarEdges`), the view is kept alongside
+    the materialised graph so solvers with a batched ingestion path (the
+    distributed map phase) can consume the mmap'd columns directly instead
+    of re-materialising per-edge tuples from ``graph``.
     """
 
     graph: BipartiteGraph
@@ -60,6 +67,7 @@ class ProblemContext:
     seed: int = 0
     instance: CoverageInstance | None = None
     coverage_backend: str | None = None
+    columns: Any | None = None
 
     @property
     def n(self) -> int:

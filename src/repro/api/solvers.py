@@ -287,5 +287,12 @@ def _offline_local_search(ctx: ProblemContext, **options: Any) -> OfflineOutcome
     summary="Two-round MapReduce k-cover via composable sketches",
 )
 def _kcover_distributed(ctx: ProblemContext, **options: Any) -> tuple[str, Any]:
-    algorithm = DistributedKCover(ctx.n, ctx.m, k=ctx.k, **_seeded(ctx, options))
-    return "distributed-sketch-kcover", algorithm.run(list(ctx.graph.edges()))
+    kwargs = _explicit_params(ctx, _seeded(ctx, options))
+    kwargs.setdefault("coverage_backend", ctx.coverage_backend)
+    algorithm = DistributedKCover(ctx.n, ctx.m, k=ctx.k, **kwargs)
+    if ctx.columns is not None:
+        # Column-backed problem: the map phase shards the memory-mapped
+        # columns directly (row slices / batched routing), never touching
+        # the materialised evaluation graph.
+        return "distributed-sketch-kcover", algorithm.run_from_columnar(ctx.columns)
+    return "distributed-sketch-kcover", algorithm.run(ctx.graph.edges())

@@ -96,9 +96,11 @@ class ProblemSpec:
 
     ``coverage_backend`` optionally names a registered coverage kernel
     backend (``"auto"``, ``"bytes"``, ``"words"``, ...); solvers that
-    evaluate the coverage function offline (the greedy / local-search
-    references) then run on that packed-bitset kernel instead of Python
-    sets.  ``None`` keeps the solver's default evaluation path.
+    evaluate the coverage function offline then run on that packed-bitset
+    kernel instead of Python sets — the greedy / local-search references
+    pack the input graph, and the distributed coordinator packs the merged
+    sketch for its round-2 greedy.  ``None`` keeps the solver's default
+    evaluation path.
     """
 
     problem: str = "k_cover"

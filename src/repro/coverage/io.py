@@ -19,7 +19,7 @@ Three formats are supported:
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Hashable, Iterable, Iterator
 
@@ -130,6 +130,9 @@ class ColumnarEdges:
     set_labels: tuple[str, ...] | None = None
     element_labels: tuple[str, ...] | None = None
     path: Path | None = None
+    _graph_cache: "BipartiteGraph | None" = field(
+        default=None, repr=False, compare=False
+    )
 
     #: Rows converted per chunk when unrolling the columns into Python pairs;
     #: keeps iteration streaming instead of materialising the whole mapped
@@ -148,6 +151,25 @@ class ColumnarEdges:
             yield from zip(
                 self.set_ids[start:stop].tolist(), self.elements[start:stop].tolist()
             )
+
+    def to_graph(self) -> BipartiteGraph:
+        """Materialise the columns as a :class:`BipartiteGraph`.
+
+        This is the *evaluation* view of a columnar workload (exact coverage
+        of a candidate solution, offline references); the streaming/batched
+        consumers go through
+        :meth:`repro.streaming.stream.EdgeStream.from_columnar` instead and
+        never materialise per-edge objects.  The O(edges) build runs once
+        per view: repeated callers (e.g. a :class:`repro.api.Session`
+        sweeping many solvers over one columnar problem) share the cached
+        graph.
+        """
+        if self._graph_cache is None:
+            graph = BipartiteGraph(max(1, self.num_sets))
+            for set_id, element in self.pairs():
+                graph.add_edge(set_id, element)
+            object.__setattr__(self, "_graph_cache", graph)
+        return self._graph_cache
 
     def labelled_pairs(self) -> Iterator[tuple[str, str]]:
         """Yield ``(set, element)`` label pairs, matching the source labels.

@@ -5,6 +5,13 @@ mentions in §1.3.2 and its conclusion: because every machine sketches its
 shard with a shared hash function, the coordinator can merge the shard
 sketches into a sketch of the full input and solve there — two rounds, with
 per-machine space and communication both bounded by the sketch size.
+
+The pipeline is batched end to end: :class:`EdgePartitioner` shards whole
+columnar event batches in one vectorised assignment, workers ingest batches
+through the sketch builder's native path, and the coordinator's merge is one
+lexsort admission pass over the stacked shard columns.
+:meth:`DistributedKCover.run_from_columnar` maps each worker over its own
+row slice of a memory-mapped columnar directory.
 """
 
 from repro.distributed.coordinator import (
@@ -12,8 +19,15 @@ from repro.distributed.coordinator import (
     DistributedRunReport,
     merge_machine_sketches,
 )
-from repro.distributed.partition import PARTITION_STRATEGIES, partition_edges, shard_sizes
+from repro.distributed.partition import (
+    PARTITION_STRATEGIES,
+    EdgePartitioner,
+    partition_edges,
+    row_range_bounds,
+    shard_sizes,
+)
 from repro.distributed.worker import (
+    DEFAULT_MAP_BATCH,
     MachineSketch,
     build_all_machine_sketches,
     build_machine_sketch,
@@ -24,8 +38,11 @@ __all__ = [
     "DistributedRunReport",
     "merge_machine_sketches",
     "PARTITION_STRATEGIES",
+    "EdgePartitioner",
     "partition_edges",
+    "row_range_bounds",
     "shard_sizes",
+    "DEFAULT_MAP_BATCH",
     "MachineSketch",
     "build_all_machine_sketches",
     "build_machine_sketch",

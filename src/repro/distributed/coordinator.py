@@ -10,29 +10,61 @@ The merge rule exploits the structure of ``H_{<=n}``:
    the shard edges is the element's full (capped) global edge set.
 3. The union is then re-capped and re-trimmed to the global edge budget in
    rank order, exactly as the offline Algorithm 1 would, yielding a sketch of
-   the *whole* input.
+   the *whole* input.  In particular the merged threshold follows Algorithm
+   1's convention: the hash of the last **admitted** element when the budget
+   truncates the union, the global minimum otherwise.
 
 This is the composability property the companion paper builds its MapReduce
 algorithms on; :class:`DistributedKCover` packages it into a two-round
 distributed k-cover: round 1 — machines sketch their shards; round 2 — the
-coordinator merges and runs the offline greedy.
+coordinator merges and runs the offline greedy (optionally on a packed
+coverage kernel, see ``coverage_backend``).
+
+The whole pipeline is columnar: sharding decides whole
+:class:`~repro.streaming.batches.EventBatch` columns at a time
+(:class:`~repro.distributed.partition.EdgePartitioner`), workers ingest
+batches through the sketch builder's vectorised path, and the merge itself
+stacks the shard sketches' edge columns and runs one lexsort admission pass.
+:meth:`DistributedKCover.run_from_columnar` closes the loop for on-disk
+inputs: each worker maps its own row slice of a columnar directory, so the
+coordinator never materialises a single per-edge Python tuple.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Iterable, Sequence
+
+import numpy as np
 
 from repro.coverage.bipartite import BipartiteGraph
 from repro.core.hashing import UniformHash
 from repro.core.params import SketchParams
 from repro.core.sketch import CoverageSketch
-from repro.distributed.partition import partition_edges
-from repro.distributed.worker import MachineSketch, build_all_machine_sketches
+from repro.core.streaming_sketch import StreamingSketchBuilder
+from repro.distributed.partition import EdgePartitioner, row_range_bounds
+from repro.distributed.worker import (
+    DEFAULT_MAP_BATCH,
+    MachineSketch,
+    build_all_machine_sketches,
+)
 from repro.offline.greedy import greedy_k_cover
+from repro.streaming.batches import EventBatch
+from repro.streaming.stream import EdgeStream
 from repro.utils.validation import check_positive_int
 
 __all__ = ["merge_machine_sketches", "DistributedRunReport", "DistributedKCover"]
+
+
+def _sketch_columns(sketch: CoverageSketch) -> tuple[np.ndarray, np.ndarray]:
+    """One shard sketch's edges as parallel uint64 (set, element) columns."""
+    count = sketch.num_edges
+    sets = np.empty(count, dtype=np.uint64)
+    elements = np.empty(count, dtype=np.uint64)
+    for row, (set_id, element) in enumerate(sketch.graph.edges()):
+        sets[row] = set_id
+        elements[row] = element
+    return sets, elements
 
 
 def merge_machine_sketches(
@@ -41,43 +73,84 @@ def merge_machine_sketches(
     *,
     hash_seed: int = 0,
 ) -> CoverageSketch:
-    """Merge per-shard sketches into a sketch of the union of the shards."""
+    """Merge per-shard sketches into a sketch of the union of the shards.
+
+    The shard columns are stacked and the offline admission (rank order,
+    degree cap, edge budget) runs as one vectorised lexsort pass — the array
+    restatement of Algorithm 1, byte-identical to the per-element loop.  When
+    the union overflows the edge budget the merged threshold is the hash of
+    the last *admitted* element, matching
+    :func:`repro.core.sketch.build_h_leq_n` (the data-dependent ``p*``); a
+    union that fits keeps the global minimum of the machine thresholds.
+    """
     if not machine_sketches:
         raise ValueError("need at least one machine sketch to merge")
     hash_fn = UniformHash(hash_seed)
     global_threshold = min(ms.sketch.threshold for ms in machine_sketches)
 
-    # Union of the shard edges restricted to globally-admitted elements.
-    union = BipartiteGraph(params.num_sets)
-    for machine in machine_sketches:
-        for set_id, element in machine.sketch.graph.edges():
-            if hash_fn.value(element) <= global_threshold:
-                union.add_edge(set_id, element)
-
-    # Re-run the offline admission (rank order, degree cap, edge budget) on
-    # the union — this is exactly Algorithm 1 applied to the merged content.
-    order = sorted(union.elements(), key=lambda e: (hash_fn.value(e), e))
+    # Stack the shard columns, restricted to globally-admitted elements.
+    columns = [_sketch_columns(ms.sketch) for ms in machine_sketches]
+    sets = np.concatenate([c[0] for c in columns])
+    elements = np.concatenate([c[1] for c in columns])
     merged = BipartiteGraph(params.num_sets)
-    hashes: dict[int, float] = {}
-    truncated: set[int] = set()
-    threshold = global_threshold
-    for element in order:
-        if merged.num_edges >= params.edge_budget:
-            threshold = min(threshold, hash_fn.value(element))
-            break
-        owners = sorted(union.sets_of(element))
-        if len(owners) > params.degree_cap:
-            truncated.add(element)
-            owners = owners[: params.degree_cap]
-        for set_id in owners:
-            merged.add_edge(set_id, element)
-        hashes[element] = hash_fn.value(element)
+    if len(sets) == 0:
+        return CoverageSketch(
+            graph=merged, params=params, threshold=global_threshold
+        )
+    ranks = hash_fn.value_many(elements)
+    keep = ranks <= global_threshold
+    sets, elements, ranks = sets[keep], elements[keep], ranks[keep]
+
+    # One stable lexsort realises Algorithm 1's admission order: elements by
+    # (rank, id), each element's owners by ascending set id — so the degree
+    # cap keeps the same smallest-id owners the offline builder keeps.
+    order = np.lexsort((sets, elements, ranks))
+    sets, elements, ranks = sets[order], elements[order], ranks[order]
+    # Drop duplicate edges (the same input edge can only live in one shard,
+    # but duplicate input edges may land in different shards).
+    fresh = np.ones(len(sets), dtype=bool)
+    fresh[1:] = (elements[1:] != elements[:-1]) | (sets[1:] != sets[:-1])
+    sets, elements, ranks = sets[fresh], elements[fresh], ranks[fresh]
+
+    if len(elements) == 0:
+        return CoverageSketch(
+            graph=merged, params=params, threshold=global_threshold
+        )
+    # Element runs are contiguous after the sort; cap each run's degree and
+    # admit runs while the stored-edge prefix is below the budget.
+    starts_mask = np.ones(len(elements), dtype=bool)
+    starts_mask[1:] = elements[1:] != elements[:-1]
+    run_starts = np.flatnonzero(starts_mask)
+    run_id = np.cumsum(starts_mask) - 1
+    degrees = np.diff(np.append(run_starts, len(elements)))
+    within_run = np.arange(len(elements)) - run_starts[run_id]
+    capped = within_run < params.degree_cap
+    capped_degrees = np.minimum(degrees, params.degree_cap)
+    edges_before = np.concatenate(([0], np.cumsum(capped_degrees)[:-1]))
+    admitted_runs = edges_before < params.edge_budget
+
+    stored = capped & admitted_runs[run_id]
+    for set_id, element in zip(sets[stored].tolist(), elements[stored].tolist()):
+        merged.add_edge(set_id, element)
+    admitted_rows = run_starts[admitted_runs]
+    hashes = dict(
+        zip(elements[admitted_rows].tolist(), ranks[admitted_rows].tolist())
+    )
+    truncated = frozenset(
+        elements[run_starts[admitted_runs & (degrees > params.degree_cap)]].tolist()
+    )
+    if bool(admitted_runs.all()) or len(admitted_rows) == 0:
+        threshold = global_threshold
+    else:
+        # Algorithm 1's convention: p* is the hash of the last admitted
+        # element (ranks are sorted, so that is the final admitted row).
+        threshold = float(ranks[admitted_rows[-1]])
     return CoverageSketch(
         graph=merged,
         params=params,
         threshold=threshold,
         element_hashes=hashes,
-        truncated_elements=frozenset(truncated),
+        truncated_elements=truncated,
     )
 
 
@@ -94,23 +167,50 @@ class DistributedRunReport:
     machine_stored_edges: list[int] = field(default_factory=list)
     coordinator_edges: int = 0
     communication_edges: int = 0
+    merged_threshold: float = 1.0
+    coverage_backend: str | None = None
 
     @property
     def max_machine_load(self) -> int:
         """Largest number of edges any machine had to store."""
         return max(self.machine_stored_edges, default=0)
 
+    @property
+    def min_machine_load(self) -> int:
+        """Smallest number of edges any machine had to store."""
+        return min(self.machine_stored_edges, default=0)
+
+    @property
+    def mean_machine_load(self) -> float:
+        """Mean number of stored edges per machine."""
+        if not self.machine_stored_edges:
+            return 0.0
+        return sum(self.machine_stored_edges) / len(self.machine_stored_edges)
+
     def as_dict(self) -> dict[str, object]:
-        """Flatten for experiment tables."""
+        """Flatten for experiment tables.
+
+        The per-machine load distribution is reported as min/mean/max columns
+        for both the raw shard sizes and the stored (post-sketch) edges, so
+        load-balance across sharding strategies shows up in result tables.
+        """
+        shard = self.shard_edges
         return {
             "num_machines": self.num_machines,
             "strategy": self.strategy,
             "rounds": self.rounds,
             "solution_size": len(self.solution),
             "coverage_estimate": self.coverage_estimate,
-            "max_machine_load": self.max_machine_load,
+            "shard_edges_min": min(shard, default=0),
+            "shard_edges_mean": (sum(shard) / len(shard)) if shard else 0.0,
+            "shard_edges_max": max(shard, default=0),
+            "machine_load_min": self.min_machine_load,
+            "machine_load_mean": self.mean_machine_load,
+            "machine_load_max": self.max_machine_load,
             "coordinator_edges": self.coordinator_edges,
             "communication_edges": self.communication_edges,
+            "merged_threshold": self.merged_threshold,
+            "coverage_backend": self.coverage_backend or "-",
         }
 
 
@@ -129,6 +229,12 @@ class DistributedKCover:
         Edge partitioning strategy (see :mod:`repro.distributed.partition`).
     params:
         Explicit sketch budgets (defaults to Algorithm 3's choice).
+    coverage_backend:
+        Optional packed-bitset kernel backend name (``"auto"``, ``"bytes"``,
+        ``"words"``); the coordinator's greedy then runs on a kernel packed
+        from the merged sketch (same selections, faster on dense merges).
+    batch_size:
+        Map-phase batch size for the columnar paths.
     """
 
     def __init__(
@@ -144,11 +250,14 @@ class DistributedKCover:
         mode: str = "scaled",
         scale: float = 1.0,
         seed: int = 0,
+        coverage_backend: str | None = None,
+        batch_size: int = DEFAULT_MAP_BATCH,
     ) -> None:
         from repro.core.kcover import default_kcover_params
 
         check_positive_int(num_machines, "num_machines")
         check_positive_int(k, "k")
+        check_positive_int(batch_size, "batch_size")
         self.num_sets = num_sets
         self.num_elements = num_elements
         self.k = k
@@ -156,28 +265,131 @@ class DistributedKCover:
         self.num_machines = num_machines
         self.strategy = strategy
         self.seed = seed
+        self.coverage_backend = coverage_backend
+        self.batch_size = batch_size
         self.params = params or default_kcover_params(
             num_sets, num_elements, k, epsilon, mode=mode, scale=scale
         )
 
-    def run(self, edges: Sequence[tuple[int, int]]) -> DistributedRunReport:
-        """Execute the two distributed rounds on the given edge set."""
-        shards = partition_edges(
-            edges, self.num_machines, strategy=self.strategy, seed=self.seed
+    # ------------------------------------------------------------------ #
+    # entry points
+    # ------------------------------------------------------------------ #
+    def run(self, edges: Iterable[tuple[int, int]]) -> DistributedRunReport:
+        """Execute the two distributed rounds on an in-memory edge set.
+
+        The edges are packed into one columnar batch up front; sharding and
+        the map phase then run entirely on the batched engine (identical
+        results to per-edge sharding plus scalar workers, property-tested).
+        """
+        batch = edges if isinstance(edges, EventBatch) else EventBatch.from_edges(edges)
+        return self.run_batched([batch], total_edges=len(batch))
+
+    def run_batched(
+        self,
+        batches: Iterable[EventBatch],
+        *,
+        total_edges: int | None = None,
+    ) -> DistributedRunReport:
+        """Map a stream of edge batches across the machines and reduce.
+
+        Each batch is routed in one vectorised assignment, each machine's
+        sub-batch goes through its sketch builder's native ``process_batch``,
+        and no per-edge Python objects are created anywhere.  ``total_edges``
+        is only needed by the ``row_range`` strategy.
+        """
+        partitioner = EdgePartitioner(
+            self.num_machines,
+            strategy=self.strategy,
+            seed=self.seed,
+            total_edges=total_edges,
         )
+        builders = [
+            StreamingSketchBuilder(self.params, hash_fn=UniformHash(self.seed))
+            for _ in range(self.num_machines)
+        ]
+        shard_edges = [0] * self.num_machines
+        for batch in batches:
+            for machine, sub in enumerate(partitioner.split(batch)):
+                if len(sub):
+                    builders[machine].process_batch(sub)
+                    shard_edges[machine] += len(sub)
+        machine_sketches = []
+        for machine_id, builder in enumerate(builders):
+            sketch = builder.sketch()
+            machine_sketches.append(
+                MachineSketch(
+                    machine_id=machine_id,
+                    sketch=sketch,
+                    edges_processed=builder.edges_seen,
+                    edges_stored=sketch.num_edges,
+                )
+            )
+        return self._reduce(machine_sketches, shard_edges)
+
+    def run_from_columnar(self, source) -> DistributedRunReport:
+        """Execute the rounds straight off a columnar directory (or view).
+
+        ``source`` is a path written by
+        :func:`repro.coverage.io.write_columnar` or an already-open
+        :class:`repro.coverage.io.ColumnarEdges`.  With the ``row_range``
+        strategy each worker streams its own contiguous row slice of the
+        memory-mapped columns — the coordinator touches no edge data at all;
+        every other strategy streams the file once through the batched
+        router.  Results are byte-identical to :meth:`run` on the same edges
+        in file order.
+        """
+        from repro.coverage.io import ColumnarEdges, open_columnar
+
+        columns = source if isinstance(source, ColumnarEdges) else open_columnar(source)
+        if self.strategy != "row_range":
+            stream = EdgeStream.from_columnar(columns, order="given")
+            return self.run_batched(
+                stream.iter_batches(self.batch_size), total_edges=stream.num_events
+            )
+        bounds = row_range_bounds(columns.num_edges, self.num_machines)
+        shards = [
+            EdgeStream(
+                columns=(
+                    columns.set_ids[bounds[i] : bounds[i + 1]],
+                    columns.elements[bounds[i] : bounds[i + 1]],
+                ),
+                num_sets=max(1, columns.num_sets),
+                num_elements_hint=columns.num_elements,
+                order="given",
+            )
+            for i in range(self.num_machines)
+        ]
         machine_sketches = build_all_machine_sketches(
-            shards, self.params, hash_seed=self.seed
+            shards, self.params, hash_seed=self.seed, batch_size=self.batch_size
         )
-        merged = merge_machine_sketches(machine_sketches, self.params, hash_seed=self.seed)
-        solution = greedy_k_cover(merged.graph, self.k).selected
+        shard_edges = [int(bounds[i + 1] - bounds[i]) for i in range(self.num_machines)]
+        return self._reduce(machine_sketches, shard_edges)
+
+    # ------------------------------------------------------------------ #
+    # round 2: reduce
+    # ------------------------------------------------------------------ #
+    def _reduce(
+        self, machine_sketches: list[MachineSketch], shard_edges: list[int]
+    ) -> DistributedRunReport:
+        merged = merge_machine_sketches(
+            machine_sketches, self.params, hash_seed=self.seed
+        )
+        kernel = None
+        if self.coverage_backend is not None and merged.num_edges:
+            from repro.coverage.bitset import BitsetCoverage
+
+            kernel = BitsetCoverage(merged.graph, backend=self.coverage_backend)
+        solution = greedy_k_cover(merged.graph, self.k, kernel=kernel).selected
         return DistributedRunReport(
             solution=solution,
             coverage_estimate=merged.estimate_coverage(solution),
             num_machines=self.num_machines,
             strategy=self.strategy,
             rounds=2,
-            shard_edges=[len(shard) for shard in shards],
+            shard_edges=shard_edges,
             machine_stored_edges=[ms.edges_stored for ms in machine_sketches],
             coordinator_edges=merged.num_edges,
             communication_edges=sum(ms.edges_stored for ms in machine_sketches),
+            merged_threshold=merged.threshold,
+            coverage_backend=kernel.backend.name if kernel is not None else None,
         )

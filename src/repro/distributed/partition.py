@@ -12,19 +12,141 @@ simulation uses:
 * ``"by_set"`` — all edges of one set go to the same machine (the set-arrival
   / partitioned-family model used by core-set approaches);
 * ``"by_element"`` — all edges of one element go to the same machine;
-* ``"round_robin"`` — deterministic balanced assignment (for tests).
+* ``"round_robin"`` — deterministic balanced assignment (for tests);
+* ``"row_range"`` — machine ``i`` owns the ``i``-th contiguous run of the
+  input (the natural sharding of a columnar file: each worker memory-maps
+  its own row slice and never sees the rest).
+
+Assignment is computed **vectorised**: :class:`EdgePartitioner` consumes
+:class:`~repro.streaming.batches.EventBatch` columns and decides a whole
+batch with one ``rng.integers`` / :func:`~repro.utils.rng.mix64_array` call.
+The scalar :func:`partition_edges` entry point routes through the same
+kernel, so batch-at-a-time and edge-list-at-once sharding are identical by
+construction (``Generator.integers(size=k)`` consumes the bit stream exactly
+like ``k`` sequential scalar draws, which the property tests pin down).
 """
 
 from __future__ import annotations
 
 from typing import Iterable, Sequence
 
-from repro.utils.rng import mix64, spawn_rng
+import numpy as np
+
+from repro.streaming.batches import EventBatch
+from repro.utils.rng import mix64_array, spawn_rng
 from repro.utils.validation import check_positive_int
 
-__all__ = ["PARTITION_STRATEGIES", "partition_edges", "shard_sizes"]
+__all__ = [
+    "PARTITION_STRATEGIES",
+    "EdgePartitioner",
+    "partition_edges",
+    "row_range_bounds",
+    "shard_sizes",
+]
 
-PARTITION_STRATEGIES = ("random", "by_set", "by_element", "round_robin")
+PARTITION_STRATEGIES = ("random", "by_set", "by_element", "round_robin", "row_range")
+
+
+def row_range_bounds(num_edges: int, num_machines: int) -> np.ndarray:
+    """Shard boundaries for ``"row_range"``: machine ``i`` owns rows
+    ``bounds[i]:bounds[i+1]`` (balanced contiguous runs, earlier machines get
+    the remainder — the same convention as ``np.array_split``)."""
+    check_positive_int(num_machines, "num_machines")
+    if num_edges < 0:
+        raise ValueError(f"num_edges must be >= 0, got {num_edges}")
+    base, remainder = divmod(num_edges, num_machines)
+    sizes = np.full(num_machines, base, dtype=np.int64)
+    sizes[:remainder] += 1
+    bounds = np.zeros(num_machines + 1, dtype=np.int64)
+    np.cumsum(sizes, out=bounds[1:])
+    return bounds
+
+
+class EdgePartitioner:
+    """Stateful vectorised shard assignment over a stream of edge batches.
+
+    One instance assigns every edge of one logical pass: the ``random``
+    strategy keeps a persistent generator (batch boundaries do not change the
+    draw sequence) and ``round_robin`` / ``row_range`` track the global row
+    position, so feeding the same edges in any batching yields the same
+    machine per edge as :func:`partition_edges` on the flat list.
+
+    Parameters
+    ----------
+    num_machines:
+        Number of shards.
+    strategy:
+        One of :data:`PARTITION_STRATEGIES`.
+    seed:
+        Seed for ``random`` (the shuffle RNG) and the hash-based strategies.
+    total_edges:
+        Length of the pass; required by ``row_range`` (the boundaries depend
+        on it), ignored by every other strategy.
+    """
+
+    def __init__(
+        self,
+        num_machines: int,
+        *,
+        strategy: str = "random",
+        seed: int = 0,
+        total_edges: int | None = None,
+    ) -> None:
+        check_positive_int(num_machines, "num_machines")
+        if strategy not in PARTITION_STRATEGIES:
+            raise ValueError(
+                f"unknown strategy {strategy!r}; expected one of {PARTITION_STRATEGIES}"
+            )
+        self.num_machines = num_machines
+        self.strategy = strategy
+        self.seed = seed
+        self._position = 0
+        self._rng = spawn_rng(seed, "edge-partition") if strategy == "random" else None
+        self._bounds: np.ndarray | None = None
+        if strategy == "row_range":
+            if total_edges is None:
+                raise ValueError(
+                    "row_range sharding needs total_edges (the boundaries depend "
+                    "on the pass length)"
+                )
+            self._bounds = row_range_bounds(int(total_edges), num_machines)
+
+    def assign(self, set_ids: np.ndarray, elements: np.ndarray) -> np.ndarray:
+        """Machine id per edge for the next chunk of the pass (one array op)."""
+        count = len(set_ids)
+        if self.strategy == "random":
+            machines = self._rng.integers(self.num_machines, size=count)
+        elif self.strategy == "by_set":
+            machines = mix64_array(set_ids, seed=self.seed) % np.uint64(self.num_machines)
+        elif self.strategy == "by_element":
+            machines = mix64_array(elements, seed=self.seed) % np.uint64(self.num_machines)
+        elif self.strategy == "round_robin":
+            machines = (self._position + np.arange(count, dtype=np.int64)) % self.num_machines
+        else:  # row_range
+            rows = self._position + np.arange(count, dtype=np.int64)
+            if count and rows[-1] >= self._bounds[-1]:
+                raise ValueError(
+                    f"row_range partitioner configured for {int(self._bounds[-1])} "
+                    f"edges saw row {int(rows[-1])}"
+                )
+            machines = np.searchsorted(self._bounds, rows, side="right") - 1
+        self._position += count
+        return machines.astype(np.int64, copy=False)
+
+    def split(self, batch: EventBatch) -> list[EventBatch]:
+        """Route one edge batch: the per-machine sub-batches, in machine order.
+
+        Preserves the within-shard arrival order (a stable grouping of the
+        batch rows), so shard ``i``'s concatenated sub-batches replay exactly
+        the edges :func:`partition_edges` would put in shard ``i``.
+        """
+        if batch.offsets is not None:
+            raise TypeError("EdgePartitioner shards edge batches, got a set batch")
+        machines = self.assign(batch.set_ids, batch.elements)
+        return [
+            batch.take(np.flatnonzero(machines == machine))
+            for machine in range(self.num_machines)
+        ]
 
 
 def partition_edges(
@@ -37,31 +159,20 @@ def partition_edges(
     """Split an edge list into ``num_machines`` shards.
 
     Returns a list of shards (lists of ``(set_id, element)`` pairs); every
-    input edge appears in exactly one shard.
+    input edge appears in exactly one shard.  Assignment is one vectorised
+    :meth:`EdgePartitioner.assign` call over the whole list.
     """
-    check_positive_int(num_machines, "num_machines")
-    if strategy not in PARTITION_STRATEGIES:
-        raise ValueError(
-            f"unknown strategy {strategy!r}; expected one of {PARTITION_STRATEGIES}"
+    batch = edges if isinstance(edges, EventBatch) else EventBatch.from_edges(edges)
+    partitioner = EdgePartitioner(
+        num_machines, strategy=strategy, seed=seed, total_edges=len(batch)
+    )
+    machines = partitioner.assign(batch.set_ids, batch.elements)
+    shards: list[list[tuple[int, int]]] = []
+    for machine in range(num_machines):
+        rows = np.flatnonzero(machines == machine)
+        shards.append(
+            list(zip(batch.set_ids[rows].tolist(), batch.elements[rows].tolist()))
         )
-    shards: list[list[tuple[int, int]]] = [[] for _ in range(num_machines)]
-    if strategy == "random":
-        rng = spawn_rng(seed, "edge-partition")
-        for edge in edges:
-            shards[int(rng.integers(num_machines))].append((int(edge[0]), int(edge[1])))
-    elif strategy == "by_set":
-        for edge in edges:
-            shards[mix64(int(edge[0]), seed=seed) % num_machines].append(
-                (int(edge[0]), int(edge[1]))
-            )
-    elif strategy == "by_element":
-        for edge in edges:
-            shards[mix64(int(edge[1]), seed=seed) % num_machines].append(
-                (int(edge[0]), int(edge[1]))
-            )
-    else:  # round_robin
-        for index, edge in enumerate(edges):
-            shards[index % num_machines].append((int(edge[0]), int(edge[1])))
     return shards
 
 

@@ -125,6 +125,22 @@ class EventBatch:
         return len(self.elements)
 
     # ------------------------------------------------------------------ #
+    # row selection
+    # ------------------------------------------------------------------ #
+    def take(self, rows: np.ndarray | Sequence[int]) -> "EventBatch":
+        """An edge sub-batch of the given rows, in the given order.
+
+        This is the routing primitive of the distributed map phase: a
+        partitioner groups one batch's rows by machine and hands each worker
+        ``take(rows)`` — plain numpy fancy indexing, no per-edge tuples.
+        Only edge batches support it (a set batch row is a whole CSR run).
+        """
+        if self.offsets is not None:
+            raise TypeError("take() slices edge batches, got a set batch")
+        rows = np.asarray(rows, dtype=np.int64)
+        return EventBatch(self.set_ids[rows], self.elements[rows])
+
+    # ------------------------------------------------------------------ #
     # scalar compatibility shim
     # ------------------------------------------------------------------ #
     def iter_events(self) -> Iterator[EdgeArrival | SetArrival]:

@@ -423,3 +423,77 @@ class TestCoverageBackendPlumbing:
         session.run("offline/greedy", seed=14)
         session.run("kcover/sketch", options={"scale": 0.2})
         assert len(calls) == 1  # one packing serves every offline run
+
+
+class TestColumnarProblems:
+    """solve() accepts columnar workloads and keeps them column-backed."""
+
+    DIST_OPTIONS = {
+        "num_machines": 3,
+        "edge_budget": 300,
+        "degree_cap": 15,
+        "strategy": "row_range",
+    }
+
+    @pytest.fixture(scope="class")
+    def columnar_dir(self, kcover_instance, tmp_path_factory):
+        from repro.coverage.io import write_columnar
+
+        path = tmp_path_factory.mktemp("workload") / "edges.cols"
+        write_columnar(
+            kcover_instance.graph.edges(), path, num_sets=kcover_instance.n
+        )
+        return path
+
+    def test_distributed_columnar_matches_graph_run(self, kcover_instance, columnar_dir):
+        """The column-backed map phase reports exactly the in-memory run."""
+        from_graph = solve(
+            kcover_instance.graph, "kcover/distributed", k=4, seed=13,
+            options=self.DIST_OPTIONS,
+        )
+        for problem in (columnar_dir, str(columnar_dir)):
+            from_columns = solve(
+                problem, "kcover/distributed", k=4, seed=13, options=self.DIST_OPTIONS
+            )
+            assert from_columns.solution == from_graph.solution
+            assert from_columns.coverage == from_graph.coverage
+            assert (
+                from_columns.extra["merged_threshold"]
+                == from_graph.extra["merged_threshold"]
+            )
+
+    def test_distributed_report_carries_load_balance(self, kcover_instance):
+        report = solve(
+            kcover_instance, "kcover/distributed", seed=13, options=self.DIST_OPTIONS
+        )
+        assert (
+            report.extra["machine_load_min"]
+            <= report.extra["machine_load_mean"]
+            <= report.extra["machine_load_max"]
+        )
+        assert 0.0 < report.extra["merged_threshold"] <= 1.0
+
+    def test_distributed_coverage_backend_via_spec_kwarg(self, kcover_instance):
+        plain = solve(
+            kcover_instance, "kcover/distributed", seed=13, options=self.DIST_OPTIONS
+        )
+        kernelled = solve(
+            kcover_instance, "kcover/distributed", seed=13,
+            options=self.DIST_OPTIONS, coverage_backend="words",
+        )
+        assert kernelled.solution == plain.solution
+        assert kernelled.coverage == plain.coverage
+
+    def test_streaming_solver_on_columnar_problem(self, kcover_instance, columnar_dir):
+        from_graph = solve(
+            kcover_instance.graph, "kcover/sketch", k=4, seed=13,
+            options={"scale": 0.2},
+        )
+        from_columns = solve(
+            columnar_dir, "kcover/sketch", k=4, seed=13, options={"scale": 0.2}
+        )
+        assert from_columns.solution == from_graph.solution
+
+    def test_non_columnar_path_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            solve(tmp_path / "missing", "kcover/sketch", k=2)

@@ -239,6 +239,37 @@ class TestCoverageBackendAndColumnar:
         assert code == 0
         assert "sketch-kcover" in output
 
+    def test_distributed_command_on_generated_instance(self):
+        code, output = _run(
+            ["distributed", "--num-sets", "30", "--num-elements", "400", "--k", "3",
+             "--machines", "3", "--seed", "5", "--scale", "0.3"]
+        )
+        assert code == 0
+        assert "machines" in output
+        assert "machine_load_mean" in output
+        assert "merged_threshold" in output
+
+    def test_distributed_columnar_agrees_with_graph_input(self, tmp_path):
+        """A columnar --edges dir (batched map phase) matches the text input."""
+        instance = planted_kcover_instance(20, 250, k=3, seed=9)
+        text = tmp_path / "edges.tsv"
+        write_edge_list(instance.graph.edges(), text)
+        from repro.coverage.io import columnar_from_edge_list
+
+        columnar_from_edge_list(text, tmp_path / "cols")
+        args = ["--k", "3", "--machines", "2", "--strategy", "row_range",
+                "--seed", "2", "--scale", "0.3", "--coverage-backend", "words"]
+        code_text, from_text = _run(["distributed", "--edges", str(text)] + args)
+        code_cols, from_cols = _run(
+            ["distributed", "--edges", str(tmp_path / "cols")] + args
+        )
+        assert code_text == code_cols == 0
+        assert from_cols == from_text
+
+    def test_distributed_strategy_choices_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["distributed", "--strategy", "hash-ring"])
+
     def test_columnar_and_text_inputs_agree(self, tmp_path):
         instance = planted_kcover_instance(20, 250, k=3, seed=9)
         text = tmp_path / "edges.tsv"
