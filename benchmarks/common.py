@@ -14,10 +14,11 @@ from actual runs.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Any, Callable, Iterable, Sequence
+from typing import Any, Callable, Iterable, Sequence, TypeVar
 
 from repro.analysis import ExperimentSuite, run_streaming_comparison
 from repro.coverage.instance import CoverageInstance
+from repro.parallel import ParallelMapper
 from repro.utils.tables import Table
 
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -51,6 +52,30 @@ def print_table(title: str, table: Table) -> None:
     """Print a result table to stdout (shown with ``pytest -s``)."""
     print(f"\n=== {title} ===")
     print(table.to_grid())
+
+
+_Item = TypeVar("_Item")
+_Row = TypeVar("_Row")
+
+
+def parallel_sweep(
+    fn: Callable[[_Item], _Row],
+    items: Iterable[_Item],
+    *,
+    executor: str | None = None,
+    max_workers: int | None = None,
+) -> list[_Row]:
+    """Map one benchmark configuration function over a sweep's rows.
+
+    The rows of a benchmark sweep are independent by construction, so they
+    can fan out over a :mod:`repro.parallel` executor backend exactly like
+    the distributed map phase; results come back in item order, keeping
+    result tables deterministic.  The default stays serial, and — like every
+    other layer — ``max_workers`` alone implies ``executor="auto"``.
+    Parallelise only sweeps whose rows do *not* time anything (concurrent
+    rows would contend and corrupt wall-clock measurements).
+    """
+    return ParallelMapper(executor, max_workers=max_workers).map(fn, list(items))
 
 
 def comparison_suite(

@@ -42,6 +42,7 @@ from repro import (
     datasets,
     distributed,
     offline,
+    parallel,
     streaming,
     utils,
 )
@@ -93,6 +94,7 @@ __all__ = [
     "datasets",
     "distributed",
     "offline",
+    "parallel",
     "streaming",
     "utils",
     # the solve() facade and its specs

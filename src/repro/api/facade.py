@@ -45,6 +45,8 @@ def _resolve_context(
     problem_kind: str | None = None,
     seed: int = 0,
     coverage_backend: str | None = None,
+    executor: str | None = None,
+    max_workers: int | None = None,
 ) -> ProblemContext:
     """Normalize the accepted problem descriptions into a ProblemContext."""
     if isinstance(problem, (str, Path)):
@@ -60,6 +62,8 @@ def _resolve_context(
             problem_kind=problem_kind,
             seed=seed,
             coverage_backend=coverage_backend,
+            executor=executor,
+            max_workers=max_workers,
         )
         # Keep the mmap'd view: solvers with a batched map phase (the
         # distributed family) ingest the columns without re-materialising
@@ -83,6 +87,10 @@ def _resolve_context(
                 if coverage_backend is not None
                 else problem.coverage_backend
             ),
+            executor=executor if executor is not None else problem.executor,
+            max_workers=(
+                max_workers if max_workers is not None else problem.map_workers
+            ),
         )
     if isinstance(problem, CoverageInstance):
         kind = problem_kind or problem.kind.value
@@ -98,6 +106,8 @@ def _resolve_context(
             seed=seed,
             instance=problem,
             coverage_backend=coverage_backend,
+            executor=executor,
+            max_workers=max_workers,
         )
     if isinstance(problem, BipartiteGraph):
         if problem_kind is None:
@@ -119,6 +129,8 @@ def _resolve_context(
             outlier_fraction=outlier_fraction or 0.0,
             seed=seed,
             coverage_backend=coverage_backend,
+            executor=executor,
+            max_workers=max_workers,
         )
     raise SpecError(
         "problem must be a CoverageInstance, a BipartiteGraph, a ProblemSpec, "
@@ -218,6 +230,8 @@ def _distributed_report(
             "machine_load_mean": dist_report.mean_machine_load,
             "machine_load_max": dist_report.max_machine_load,
             "merged_threshold": dist_report.merged_threshold,
+            "executor": dist_report.executor,
+            "map_workers": dist_report.map_workers,
             **extra,
         },
     )
@@ -237,6 +251,8 @@ def solve(
     seed: int = 0,
     coverage_backend: str | None = None,
     coverage_kernel: Any | None = None,
+    executor: str | None = None,
+    max_workers: int | None = None,
     extra: Mapping[str, Any] | None = None,
 ) -> StreamingReport:
     """Run any registered solver on a coverage problem and report the outcome.
@@ -285,6 +301,14 @@ def solve(
         the problem graph; skips re-packing when the caller runs many
         solvers against one graph (:class:`Session` does this).  Implies
         its own backend when ``coverage_backend`` is not given.
+    executor / max_workers:
+        Optional :mod:`repro.parallel` executor backend name (``"auto"``,
+        ``"serial"``, ``"thread"``, ``"process"``) and pool-size cap.
+        Solvers with an embarrassingly parallel phase — the distributed map
+        phase, the ensemble's per-replica greedy — fan that phase over real
+        cores; results are byte-identical across backends.  Defaults to the
+        problem spec's ``executor`` / ``map_workers`` when solving a
+        :class:`ProblemSpec`; ``None`` keeps the serial loop.
     extra:
         Free-form values recorded on the report.
 
@@ -304,6 +328,8 @@ def solve(
         problem_kind=problem_kind,
         seed=seed,
         coverage_backend=coverage_backend,
+        executor=executor,
+        max_workers=max_workers,
     )
     if coverage_kernel is not None:
         ctx.preset_kernel(coverage_kernel)
@@ -397,6 +423,8 @@ def run(spec: RunSpec, problem: Problem | None = None) -> list[StreamingReport]:
                 seed=stream.seed,
                 coverage_backend=spec.problem.coverage_backend,
                 coverage_kernel=kernel,
+                executor=spec.problem.executor,
+                max_workers=spec.problem.map_workers,
                 extra=extra,
             )
         )
@@ -424,10 +452,16 @@ class Session:
         reference_value: float | None = None,
         suite: ExperimentSuite | None = None,
         coverage_backend: str | None = None,
+        executor: str | None = None,
+        max_workers: int | None = None,
     ) -> None:
         if isinstance(problem, ProblemSpec):
             if coverage_backend is None:
                 coverage_backend = problem.coverage_backend
+            if executor is None:
+                executor = problem.executor
+            if max_workers is None:
+                max_workers = problem.map_workers
             problem = problem.build_instance()
         if isinstance(problem, (str, Path)):
             problem = open_columnar(problem)
@@ -439,6 +473,8 @@ class Session:
         self._outlier_fraction = outlier_fraction
         self._problem_kind = problem_kind
         self.coverage_backend = coverage_backend
+        self.executor = executor
+        self.max_workers = max_workers
         self._kernel_cache: Any | None = None
         self._reference = reference_value
         # A default reference only makes sense for k-cover (Opt_k); computing
@@ -516,6 +552,8 @@ class Session:
             seed=run_seed,
             coverage_backend=self.coverage_backend,
             coverage_kernel=self._kernel() if needs_kernel else None,
+            executor=self.executor,
+            max_workers=self.max_workers,
             extra=dict(extra or {}),
         )
         metrics: dict[str, Any] = {}

@@ -58,6 +58,11 @@ class ProblemContext:
     the materialised graph so solvers with a batched ingestion path (the
     distributed map phase) can consume the mmap'd columns directly instead
     of re-materialising per-edge tuples from ``graph``.
+
+    ``executor`` / ``max_workers`` optionally name a :mod:`repro.parallel`
+    executor backend; builders whose solver has an embarrassingly parallel
+    phase (the distributed map phase, the ensemble's per-replica greedy)
+    default to them, with explicit solver options still winning.
     """
 
     graph: BipartiteGraph
@@ -68,6 +73,8 @@ class ProblemContext:
     instance: CoverageInstance | None = None
     coverage_backend: str | None = None
     columns: Any | None = None
+    executor: str | None = None
+    max_workers: int | None = None
 
     @property
     def n(self) -> int:

@@ -86,6 +86,7 @@ def _require_outliers(ctx: ProblemContext, name: str) -> float:
 )
 def _kcover_sketch(ctx: ProblemContext, **options: Any) -> StreamingKCover:
     kwargs = _explicit_params(ctx, _seeded(ctx, options))
+    kwargs.setdefault("coverage_backend", ctx.coverage_backend)
     return StreamingKCover(ctx.n, ctx.m, k=ctx.k, **kwargs)
 
 
@@ -100,6 +101,9 @@ def _kcover_sketch(ctx: ProblemContext, **options: Any) -> StreamingKCover:
 )
 def _kcover_ensemble(ctx: ProblemContext, **options: Any) -> EnsembleKCover:
     kwargs = _explicit_params(ctx, _seeded(ctx, options))
+    kwargs.setdefault("coverage_backend", ctx.coverage_backend)
+    kwargs.setdefault("executor", ctx.executor)
+    kwargs.setdefault("max_workers", ctx.max_workers)
     return EnsembleKCover(ctx.n, ctx.m, k=ctx.k, **kwargs)
 
 
@@ -155,7 +159,9 @@ def _kcover_mcgregor_vu(ctx: ProblemContext, **options: Any) -> McGregorVuKCover
     summary="Algorithm 6: r-round sketch set cover ((1+eps) log m)",
 )
 def _setcover_sketch(ctx: ProblemContext, **options: Any) -> StreamingSetCover:
-    return StreamingSetCover(ctx.n, ctx.m, **_seeded(ctx, options))
+    kwargs = _seeded(ctx, options)
+    kwargs.setdefault("coverage_backend", ctx.coverage_backend)
+    return StreamingSetCover(ctx.n, ctx.m, **kwargs)
 
 
 @register_solver(
@@ -198,8 +204,10 @@ def _setcover_harpeled(ctx: ProblemContext, **options: Any) -> HarPeledSetCover:
 )
 def _outliers_sketch(ctx: ProblemContext, **options: Any) -> StreamingSetCoverOutliers:
     outlier_fraction = _require_outliers(ctx, "outliers/sketch")
+    kwargs = _seeded(ctx, options)
+    kwargs.setdefault("coverage_backend", ctx.coverage_backend)
     return StreamingSetCoverOutliers(
-        ctx.n, ctx.m, outlier_fraction=outlier_fraction, **_seeded(ctx, options)
+        ctx.n, ctx.m, outlier_fraction=outlier_fraction, **kwargs
     )
 
 
@@ -289,6 +297,8 @@ def _offline_local_search(ctx: ProblemContext, **options: Any) -> OfflineOutcome
 def _kcover_distributed(ctx: ProblemContext, **options: Any) -> tuple[str, Any]:
     kwargs = _explicit_params(ctx, _seeded(ctx, options))
     kwargs.setdefault("coverage_backend", ctx.coverage_backend)
+    kwargs.setdefault("executor", ctx.executor)
+    kwargs.setdefault("max_workers", ctx.max_workers)
     algorithm = DistributedKCover(ctx.n, ctx.m, k=ctx.k, **kwargs)
     if ctx.columns is not None:
         # Column-backed problem: the map phase shards the memory-mapped

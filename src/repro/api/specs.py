@@ -23,6 +23,7 @@ from typing import Any, Mapping
 
 from repro.coverage.kernels import kernel_backend_choices
 from repro.errors import SpecError
+from repro.parallel import executor_choices
 from repro.streaming.stream import STREAM_ORDERS
 
 __all__ = [
@@ -98,9 +99,20 @@ class ProblemSpec:
     backend (``"auto"``, ``"bytes"``, ``"words"``, ...); solvers that
     evaluate the coverage function offline then run on that packed-bitset
     kernel instead of Python sets — the greedy / local-search references
-    pack the input graph, and the distributed coordinator packs the merged
-    sketch for its round-2 greedy.  ``None`` keeps the solver's default
-    evaluation path.
+    pack the input graph, the streaming family packs its sketch for the
+    offline phase, and the distributed coordinator packs the merged sketch
+    for its round-2 greedy.  ``None`` keeps the solver's default evaluation
+    path.
+
+    ``executor`` / ``map_workers`` optionally name a :mod:`repro.parallel`
+    executor backend (``"auto"``, ``"serial"``, ``"thread"``,
+    ``"process"``, ...) and a pool-size cap; solvers with an embarrassingly
+    parallel phase (the distributed map phase, the ensemble's per-replica
+    greedy) then fan that phase over real cores — results are byte-identical
+    across backends.  ``None`` keeps the serial loop, except that
+    ``map_workers`` alone implies ``executor="auto"`` (asking for a worker
+    count is asking for parallelism; see
+    :class:`repro.parallel.ParallelMapper`).
     """
 
     problem: str = "k_cover"
@@ -109,6 +121,8 @@ class ProblemSpec:
     dataset: str | None = None
     dataset_args: dict[str, Any] = field(default_factory=dict)
     coverage_backend: str | None = None
+    executor: str | None = None
+    map_workers: int | None = None
 
     def __post_init__(self) -> None:
         if self.problem not in PROBLEM_KINDS:
@@ -139,6 +153,23 @@ class ProblemSpec:
                     f"unknown coverage_backend {self.coverage_backend!r}; "
                     f"expected one of {choices} or None"
                 )
+        if self.executor is not None:
+            choices = executor_choices()
+            if self.executor not in choices:
+                raise SpecError(
+                    f"unknown executor {self.executor!r}; "
+                    f"expected one of {choices} or None"
+                )
+        if self.map_workers is not None:
+            if (
+                isinstance(self.map_workers, bool)
+                or not isinstance(self.map_workers, int)
+                or self.map_workers < 1
+            ):
+                raise SpecError(
+                    f"map_workers must be a positive integer or None, "
+                    f"got {self.map_workers!r}"
+                )
         object.__setattr__(
             self, "dataset_args", _check_options_dict(self.dataset_args, "dataset_args")
         )
@@ -167,6 +198,8 @@ class ProblemSpec:
             "dataset": self.dataset,
             "dataset_args": dict(self.dataset_args),
             "coverage_backend": self.coverage_backend,
+            "executor": self.executor,
+            "map_workers": self.map_workers,
         }
 
     @classmethod

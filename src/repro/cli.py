@@ -34,6 +34,7 @@ from repro.coverage.io import open_columnar, read_edge_list, write_columnar, wri
 from repro.coverage.kernels import kernel_backend_choices
 from repro.datasets import get_dataset, iter_datasets, list_datasets
 from repro.distributed.partition import PARTITION_STRATEGIES
+from repro.parallel import executor_choices
 from repro.utils.tables import Table
 
 __all__ = ["main", "build_parser"]
@@ -129,6 +130,19 @@ def build_parser() -> argparse.ArgumentParser:
                              default=None,
                              help="packed-bitset kernel for the coordinator's "
                                   "round-2 greedy on the merged sketch")
+    distributed.add_argument("--executor", choices=executor_choices(), default=None,
+                             help="executor backend for the map phase: 'process' "
+                                  "runs the workers on real cores ('row_range' "
+                                  "over a columnar --edges directory ships only "
+                                  "path + row bounds to each child); 'auto' "
+                                  "picks process when more than one CPU is "
+                                  "usable; default keeps the serial loop "
+                                  "(results are byte-identical either way)")
+    distributed.add_argument("--workers", type=int, default=None,
+                             help="pool-size cap for the parallel executors "
+                                  "(default: the usable CPU count); given "
+                                  "without --executor it implies "
+                                  "--executor auto")
 
     sub.add_parser("list-solvers", help="list the registered solvers and their capabilities")
     return parser
@@ -285,12 +299,15 @@ def _cmd_distributed(args: argparse.Namespace, out) -> int:
     report = solve(
         problem, "kcover/distributed", problem_kind="k_cover", k=args.k,
         seed=args.seed, coverage_backend=args.coverage_backend,
+        executor=args.executor, max_workers=args.workers,
         options={"epsilon": args.epsilon, "scale": args.scale,
                  "num_machines": args.machines, "strategy": args.strategy},
     )
     table = Table(["quantity", "value"])
     table.add_row(quantity="machines", value=report.extra["num_machines"])
     table.add_row(quantity="strategy", value=report.extra["strategy"])
+    table.add_row(quantity="executor", value=report.extra["executor"])
+    table.add_row(quantity="map_workers", value=report.extra["map_workers"])
     table.add_row(quantity="rounds", value=report.passes)
     table.add_row(quantity="coverage", value=report.coverage)
     table.add_row(quantity="coverage_estimate", value=report.extra["coverage_estimate"])

@@ -26,11 +26,13 @@ from __future__ import annotations
 import statistics
 from typing import Iterable, Sequence
 
+from repro.coverage.bipartite import BipartiteGraph
 from repro.core.hashing import UniformHash
 from repro.core.params import SketchParams
 from repro.core.sketch import CoverageSketch
 from repro.core.streaming_sketch import StreamingSketchBuilder
 from repro.offline.greedy import greedy_k_cover
+from repro.parallel import ExecutorBackend, ParallelMapper, as_mapper
 from repro.streaming.batches import EventBatch
 from repro.streaming.events import EdgeArrival
 from repro.streaming.space import SpaceMeter
@@ -38,6 +40,14 @@ from repro.utils.rng import derive_seed
 from repro.utils.validation import check_positive_int
 
 __all__ = ["SketchEnsemble", "EnsembleKCover"]
+
+
+def _replica_greedy_job(job: tuple[BipartiteGraph, int, str | None]) -> list[int]:
+    """Greedy on one replica sketch (top-level so process pools can ship it)."""
+    from repro.coverage.bitset import kernel_for
+
+    graph, k, coverage_backend = job
+    return greedy_k_cover(graph, k, kernel=kernel_for(graph, coverage_backend)).selected
 
 
 class SketchEnsemble:
@@ -53,6 +63,18 @@ class SketchEnsemble:
         Master seed; replica ``i`` hashes with an independently derived seed.
     space:
         Optional shared meter; every stored edge of every replica is charged.
+    coverage_backend:
+        Optional packed-bitset kernel backend; :meth:`best_k_cover` then
+        runs each replica's greedy on a kernel of that replica's sketch
+        (identical selections, faster on dense sketches).
+    executor:
+        Executor backend (or prebuilt :class:`~repro.parallel.ParallelMapper`)
+        for :meth:`best_k_cover`'s per-replica greedy runs — the replicas are
+        independent, exactly the fan-out shape of the distributed map phase.
+        ``None`` keeps the serial loop; results are gathered in replica
+        order, so every backend returns the same selection.
+    max_workers:
+        Pool-size cap for the parallel executors.
     """
 
     def __init__(
@@ -62,10 +84,15 @@ class SketchEnsemble:
         *,
         seed: int = 0,
         space: SpaceMeter | None = None,
+        coverage_backend: str | None = None,
+        executor: str | ExecutorBackend | ParallelMapper | None = None,
+        max_workers: int | None = None,
     ) -> None:
         check_positive_int(replicas, "replicas")
         self.params = params
         self.replicas = replicas
+        self.coverage_backend = coverage_backend
+        self.mapper = as_mapper(executor, max_workers)
         self.space = space if space is not None else SpaceMeter(unit="edges")
         self._builders = [
             StreamingSketchBuilder(
@@ -128,13 +155,21 @@ class SketchEnsemble:
     def best_k_cover(self, k: int) -> tuple[list[int], float]:
         """Best-of-R greedy: pick the replica solution with the largest median estimate.
 
+        The per-replica greedy runs are independent, so they fan out over
+        the configured executor; candidates come back in replica order and
+        the first maximal median estimate wins, which keeps the selection
+        identical across serial, thread and process backends.
+
         Returns the chosen set ids and their median estimated coverage.
         """
         check_positive_int(k, "k")
+        candidates = self.mapper.map(
+            _replica_greedy_job,
+            [(sketch.graph, k, self.coverage_backend) for sketch in self.sketches()],
+        )
         best_solution: list[int] = []
         best_estimate = -1.0
-        for sketch in self.sketches():
-            candidate = greedy_k_cover(sketch.graph, k).selected
+        for candidate in candidates:
             estimate = self.estimate_coverage(candidate)
             if estimate > best_estimate:
                 best_solution, best_estimate = candidate, estimate
@@ -148,6 +183,9 @@ class SketchEnsemble:
             "total_edges": sum(s.num_edges for s in sketches),
             "space_peak": self.space.peak,
             "thresholds": [s.threshold for s in sketches],
+            # What the last fan-out actually ran with — ("serial", 1) after
+            # a sandbox fallback — not merely the configured plan.
+            "executor": self.mapper.last_execution[0],
         }
 
 
@@ -172,6 +210,9 @@ class EnsembleKCover:
         mode: str = "scaled",
         scale: float = 1.0,
         seed: int = 0,
+        coverage_backend: str | None = None,
+        executor: str | ExecutorBackend | ParallelMapper | None = None,
+        max_workers: int | None = None,
     ) -> None:
         from repro.core.kcover import default_kcover_params
 
@@ -184,7 +225,15 @@ class EnsembleKCover:
             num_sets, num_elements, k, epsilon, mode=mode, scale=scale
         )
         self.space = SpaceMeter(unit="edges")
-        self.ensemble = SketchEnsemble(self.params, replicas, seed=seed, space=self.space)
+        self.ensemble = SketchEnsemble(
+            self.params,
+            replicas,
+            seed=seed,
+            space=self.space,
+            coverage_backend=coverage_backend,
+            executor=executor,
+            max_workers=max_workers,
+        )
         self._solution: list[int] | None = None
 
     def start_pass(self, pass_index: int) -> None:

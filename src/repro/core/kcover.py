@@ -89,6 +89,13 @@ class StreamingKCover:
         The offline k-cover algorithm run on the sketch.  Defaults to the
         lazy greedy; any α-approximation can be plugged in — Theorem 2.7 is
         exactly the statement that the composition stays ``(α − O(ε))``.
+    coverage_backend:
+        Optional packed-bitset kernel backend name (``"auto"``, ``"bytes"``,
+        ``"words"``; see :mod:`repro.coverage.kernels`).  The default solver
+        then packs a :class:`~repro.coverage.bitset.BitsetCoverage` of the
+        *sketch* and runs the greedy on it — identical selections (the
+        kernels share the greedy's tie-break, property-tested), much faster
+        on dense sketches.  Ignored when an explicit ``solver`` is given.
     """
 
     def __init__(
@@ -105,6 +112,7 @@ class StreamingKCover:
         hash_fn: HashFamily | None = None,
         rank_source: str = "hash",
         solver: Callable[[BipartiteGraph, int], list[int]] | None = None,
+        coverage_backend: str | None = None,
     ) -> None:
         check_positive_int(k, "k")
         check_open_unit(epsilon, "epsilon")
@@ -112,6 +120,7 @@ class StreamingKCover:
         self.arrival_model = "edge"
         self.k = k
         self.epsilon = epsilon
+        self.coverage_backend = coverage_backend
         self.params = params or default_kcover_params(
             num_sets, num_elements, k, epsilon, mode=mode, scale=scale
         )
@@ -123,9 +132,17 @@ class StreamingKCover:
             rank_source=rank_source,
             space=self.space,
         )
-        self._solver = solver or (lambda graph, k_: greedy_k_cover(graph, k_).selected)
+        self._solver = solver or self._kernel_greedy_solver
         self._finished = False
         self._solution: list[int] | None = None
+
+    def _kernel_greedy_solver(self, graph: BipartiteGraph, k: int) -> list[int]:
+        """Default offline phase: greedy on the sketch, kernel-backed on request."""
+        from repro.coverage.bitset import kernel_for
+
+        return greedy_k_cover(
+            graph, k, kernel=kernel_for(graph, self.coverage_backend)
+        ).selected
 
     # ------------------------------------------------------------------ #
     # StreamingAlgorithm protocol
@@ -173,6 +190,8 @@ class StreamingKCover:
     def describe(self) -> dict[str, object]:
         """Diagnostics merged from the builder and the parameters."""
         info: dict[str, object] = {"algorithm": self.name, "k": self.k, "epsilon": self.epsilon}
+        if self.coverage_backend is not None:
+            info["coverage_backend"] = self.coverage_backend
         info.update(self.params.describe())
         info.update(self._builder.describe())
         return info

@@ -65,6 +65,10 @@ class StreamingSetCover:
     allow_partial:
         When the input family does not cover the ground set, return a maximal
         partial cover instead of raising (useful on noisy workloads).
+    coverage_backend:
+        Optional packed-bitset kernel backend, threaded into every
+        iteration's Algorithm 5 instance (each guess's greedy runs on a
+        kernel of its sketch) and into the final residual greedy.
     """
 
     def __init__(
@@ -80,6 +84,7 @@ class StreamingSetCover:
         seed: int = 0,
         max_guesses: int | None = None,
         allow_partial: bool = True,
+        coverage_backend: str | None = None,
     ) -> None:
         check_positive_int(num_sets, "num_sets")
         check_positive_int(num_elements, "num_elements")
@@ -97,6 +102,7 @@ class StreamingSetCover:
         self.seed = seed
         self.max_guesses = max_guesses
         self.allow_partial = allow_partial
+        self.coverage_backend = coverage_backend
         self.outlier_rate = outlier_rate_for_passes(num_elements, rounds)
         self.space = SpaceMeter(unit="edges")
 
@@ -152,6 +158,7 @@ class StreamingSetCover:
                 scale=self.scale,
                 seed=self.seed + 7919 * iteration,
                 max_guesses=self.max_guesses,
+                coverage_backend=self.coverage_backend,
             )
         elif phase == "collect":
             self._residual = BipartiteGraph(self.num_sets)
@@ -188,8 +195,14 @@ class StreamingSetCover:
             self._extend_solution(selection)
             self._current_outliers = None
         elif phase == "collect":
+            from repro.coverage.bitset import kernel_for
+
             assert self._residual is not None
-            result = greedy_set_cover(self._residual, allow_partial=self.allow_partial)
+            result = greedy_set_cover(
+                self._residual,
+                allow_partial=self.allow_partial,
+                kernel=kernel_for(self._residual, self.coverage_backend),
+            )
             self._extend_solution(result.selected)
             self._finalized = True
         self._phase_index += 1

@@ -88,6 +88,9 @@ class GuessChecker:
         Instance dimensions.
     mode, scale, seed, hash_fn:
         Sketch parameterisation, as in :class:`StreamingKCover`.
+    coverage_backend:
+        Optional packed-bitset kernel backend; :meth:`check` then runs its
+        greedy on a kernel of the guess's sketch (identical selections).
     """
 
     def __init__(
@@ -104,6 +107,7 @@ class GuessChecker:
         seed: int = 0,
         hash_fn: HashFamily | None = None,
         space: SpaceMeter | None = None,
+        coverage_backend: str | None = None,
     ) -> None:
         check_positive_int(guess, "guess")
         check_open_unit(epsilon_prime, "epsilon_prime")
@@ -134,6 +138,7 @@ class GuessChecker:
                 scale=scale,
             )
         self.params = params
+        self.coverage_backend = coverage_backend
         self.space = space if space is not None else SpaceMeter(unit="edges")
         self.builder = StreamingSketchBuilder(
             params,
@@ -148,8 +153,14 @@ class GuessChecker:
 
     def check(self) -> GuessOutcome:
         """Run greedy on the sketch and apply the acceptance test (Algorithm 4)."""
+        from repro.coverage.bitset import kernel_for
+
         sketch: CoverageSketch = self.builder.sketch()
-        result = greedy_k_cover(sketch.graph, self.budget_k)
+        result = greedy_k_cover(
+            sketch.graph,
+            self.budget_k,
+            kernel=kernel_for(sketch.graph, self.coverage_backend),
+        )
         fraction = sketch.coverage_fraction(result.selected)
         required = 1.0 - self.lambda_prime - self.epsilon * math.log(1.0 / self.lambda_prime)
         accepted = fraction >= required - 1e-12
@@ -182,6 +193,10 @@ class StreamingSetCoverOutliers:
         ``(1 + ε) log(1/λ)`` times the optimum cover size.
     confidence:
         The paper's ``C`` (success probability ``1 − 1/(Cn)``).
+    coverage_backend:
+        Optional packed-bitset kernel backend; every guess's offline check
+        (greedy on its sketch) then runs kernel-backed — the sketches are
+        where this algorithm spends its offline time, one per guess.
     """
 
     def __init__(
@@ -196,6 +211,7 @@ class StreamingSetCoverOutliers:
         scale: float = 1.0,
         seed: int = 0,
         max_guesses: int | None = None,
+        coverage_backend: str | None = None,
     ) -> None:
         check_positive_int(num_sets, "num_sets")
         check_open_unit(epsilon, "epsilon")
@@ -228,9 +244,11 @@ class StreamingSetCoverOutliers:
                 scale=scale,
                 seed=seed + 1000 * index,
                 space=self.space,
+                coverage_backend=coverage_backend,
             )
             for index, guess in enumerate(guesses)
         ]
+        self.coverage_backend = coverage_backend
         self._outcomes: list[GuessOutcome] | None = None
         self._solution: list[int] | None = None
 

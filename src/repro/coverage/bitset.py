@@ -38,7 +38,21 @@ import numpy as np
 from repro.coverage.bipartite import BipartiteGraph
 from repro.coverage.kernels import KernelBackend, resolve_kernel_backend
 
-__all__ = ["BitsetCoverage"]
+__all__ = ["BitsetCoverage", "kernel_for"]
+
+
+def kernel_for(graph: BipartiteGraph, backend: str | KernelBackend | None) -> "BitsetCoverage | None":
+    """A packed kernel of ``graph``, or ``None`` when no backend is requested.
+
+    The shared guard for solvers whose *offline phase* optionally runs on a
+    kernel (the streaming family packs its sketch, the distributed
+    coordinator its merged sketch): ``backend=None`` keeps the set-based
+    path, and an empty graph skips packing — there is nothing to evaluate,
+    and callers' greedy handles the graph directly.
+    """
+    if backend is None or graph.num_edges == 0:
+        return None
+    return BitsetCoverage(graph, backend=backend)
 
 #: How many stale heap entries the lazy greedy re-evaluates per vectorised
 #: :meth:`BitsetCoverage.gains_for` call.  Small enough that little work is

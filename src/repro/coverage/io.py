@@ -21,7 +21,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Hashable, Iterable, Iterator
+from typing import Hashable, Iterable, Iterator, Sequence
 
 import numpy as np
 
@@ -37,12 +37,19 @@ __all__ = [
     "load_system",
     "ColumnarEdges",
     "write_columnar",
+    "write_columnar_columns",
     "open_columnar",
     "columnar_from_edge_list",
+    "ColumnarSets",
+    "write_columnar_sets",
+    "open_columnar_sets",
 ]
 
 #: Format marker written into every columnar metadata sidecar.
 COLUMNAR_FORMAT = "repro.columnar.v1"
+
+#: Format marker for the CSR set-arrival variant (offsets + members columns).
+COLUMNAR_SETS_FORMAT = "repro.columnar-sets.v1"
 
 
 def write_edge_list(
@@ -215,6 +222,71 @@ def _encode_column(labels: list) -> tuple[np.ndarray, tuple[str, ...] | None]:
     return values, None
 
 
+def _default_dimension(
+    override: int | None,
+    labels: tuple[str, ...] | None,
+    ids: np.ndarray,
+    *,
+    distinct: bool,
+) -> int:
+    """The shared size-defaulting rule for every columnar format.
+
+    An explicit override wins; a vocab's length is authoritative for
+    labelled columns; otherwise integer columns default to the distinct
+    count (element dimensions) or ``max id + 1`` (set dimensions, matching
+    :class:`~repro.streaming.stream.EdgeStream`).
+    """
+    if override is not None:
+        return int(override)
+    if labels is not None:
+        return len(labels)
+    if distinct:
+        return len(np.unique(ids))
+    return int(ids.max()) + 1 if len(ids) else 0
+
+
+def _write_columnar_dir(
+    path: Path, columns: dict[str, np.ndarray], meta: dict
+) -> None:
+    """The one place any columnar directory (columns + meta.json) is written."""
+    path.mkdir(parents=True, exist_ok=True)
+    for name, column in columns.items():
+        np.save(path / f"{name}.npy", column)
+    (path / "meta.json").write_text(json.dumps(meta, indent=2), encoding="utf-8")
+
+
+def _write_edge_payload(
+    path: Path,
+    set_ids: np.ndarray,
+    element_ids: np.ndarray,
+    *,
+    num_sets: int | None,
+    num_elements: int | None,
+    set_labels: tuple[str, ...] | None,
+    element_labels: tuple[str, ...] | None,
+) -> int:
+    """The edge layout, shared by :func:`write_columnar` (label-encoding pair
+    path) and :func:`write_columnar_columns` (whole-array path) so the size
+    defaulting and the metadata schema cannot diverge between them."""
+    _write_columnar_dir(
+        path,
+        {"set_ids": set_ids, "elements": element_ids},
+        {
+            "format": COLUMNAR_FORMAT,
+            "num_edges": len(set_ids),
+            "num_sets": _default_dimension(num_sets, set_labels, set_ids, distinct=False),
+            "num_elements": _default_dimension(
+                num_elements, element_labels, element_ids, distinct=True
+            ),
+            "set_labels": list(set_labels) if set_labels is not None else None,
+            "element_labels": (
+                list(element_labels) if element_labels is not None else None
+            ),
+        },
+    )
+    return len(set_ids)
+
+
 def write_columnar(
     edges: Iterable[tuple[Hashable, Hashable]],
     path: str | Path,
@@ -231,7 +303,6 @@ def write_columnar(
     of distinct elements respectively, matching the conventions of
     :class:`~repro.streaming.stream.EdgeStream`.
     """
-    path = Path(path)
     set_column: list = []
     element_column: list = []
     for set_label, element_label in edges:
@@ -239,29 +310,15 @@ def write_columnar(
         element_column.append(element_label)
     set_ids, set_labels = _encode_column(set_column)
     element_ids, element_labels = _encode_column(element_column)
-    if num_sets is None:
-        if set_labels is not None:
-            num_sets = len(set_labels)
-        else:
-            num_sets = int(set_ids.max()) + 1 if len(set_ids) else 0
-    if num_elements is None:
-        if element_labels is not None:
-            num_elements = len(element_labels)
-        else:
-            num_elements = len(np.unique(element_ids))
-    path.mkdir(parents=True, exist_ok=True)
-    np.save(path / "set_ids.npy", set_ids)
-    np.save(path / "elements.npy", element_ids)
-    meta = {
-        "format": COLUMNAR_FORMAT,
-        "num_edges": len(set_ids),
-        "num_sets": int(num_sets),
-        "num_elements": int(num_elements),
-        "set_labels": list(set_labels) if set_labels is not None else None,
-        "element_labels": list(element_labels) if element_labels is not None else None,
-    }
-    (path / "meta.json").write_text(json.dumps(meta, indent=2), encoding="utf-8")
-    return len(set_ids)
+    return _write_edge_payload(
+        Path(path),
+        set_ids,
+        element_ids,
+        num_sets=num_sets,
+        num_elements=num_elements,
+        set_labels=set_labels,
+        element_labels=element_labels,
+    )
 
 
 def open_columnar(path: str | Path) -> ColumnarEdges:
@@ -301,3 +358,184 @@ def columnar_from_edge_list(
 ) -> int:
     """Convert a text edge list into the columnar format; return the count."""
     return write_columnar(read_edge_list(source, sep=sep), destination)
+
+
+def write_columnar_columns(
+    set_ids: np.ndarray,
+    elements: np.ndarray,
+    path: str | Path,
+    *,
+    num_sets: int | None = None,
+    num_elements: int | None = None,
+) -> int:
+    """Write already-columnar integer edge data without per-edge Python objects.
+
+    The whole-array twin of :func:`write_columnar` for workloads that are
+    born as numpy columns (generators, shard dumps, benchmarks at the tens-
+    of-millions-of-edges scale where a per-pair loop would dominate).  Both
+    columns are cast to ``uint64`` and written in the same
+    :data:`COLUMNAR_FORMAT` layout :func:`open_columnar` reads.
+    """
+    columns_in = {"set_ids": np.asarray(set_ids), "elements": np.asarray(elements)}
+    for name, column in columns_in.items():
+        if column.dtype.kind not in "iu":
+            raise ValueError(
+                f"{name} must be an integer column, got dtype {column.dtype}"
+            )
+        # An unsafe cast would silently wrap negatives to astronomical
+        # uint64 ids (and num_sets/num_elements metadata); fail instead.
+        if column.dtype.kind == "i" and len(column) and int(column.min()) < 0:
+            raise ValueError(f"{name} contains negative ids")
+    set_column = np.ascontiguousarray(columns_in["set_ids"], dtype=np.uint64)
+    element_column = np.ascontiguousarray(columns_in["elements"], dtype=np.uint64)
+    if set_column.ndim != 1 or set_column.shape != element_column.shape:
+        raise ValueError(
+            "set_ids and elements must be equal-length one-dimensional columns"
+        )
+    return _write_edge_payload(
+        Path(path),
+        set_column,
+        element_column,
+        num_sets=num_sets,
+        num_elements=num_elements,
+        set_labels=None,
+        element_labels=None,
+    )
+
+
+# --------------------------------------------------------------------- #
+# columnar (memory-mapped) CSR set-arrival storage
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ColumnarSets:
+    """Memory-mapped CSR view of a set family (the set-arrival twin of
+    :class:`ColumnarEdges`).
+
+    ``set_ids[j]`` is the ``j``-th stored set and its members are
+    ``members[offsets[j]:offsets[j+1]]`` — the exact layout of a set-layout
+    :class:`~repro.streaming.batches.EventBatch`, so
+    :meth:`repro.streaming.stream.SetStream.from_columnar` can slice batches
+    straight off the mapped columns.  When the source labels were not
+    integers, ``set_labels`` / ``element_labels`` hold the vocab.
+    """
+
+    set_ids: np.ndarray
+    offsets: np.ndarray
+    members: np.ndarray
+    num_sets: int
+    num_elements: int
+    set_labels: tuple[str, ...] | None = None
+    element_labels: tuple[str, ...] | None = None
+    path: Path | None = None
+
+    @property
+    def num_stored_sets(self) -> int:
+        """Number of set arrivals stored (one CSR row each)."""
+        return len(self.set_ids)
+
+    @property
+    def num_memberships(self) -> int:
+        """Total number of (set, element) memberships stored."""
+        return len(self.members)
+
+    def sets(self) -> Iterator[tuple[int, list[int]]]:
+        """Yield ``(set_id, members)`` integer pairs, in stored order."""
+        bounds = self.offsets.tolist()
+        ids = self.set_ids.tolist()
+        for row, set_id in enumerate(ids):
+            yield set_id, self.members[bounds[row] : bounds[row + 1]].tolist()
+
+    def to_graph(self) -> BipartiteGraph:
+        """Materialise the family as a :class:`BipartiteGraph` (evaluation view)."""
+        graph = BipartiteGraph(max(1, self.num_sets))
+        for set_id, members in self.sets():
+            for element in members:
+                graph.add_edge(set_id, element)
+        return graph
+
+
+def write_columnar_sets(
+    sets: Iterable[tuple[Hashable, Sequence[Hashable]]],
+    path: str | Path,
+    *,
+    num_sets: int | None = None,
+    num_elements: int | None = None,
+) -> int:
+    """Write ``(set, members)`` pairs as a CSR columnar directory.
+
+    ``path`` becomes a directory holding ``set_ids.npy`` / ``members.npy``
+    (``uint64`` columns) and ``offsets.npy`` (``int64``, one row per stored
+    set plus the closing bound) alongside ``meta.json``.  Labels follow the
+    same convention as :func:`write_columnar`: integer labels are kept
+    verbatim, anything else gets a first-seen vocab.  Returns the number of
+    memberships written.
+    """
+    path = Path(path)
+    set_column: list = []
+    member_column: list = []
+    lengths: list[int] = []
+    for set_label, members in sets:
+        members = list(members)
+        set_column.append(set_label)
+        member_column.extend(members)
+        lengths.append(len(members))
+    set_ids, set_labels = _encode_column(set_column)
+    member_ids, element_labels = _encode_column(member_column)
+    offsets = np.zeros(len(set_column) + 1, dtype=np.int64)
+    np.cumsum(np.asarray(lengths, dtype=np.int64), out=offsets[1:])
+    _write_columnar_dir(
+        path,
+        {"set_ids": set_ids, "offsets": offsets, "members": member_ids},
+        {
+            "format": COLUMNAR_SETS_FORMAT,
+            "num_stored_sets": len(set_ids),
+            "num_memberships": len(member_ids),
+            "num_sets": _default_dimension(num_sets, set_labels, set_ids, distinct=False),
+            "num_elements": _default_dimension(
+                num_elements, element_labels, member_ids, distinct=True
+            ),
+            "set_labels": list(set_labels) if set_labels is not None else None,
+            "element_labels": (
+                list(element_labels) if element_labels is not None else None
+            ),
+        },
+    )
+    return len(member_ids)
+
+
+def open_columnar_sets(path: str | Path) -> ColumnarSets:
+    """Open a CSR set directory with the columns memory-mapped read-only."""
+    path = Path(path)
+    meta_path = path / "meta.json"
+    if not meta_path.is_file():
+        raise ValueError(f"{path} is not a columnar set directory (no meta.json)")
+    meta = json.loads(meta_path.read_text(encoding="utf-8"))
+    if meta.get("format") != COLUMNAR_SETS_FORMAT:
+        raise ValueError(f"{path} is not a {COLUMNAR_SETS_FORMAT} directory")
+    set_ids = np.load(path / "set_ids.npy", mmap_mode="r" if meta["num_stored_sets"] else None)
+    offsets = np.load(path / "offsets.npy")
+    members = np.load(path / "members.npy", mmap_mode="r" if meta["num_memberships"] else None)
+    if len(set_ids) != meta["num_stored_sets"] or len(members) != meta["num_memberships"]:
+        raise ValueError(
+            f"{path}: column lengths ({len(set_ids)} sets, {len(members)} members) "
+            f"do not match meta ({meta['num_stored_sets']}, {meta['num_memberships']})"
+        )
+    if len(offsets) != len(set_ids) + 1 or (len(offsets) and offsets[-1] != len(members)):
+        raise ValueError(f"{path}: offsets column is inconsistent with the member column")
+    if len(offsets) and (offsets[0] != 0 or bool(np.any(np.diff(offsets) < 0))):
+        raise ValueError(
+            f"{path}: offsets must start at 0 and be non-decreasing "
+            "(corrupt CSR row bounds would silently yield wrong families)"
+        )
+    set_labels = meta.get("set_labels")
+    element_labels = meta.get("element_labels")
+    return ColumnarSets(
+        set_ids=set_ids,
+        offsets=offsets,
+        members=members,
+        num_sets=int(meta["num_sets"]),
+        num_elements=int(meta["num_elements"]),
+        set_labels=tuple(set_labels) if set_labels is not None else None,
+        element_labels=tuple(element_labels) if element_labels is not None else None,
+        path=path,
+    )

@@ -28,9 +28,12 @@ from repro.distributed.partition import (
 )
 from repro.distributed.worker import (
     DEFAULT_MAP_BATCH,
+    ColumnarSliceJob,
+    MachineShardJob,
     MachineSketch,
     build_all_machine_sketches,
     build_machine_sketch,
+    execute_map_job,
 )
 
 __all__ = [
@@ -44,6 +47,9 @@ __all__ = [
     "shard_sizes",
     "DEFAULT_MAP_BATCH",
     "MachineSketch",
+    "MachineShardJob",
+    "ColumnarSliceJob",
+    "execute_map_job",
     "build_all_machine_sketches",
     "build_machine_sketch",
 ]

@@ -45,10 +45,13 @@ from repro.core.streaming_sketch import StreamingSketchBuilder
 from repro.distributed.partition import EdgePartitioner, row_range_bounds
 from repro.distributed.worker import (
     DEFAULT_MAP_BATCH,
+    ColumnarSliceJob,
+    MachineShardJob,
     MachineSketch,
-    build_all_machine_sketches,
+    execute_map_job,
 )
 from repro.offline.greedy import greedy_k_cover
+from repro.parallel import ExecutorBackend, ParallelMapper, as_mapper
 from repro.streaming.batches import EventBatch
 from repro.streaming.stream import EdgeStream
 from repro.utils.validation import check_positive_int
@@ -169,6 +172,8 @@ class DistributedRunReport:
     communication_edges: int = 0
     merged_threshold: float = 1.0
     coverage_backend: str | None = None
+    executor: str = "serial"
+    map_workers: int = 1
 
     @property
     def max_machine_load(self) -> int:
@@ -211,6 +216,8 @@ class DistributedRunReport:
             "communication_edges": self.communication_edges,
             "merged_threshold": self.merged_threshold,
             "coverage_backend": self.coverage_backend or "-",
+            "executor": self.executor,
+            "map_workers": self.map_workers,
         }
 
 
@@ -235,6 +242,16 @@ class DistributedKCover:
         from the merged sketch (same selections, faster on dense merges).
     batch_size:
         Map-phase batch size for the columnar paths.
+    executor:
+        Executor backend for the map phase (``"serial"``, ``"thread"``,
+        ``"process"``, ``"auto"``, an
+        :class:`~repro.parallel.ExecutorBackend` or a prebuilt
+        :class:`~repro.parallel.ParallelMapper`); ``None`` keeps the serial
+        loop.  Machine sketches are gathered in machine order, so every
+        backend produces byte-identical runs (property-tested).
+    max_workers:
+        Pool-size cap for the parallel executors (defaults to the usable
+        CPU count).
     """
 
     def __init__(
@@ -252,6 +269,8 @@ class DistributedKCover:
         seed: int = 0,
         coverage_backend: str | None = None,
         batch_size: int = DEFAULT_MAP_BATCH,
+        executor: str | ExecutorBackend | ParallelMapper | None = None,
+        max_workers: int | None = None,
     ) -> None:
         from repro.core.kcover import default_kcover_params
 
@@ -267,6 +286,7 @@ class DistributedKCover:
         self.seed = seed
         self.coverage_backend = coverage_backend
         self.batch_size = batch_size
+        self.mapper = as_mapper(executor, max_workers)
         self.params = params or default_kcover_params(
             num_sets, num_elements, k, epsilon, mode=mode, scale=scale
         )
@@ -296,6 +316,18 @@ class DistributedKCover:
         sub-batch goes through its sketch builder's native ``process_batch``,
         and no per-edge Python objects are created anywhere.  ``total_edges``
         is only needed by the ``row_range`` strategy.
+
+        With a parallel executor the sub-batches are first collected per
+        machine and then fanned out as one
+        :class:`~repro.distributed.worker.MachineShardJob` per machine —
+        batch boundaries do not change a builder's final state (property-
+        tested), so the collected feed is byte-identical to the serial
+        incremental one.  Collection holds the whole pass's columns in
+        coordinator memory (and the process backend additionally pickles
+        each shard to its child), where the serial loop holds one batch at
+        a time — the parallel win costs ``O(total_edges)`` resident.  For
+        on-disk workloads prefer ``strategy="row_range"`` with
+        :meth:`run_from_columnar`, whose jobs ship no edge data at all.
         """
         partitioner = EdgePartitioner(
             self.num_machines,
@@ -303,6 +335,8 @@ class DistributedKCover:
             seed=self.seed,
             total_edges=total_edges,
         )
+        if not self.mapper.is_serial:
+            return self._run_batched_parallel(batches, partitioner)
         builders = [
             StreamingSketchBuilder(self.params, hash_fn=UniformHash(self.seed))
             for _ in range(self.num_machines)
@@ -326,6 +360,42 @@ class DistributedKCover:
             )
         return self._reduce(machine_sketches, shard_edges)
 
+    def _run_batched_parallel(
+        self, batches: Iterable[EventBatch], partitioner: EdgePartitioner
+    ) -> DistributedRunReport:
+        """Route every batch, then fan the collected shards over the executor."""
+        chunks: list[list[tuple[np.ndarray, np.ndarray]]] = [
+            [] for _ in range(self.num_machines)
+        ]
+        for batch in batches:
+            for machine, sub in enumerate(partitioner.split(batch)):
+                if len(sub):
+                    chunks[machine].append((sub.set_ids, sub.elements))
+        jobs = []
+        for machine_id, parts in enumerate(chunks):
+            if parts:
+                set_ids = np.concatenate([p[0] for p in parts])
+                elements = np.concatenate([p[1] for p in parts])
+            else:
+                set_ids = np.empty(0, dtype=np.uint64)
+                elements = np.empty(0, dtype=np.uint64)
+            jobs.append(
+                MachineShardJob(
+                    machine_id=machine_id,
+                    set_ids=set_ids,
+                    elements=elements,
+                    params=self.params,
+                    hash_seed=self.seed,
+                    batch_size=self.batch_size,
+                    num_sets=self.params.num_sets,
+                )
+            )
+        machine_sketches = self._map_jobs(jobs)
+        shard_edges = [len(job.set_ids) for job in jobs]
+        return self._reduce(
+            machine_sketches, shard_edges, execution=self.mapper.last_execution
+        )
+
     def run_from_columnar(self, source) -> DistributedRunReport:
         """Execute the rounds straight off a columnar directory (or view).
 
@@ -337,6 +407,14 @@ class DistributedKCover:
         every other strategy streams the file once through the batched
         router.  Results are byte-identical to :meth:`run` on the same edges
         in file order.
+
+        Under a process executor the ``row_range`` map phase ships
+        :class:`~repro.distributed.worker.ColumnarSliceJob` descriptions —
+        path plus row bounds — and every child re-opens (memory-maps) the
+        directory itself, so no edge data is ever pickled.  The other
+        strategies route through :meth:`run_batched`, which under a
+        parallel executor buffers the routed shards in memory first (see
+        there); ``row_range`` is the strategy built for this path.
         """
         from repro.coverage.io import ColumnarEdges, open_columnar
 
@@ -347,38 +425,76 @@ class DistributedKCover:
                 stream.iter_batches(self.batch_size), total_edges=stream.num_events
             )
         bounds = row_range_bounds(columns.num_edges, self.num_machines)
-        shards = [
-            EdgeStream(
-                columns=(
-                    columns.set_ids[bounds[i] : bounds[i + 1]],
-                    columns.elements[bounds[i] : bounds[i + 1]],
-                ),
-                num_sets=max(1, columns.num_sets),
-                num_elements_hint=columns.num_elements,
-                order="given",
-            )
-            for i in range(self.num_machines)
-        ]
-        machine_sketches = build_all_machine_sketches(
-            shards, self.params, hash_seed=self.seed, batch_size=self.batch_size
+        ship_paths = (
+            self.mapper.backend.requires_pickling and columns.path is not None
         )
+        jobs: list[MachineShardJob | ColumnarSliceJob] = []
+        for i in range(self.num_machines):
+            if ship_paths:
+                jobs.append(
+                    ColumnarSliceJob(
+                        machine_id=i,
+                        path=str(columns.path),
+                        row_start=int(bounds[i]),
+                        row_stop=int(bounds[i + 1]),
+                        params=self.params,
+                        hash_seed=self.seed,
+                        batch_size=self.batch_size,
+                    )
+                )
+            else:
+                jobs.append(
+                    MachineShardJob(
+                        machine_id=i,
+                        set_ids=columns.set_ids[bounds[i] : bounds[i + 1]],
+                        elements=columns.elements[bounds[i] : bounds[i + 1]],
+                        params=self.params,
+                        hash_seed=self.seed,
+                        batch_size=self.batch_size,
+                        num_sets=max(1, columns.num_sets),
+                        num_elements_hint=columns.num_elements,
+                    )
+                )
+        machine_sketches = self._map_jobs(jobs)
         shard_edges = [int(bounds[i + 1] - bounds[i]) for i in range(self.num_machines)]
-        return self._reduce(machine_sketches, shard_edges)
+        return self._reduce(
+            machine_sketches, shard_edges, execution=self.mapper.last_execution
+        )
+
+    # ------------------------------------------------------------------ #
+    # round 1: map (executor fan-out)
+    # ------------------------------------------------------------------ #
+    def _map_jobs(
+        self, jobs: Sequence[MachineShardJob | ColumnarSliceJob]
+    ) -> list[MachineSketch]:
+        """Fan the map jobs over the executor; gather in machine-id order.
+
+        The mapper already returns results in input order; the explicit sort
+        re-asserts the invariant the merge depends on, so a future unordered
+        gather cannot silently reorder shards.  After the call,
+        ``self.mapper.last_execution`` says what actually ran (the sandbox
+        fallback degrades to serial), and the report records that truth.
+        """
+        machine_sketches = self.mapper.map(execute_map_job, jobs)
+        machine_sketches.sort(key=lambda ms: ms.machine_id)
+        return machine_sketches
 
     # ------------------------------------------------------------------ #
     # round 2: reduce
     # ------------------------------------------------------------------ #
     def _reduce(
-        self, machine_sketches: list[MachineSketch], shard_edges: list[int]
+        self,
+        machine_sketches: list[MachineSketch],
+        shard_edges: list[int],
+        *,
+        execution: tuple[str, int] | None = None,
     ) -> DistributedRunReport:
         merged = merge_machine_sketches(
             machine_sketches, self.params, hash_seed=self.seed
         )
-        kernel = None
-        if self.coverage_backend is not None and merged.num_edges:
-            from repro.coverage.bitset import BitsetCoverage
+        from repro.coverage.bitset import kernel_for
 
-            kernel = BitsetCoverage(merged.graph, backend=self.coverage_backend)
+        kernel = kernel_for(merged.graph, self.coverage_backend)
         solution = greedy_k_cover(merged.graph, self.k, kernel=kernel).selected
         return DistributedRunReport(
             solution=solution,
@@ -392,4 +508,6 @@ class DistributedKCover:
             communication_edges=sum(ms.edges_stored for ms in machine_sketches),
             merged_threshold=merged.threshold,
             coverage_backend=kernel.backend.name if kernel is not None else None,
+            executor=execution[0] if execution else self.mapper.backend.name,
+            map_workers=execution[1] if execution else 1,
         )

@@ -16,12 +16,29 @@ A shard can be fed to a worker in any of three shapes:
 * an :class:`~repro.streaming.stream.EdgeStream` — one pass is consumed as
   columnar batches, so a memory-mapped columnar slice flows from disk pages
   into the sketch with no per-edge Python objects anywhere.
+
+Job protocol
+------------
+For the :mod:`repro.parallel` executor runtime the map phase is additionally
+expressed as picklable *jobs*: small frozen dataclasses describing one
+machine's work, executed by the top-level :func:`execute_map_job` (top-level
+so :class:`~concurrent.futures.ProcessPoolExecutor` can pickle it by
+reference).  A :class:`ColumnarSliceJob` carries only a columnar directory
+path, the machine's row bounds and the sketch parameters — the child process
+re-opens (memory-maps) the directory itself and maps its own slice, so **no
+edge data ever crosses the process boundary**.  A :class:`MachineShardJob`
+carries the shard's edge columns directly, for shards that only exist in
+memory (thread/serial backends read them zero-copy; the process backend
+pickles them, which is correct but pays the transfer).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Iterable, Sequence
+
+import numpy as np
 
 from repro.core.hashing import UniformHash
 from repro.core.params import SketchParams
@@ -34,6 +51,9 @@ from repro.streaming.stream import EdgeStream
 __all__ = [
     "DEFAULT_MAP_BATCH",
     "MachineSketch",
+    "MachineShardJob",
+    "ColumnarSliceJob",
+    "execute_map_job",
     "build_machine_sketch",
     "build_all_machine_sketches",
 ]
@@ -123,10 +143,108 @@ def build_all_machine_sketches(
     hash_seed: int = 0,
     batch_size: int = DEFAULT_MAP_BATCH,
 ) -> list[MachineSketch]:
-    """Build every machine's sketch (sequentially — the shards are independent)."""
+    """Build every machine's sketch (sequentially — the shards are independent).
+
+    For multi-core execution, express the shards as jobs and fan them out
+    with a :class:`repro.parallel.ParallelMapper` over
+    :func:`execute_map_job` instead.
+    """
     return [
         build_machine_sketch(
             machine_id, shard, params, hash_seed=hash_seed, batch_size=batch_size
         )
         for machine_id, shard in enumerate(shards)
     ]
+
+
+# --------------------------------------------------------------------- #
+# picklable map jobs (the repro.parallel executor protocol)
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class MachineShardJob:
+    """One machine's shard, carried as in-memory edge columns.
+
+    ``set_ids`` / ``elements`` are the shard's parallel ``uint64`` columns in
+    arrival order.  Serial and thread backends read them zero-copy; the
+    process backend pickles them (prefer :class:`ColumnarSliceJob` when the
+    shard lives in a columnar directory).
+    """
+
+    machine_id: int
+    set_ids: np.ndarray
+    elements: np.ndarray
+    params: SketchParams
+    hash_seed: int = 0
+    batch_size: int = DEFAULT_MAP_BATCH
+    num_sets: int = 1
+    num_elements_hint: int | None = None
+
+    def run(self) -> MachineSketch:
+        """Map this shard into its machine sketch."""
+        stream = EdgeStream(
+            columns=(self.set_ids, self.elements),
+            num_sets=max(1, self.num_sets),
+            num_elements_hint=self.num_elements_hint,
+            order="given",
+        )
+        return build_machine_sketch(
+            self.machine_id,
+            stream,
+            self.params,
+            hash_seed=self.hash_seed,
+            batch_size=self.batch_size,
+        )
+
+
+@dataclass(frozen=True)
+class ColumnarSliceJob:
+    """One machine's contiguous row slice of an on-disk columnar directory.
+
+    Only the path, the row bounds and the sketch parameters are pickled; the
+    executing process re-opens (memory-maps) the directory itself and maps
+    its own slice, so a process-backend map phase ships **zero edge data**.
+    """
+
+    machine_id: int
+    path: str
+    row_start: int
+    row_stop: int
+    params: SketchParams
+    hash_seed: int = 0
+    batch_size: int = DEFAULT_MAP_BATCH
+
+    def run(self) -> MachineSketch:
+        """Re-open the columnar directory and map this job's row slice."""
+        from repro.coverage.io import open_columnar
+
+        columns = open_columnar(Path(self.path))
+        if not 0 <= self.row_start <= self.row_stop <= columns.num_edges:
+            raise ValueError(
+                f"row slice [{self.row_start}, {self.row_stop}) is out of bounds "
+                f"for {columns.num_edges} edges in {self.path}"
+            )
+        stream = EdgeStream(
+            columns=(
+                columns.set_ids[self.row_start : self.row_stop],
+                columns.elements[self.row_start : self.row_stop],
+            ),
+            num_sets=max(1, columns.num_sets),
+            num_elements_hint=columns.num_elements,
+            order="given",
+        )
+        return build_machine_sketch(
+            self.machine_id,
+            stream,
+            self.params,
+            hash_seed=self.hash_seed,
+            batch_size=self.batch_size,
+        )
+
+
+#: Any picklable description of one machine's map work.
+MapJob = MachineShardJob | ColumnarSliceJob
+
+
+def execute_map_job(job: MapJob) -> MachineSketch:
+    """Run one map job (top-level, so process pools can pickle it by name)."""
+    return job.run()

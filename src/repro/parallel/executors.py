@@ -1,0 +1,172 @@
+"""Pluggable executor backends for fanning independent jobs over real cores.
+
+The paper's distributed map phase is embarrassingly parallel: every machine
+sketches its own shard with a shared hash function and never talks to the
+others until the reduce.  Simulating the machines sequentially therefore
+leaves real hardware on the table.  An :class:`ExecutorBackend` encapsulates
+*how* a list of independent jobs is mapped:
+
+* ``"serial"`` — a plain comprehension in the calling thread.  Zero overhead
+  and no pickling requirements; the default, and the reference semantics the
+  other backends must match result-for-result.
+* ``"thread"`` — a :class:`concurrent.futures.ThreadPoolExecutor`.  No
+  pickling, shared memory; pays off when the jobs release the GIL (large
+  vectorised batches do, pure-Python admission loops do not).
+* ``"process"`` — a :class:`concurrent.futures.ProcessPoolExecutor`.  True
+  multi-core parallelism; jobs and results must be picklable, so the
+  distributed map phase ships *descriptions* of work (a columnar path plus
+  row bounds) instead of edge data.
+* ``"auto"`` — resolves to ``"process"`` when more than one CPU is usable
+  and to ``"serial"`` otherwise.
+
+Backends register by name in a :class:`~repro.utils.registry.NamedRegistry`,
+mirroring :mod:`repro.coverage.kernels`: an accelerator- or cluster-backed
+executor can plug in with :func:`register_executor` and immediately be
+selectable through ``DistributedKCover(executor=...)``,
+``ProblemSpec.executor`` and the CLI's ``--executor``.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import SpecError
+from repro.utils.registry import NamedRegistry
+
+__all__ = [
+    "ExecutorBackend",
+    "register_executor",
+    "unregister_executor",
+    "get_executor",
+    "resolve_executor",
+    "list_executors",
+    "executor_choices",
+    "usable_cpus",
+]
+
+
+def usable_cpus() -> int:
+    """Number of CPUs the current process may actually run on (at least 1).
+
+    Prefers the scheduling affinity mask (what a cgroup/container grants)
+    over the raw core count, so ``auto`` selection and default worker counts
+    respect CPU quotas.
+    """
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return max(1, os.cpu_count() or 1)
+
+
+@dataclass(frozen=True)
+class ExecutorBackend:
+    """One strategy for mapping independent jobs.
+
+    Attributes
+    ----------
+    name:
+        Registry key (``"serial"``, ``"thread"``, ``"process"``, ...).
+    parallel:
+        Whether the backend can overlap jobs at all (``False`` for serial;
+        used by callers to skip fan-out set-up costs).
+    requires_pickling:
+        Whether jobs and results cross a process boundary; callers use this
+        to choose a zero-copy job encoding (e.g. path + row bounds instead
+        of edge columns).
+    summary:
+        One-line description for tables and diagnostics.
+    make_pool:
+        ``max_workers -> Executor`` factory, or ``None`` for backends that
+        run inline (serial).  Pools are created per :meth:`ParallelMapper.map
+        <repro.parallel.mapper.ParallelMapper.map>` call and always closed.
+    """
+
+    name: str
+    parallel: bool
+    requires_pickling: bool
+    summary: str
+    make_pool: Callable[[int], Executor] | None
+
+
+_REGISTRY: NamedRegistry[ExecutorBackend] = NamedRegistry(
+    "executor backend", SpecError, "repro.parallel.list_executors()"
+)
+
+
+def register_executor(backend: ExecutorBackend) -> ExecutorBackend:
+    """Register a backend under its name; duplicates raise :class:`SpecError`."""
+    if backend.name == "auto":
+        raise SpecError("'auto' is reserved for executor auto-selection")
+    _REGISTRY.add(backend.name, backend)
+    return backend
+
+
+def unregister_executor(name: str) -> None:
+    """Remove a registered backend (mainly for tests and plugins)."""
+    _REGISTRY.remove(name)
+
+
+def get_executor(name: str) -> ExecutorBackend:
+    """Look up a backend by exact name (``"auto"`` is not a concrete backend)."""
+    return _REGISTRY.get(name)
+
+
+def list_executors() -> list[str]:
+    """Sorted names of the registered backends (excluding ``"auto"``)."""
+    return _REGISTRY.names()
+
+
+def resolve_executor(executor: str | ExecutorBackend | None = "auto") -> ExecutorBackend:
+    """Resolve a backend name (or pass an instance through).
+
+    ``None`` and ``"serial"`` both resolve to the serial backend; ``"auto"``
+    picks the process backend when more than one CPU is usable and the
+    serial backend otherwise (a single core cannot overlap CPU-bound map
+    jobs, so the fan-out overhead would be pure loss).
+    """
+    if isinstance(executor, ExecutorBackend):
+        return executor
+    if executor is None:
+        return get_executor("serial")
+    if executor == "auto":
+        return get_executor("process" if usable_cpus() > 1 else "serial")
+    return get_executor(executor)
+
+
+register_executor(
+    ExecutorBackend(
+        name="serial",
+        parallel=False,
+        requires_pickling=False,
+        summary="in-thread loop (zero overhead, the reference semantics)",
+        make_pool=None,
+    )
+)
+
+register_executor(
+    ExecutorBackend(
+        name="thread",
+        parallel=True,
+        requires_pickling=False,
+        summary="ThreadPoolExecutor (shared memory; overlaps GIL-releasing work)",
+        make_pool=lambda max_workers: ThreadPoolExecutor(max_workers=max_workers),
+    )
+)
+
+register_executor(
+    ExecutorBackend(
+        name="process",
+        parallel=True,
+        requires_pickling=True,
+        summary="ProcessPoolExecutor (real cores; jobs/results must pickle)",
+        make_pool=lambda max_workers: ProcessPoolExecutor(max_workers=max_workers),
+    )
+)
+
+
+def executor_choices() -> tuple[str, ...]:
+    """Valid values for user-facing executor options (CLI, specs)."""
+    return ("auto", *list_executors())

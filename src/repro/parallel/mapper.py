@@ -1,0 +1,171 @@
+"""Deterministic fan-out/gather of independent jobs over an executor backend.
+
+:class:`ParallelMapper` is the one object the rest of the library talks to
+when it wants work spread over cores: the distributed map phase hands it one
+job per machine, the sketch ensemble hands it one greedy run per replica,
+and the benchmark sweeps hand it one configuration per row.  Whatever the
+backend, :meth:`ParallelMapper.map` returns results **in input order** —
+job ``i``'s result sits at index ``i`` — so callers that merge results
+(e.g. :func:`repro.distributed.coordinator.merge_machine_sketches`) see
+exactly the sequence a serial loop would have produced and stay
+byte-identical across backends.
+
+Robustness: pool creation can fail in restricted sandboxes (no ``/dev/shm``,
+seccomp-filtered ``fork``); the mapper degrades to the serial loop in that
+case rather than crashing, because every backend computes the same results.
+Job *exceptions* are never swallowed — they propagate to the caller exactly
+as the serial loop would raise them.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import BrokenExecutor
+from typing import Any, Callable, Iterable, TypeVar
+
+from repro.parallel.executors import ExecutorBackend, resolve_executor, usable_cpus
+from repro.utils.validation import check_positive_int
+
+__all__ = ["ParallelMapper", "as_mapper"]
+
+Job = TypeVar("Job")
+Result = TypeVar("Result")
+
+
+class ParallelMapper:
+    """Maps a function over independent jobs through an executor backend.
+
+    Parameters
+    ----------
+    executor:
+        A backend name (``"serial"``, ``"thread"``, ``"process"``),
+        ``"auto"`` (process when more than one CPU is usable), ``None``
+        (serial) or an :class:`~repro.parallel.executors.ExecutorBackend`
+        instance.  ``None`` *with* an explicit ``max_workers`` resolves to
+        ``"auto"`` — asking for a worker count is asking for parallelism,
+        and the serial backend has no pool to cap, so every layer
+        (``DistributedKCover``, ``ProblemSpec.map_workers``, ``solve()``,
+        the CLI) honours a bare worker count the same way instead of
+        silently running serial.
+    max_workers:
+        Pool size cap for the parallel backends; defaults to
+        :func:`~repro.parallel.executors.usable_cpus`.  The effective pool
+        never exceeds the number of jobs.
+    """
+
+    def __init__(
+        self,
+        executor: str | ExecutorBackend | None = "auto",
+        *,
+        max_workers: int | None = None,
+    ) -> None:
+        if max_workers is not None:
+            check_positive_int(max_workers, "max_workers")
+            if executor is None:
+                executor = "auto"
+        self.backend = resolve_executor(executor)
+        self.max_workers = max_workers
+        #: What the most recent :meth:`map` call actually executed with —
+        #: ``(backend name, pool size)``.  Differs from the configured
+        #: backend only when the sandbox fallback had to run the jobs
+        #: serially, so reports can record the truth instead of the plan.
+        self.last_execution: tuple[str, int] = (self.backend.name, 1)
+
+    @property
+    def is_serial(self) -> bool:
+        """Whether jobs run inline (no fan-out set-up cost, no pickling)."""
+        return not self.backend.parallel
+
+    def workers_for(self, num_jobs: int) -> int:
+        """The pool size :meth:`map` would use for ``num_jobs`` jobs.
+
+        ``min(max_workers, num_jobs)`` — an explicit ``max_workers`` is an
+        operator override and is deliberately *not* clamped to
+        :func:`usable_cpus` (oversubscription is legitimate for IO-heavy
+        jobs); only the default derives from the CPU quota.
+        """
+        if self.is_serial or num_jobs <= 1:
+            return 1
+        limit = self.max_workers if self.max_workers is not None else usable_cpus()
+        return max(1, min(limit, num_jobs))
+
+    def map(self, fn: Callable[[Job], Result], jobs: Iterable[Job]) -> list[Result]:
+        """Apply ``fn`` to every job; results come back in input order.
+
+        The serial backend (and any degenerate pool of one worker) runs the
+        plain loop.  Parallel backends submit every job up front and gather
+        by future — submission order, not completion order — so the returned
+        list is independent of scheduling.
+
+        A backend whose pool cannot be used in the current environment falls
+        back to the serial loop.  Workers are spawned lazily, so the guard
+        covers construction *and* submission (a seccomp-blocked ``fork``
+        surfaces as ``OSError``/``RuntimeError`` from ``submit``, not from
+        the constructor) plus :class:`BrokenExecutor` from the gather (a
+        worker killed by the environment).  Exceptions raised by a *job*
+        come out of ``future.result()`` with their own types and propagate
+        untouched — never swallowed, never retried.  Jobs are pure
+        descriptions of work, so the serial retry after a pool-level
+        failure recomputes, never double-applies.  ``last_execution``
+        records what actually ran — ``("serial", 1)`` after a fallback —
+        so callers report the truth, not the plan.
+        """
+        jobs = list(jobs)
+        workers = self.workers_for(len(jobs))
+        if workers == 1 or self.backend.make_pool is None:
+            self.last_execution = (self.backend.name, 1)
+            return [fn(job) for job in jobs]
+        self.last_execution = (self.backend.name, workers)
+        try:
+            pool = self.backend.make_pool(workers)
+        except OSError:  # pragma: no cover - sandbox fallback
+            return self._fallback(fn, jobs)
+        # On a pool-level failure, fall through WITHOUT rescuing yet: the
+        # finally clause first drains/cancels everything already submitted,
+        # so the serial rescue below never runs concurrently with a
+        # half-finished pool job.
+        try:
+            try:
+                futures = [pool.submit(fn, job) for job in jobs]
+            except (OSError, RuntimeError, BrokenExecutor):
+                pass  # pragma: no cover - worker spawn blocked at submit
+            else:
+                try:
+                    return [future.result() for future in futures]
+                except BrokenExecutor:  # pragma: no cover - pool died mid-run
+                    pass
+        finally:
+            pool.shutdown(wait=True, cancel_futures=True)
+        return self._fallback(fn, jobs)  # pragma: no cover - sandbox fallback
+
+    def _fallback(self, fn: Callable[[Job], Result], jobs: list[Job]) -> list[Result]:
+        """The serial rescue loop for pool-level failures (recorded as such)."""
+        self.last_execution = ("serial", 1)
+        return [fn(job) for job in jobs]
+
+    def describe(self) -> dict[str, Any]:
+        """Diagnostics for reports and tables."""
+        return {
+            "executor": self.backend.name,
+            "max_workers": self.max_workers,
+            "usable_cpus": usable_cpus(),
+        }
+
+
+def as_mapper(
+    executor: "str | ExecutorBackend | ParallelMapper | None",
+    max_workers: int | None = None,
+) -> ParallelMapper:
+    """Normalise the executor arguments callers accept into a mapper.
+
+    An existing :class:`ParallelMapper` passes through (``max_workers`` must
+    then be unset — the mapper already carries one); anything else is handed
+    to the constructor.
+    """
+    if isinstance(executor, ParallelMapper):
+        if max_workers is not None and max_workers != executor.max_workers:
+            raise ValueError(
+                "pass max_workers to the ParallelMapper constructor, not "
+                "alongside an already-built mapper"
+            )
+        return executor
+    return ParallelMapper(executor, max_workers=max_workers)

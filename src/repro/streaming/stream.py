@@ -344,18 +344,24 @@ class SetStream:
             raise ValueError("SetStream supports orders 'given' and 'random'")
         if isinstance(sets, dict):
             items = sorted(sets.items())
-            self._sets = [(int(set_id), tuple(int(e) for e in members)) for set_id, members in items]
+            self._sets: list[tuple[int, tuple[int, ...]]] | None = [
+                (int(set_id), tuple(int(e) for e in members)) for set_id, members in items
+            ]
             self._num_sets = (max(sets) + 1) if sets else 0
         else:
             self._sets = [
                 (set_id, tuple(int(e) for e in members)) for set_id, members in enumerate(sets)
             ]
             self._num_sets = len(self._sets)
+        self._num_events = len(self._sets)
         self._order = order
         self._seed = int(seed)
         self._passes = 0
         # Columnar mirror (CSR layout over the stored set order) backing the
-        # batched iterator; built lazily so scalar consumers never pay for it.
+        # batched iterator; built lazily so scalar consumers never pay for
+        # it.  A column-backed stream (:meth:`from_columnar`) starts from
+        # the CSR instead and materialises ``_sets`` lazily, so the batched
+        # path slices disk pages without per-set Python objects.
         self._csr: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
 
     def _csr_columns(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -379,6 +385,22 @@ class SetStream:
             self._csr = (set_ids, offsets, elements)
         return self._csr
 
+    def _set_tuples(self) -> list[tuple[int, tuple[int, ...]]]:
+        """The scalar ``(set_id, members)`` view, built on first use.
+
+        Column-backed streams only pay this conversion when a *scalar*
+        consumer (``__iter__``, :meth:`to_graph`, ...) actually asks for it;
+        the batched path never does.
+        """
+        if self._sets is None:
+            set_ids, offsets, elements = self._csr
+            bounds = offsets.tolist()
+            self._sets = [
+                (int(set_id), tuple(elements[bounds[row] : bounds[row + 1]].tolist()))
+                for row, set_id in enumerate(set_ids.tolist())
+            ]
+        return self._sets
+
     @classmethod
     def from_graph(
         cls, graph: BipartiteGraph, *, order: str = "random", seed: int = 0
@@ -389,6 +411,39 @@ class SetStream:
         stream._num_sets = graph.num_sets
         return stream
 
+    @classmethod
+    def from_columnar(
+        cls, source, *, order: str = "given", seed: int = 0
+    ) -> "SetStream":
+        """Build a stream directly over memory-mapped CSR set storage.
+
+        ``source`` is a :class:`repro.coverage.io.ColumnarSets` (or a path
+        to a directory written by
+        :func:`repro.coverage.io.write_columnar_sets`).  The mapped columns
+        back the stream as-is — mirroring
+        :meth:`EdgeStream.from_columnar` — so set batches are sliced
+        straight from disk pages and per-set Python tuples are only built
+        if a scalar consumer iterates the stream.
+        """
+        from repro.coverage.io import ColumnarSets, open_columnar_sets
+
+        columns = source if isinstance(source, ColumnarSets) else open_columnar_sets(source)
+        stream = cls.__new__(cls)
+        if order not in ("given", "random"):
+            raise ValueError("SetStream supports orders 'given' and 'random'")
+        stream._sets = None
+        stream._csr = (
+            np.asarray(columns.set_ids, dtype=np.uint64),
+            np.asarray(columns.offsets, dtype=np.int64),
+            np.asarray(columns.members, dtype=np.uint64),
+        )
+        stream._num_sets = max(1, columns.num_sets)
+        stream._num_events = columns.num_stored_sets
+        stream._order = order
+        stream._seed = int(seed)
+        stream._passes = 0
+        return stream
+
     @property
     def num_sets(self) -> int:
         """Number of sets in the stream."""
@@ -397,7 +452,7 @@ class SetStream:
     @property
     def num_events(self) -> int:
         """Number of set arrivals in one pass."""
-        return len(self._sets)
+        return self._num_events
 
     @property
     def passes_taken(self) -> int:
@@ -407,14 +462,15 @@ class SetStream:
     def _ordered_indices(self, pass_index: int) -> np.ndarray:
         if self._order == "random":
             rng = spawn_rng(self._seed, f"set-stream-pass-{pass_index}")
-            return rng.permutation(len(self._sets))
-        return np.arange(len(self._sets), dtype=np.int64)
+            return rng.permutation(self._num_events)
+        return np.arange(self._num_events, dtype=np.int64)
 
     def __iter__(self) -> Iterator[SetArrival]:
         pass_index = self._passes
         self._passes += 1
+        sets = self._set_tuples()
         for index in self._ordered_indices(pass_index):
-            set_id, members = self._sets[index]
+            set_id, members = sets[index]
             yield SetArrival(set_id=set_id, elements=members)
 
     def iter_batches(self, batch_size: int) -> Iterator[EventBatch]:
@@ -450,14 +506,18 @@ class SetStream:
     def to_graph(self) -> BipartiteGraph:
         """Materialise the full underlying graph."""
         graph = BipartiteGraph(max(1, self._num_sets))
-        for set_id, members in self._sets:
+        for set_id, members in self._set_tuples():
             for element in members:
                 graph.add_edge(set_id, element)
         return graph
 
     def to_edge_stream(self, *, order: str = "random", seed: int = 0) -> EdgeStream:
         """Convert to the edge-arrival model (see also :mod:`repro.streaming.adapters`)."""
-        edges = [(set_id, element) for set_id, members in self._sets for element in members]
+        edges = [
+            (set_id, element)
+            for set_id, members in self._set_tuples()
+            for element in members
+        ]
         return EdgeStream(
             edges,
             num_sets=max(1, self._num_sets),

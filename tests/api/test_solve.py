@@ -421,8 +421,13 @@ class TestCoverageBackendPlumbing:
         session.run("offline/greedy")
         session.run("offline/local-search")
         session.run("offline/greedy", seed=14)
-        session.run("kcover/sketch", options={"scale": 0.2})
         assert len(calls) == 1  # one packing serves every offline run
+        # A streaming run packs its own *sketch* (a different graph) once;
+        # the session's problem-graph kernel is still not re-packed.
+        session.run("kcover/sketch", options={"scale": 0.2})
+        assert len(calls) == 2
+        session.run("offline/greedy", seed=15)
+        assert len(calls) == 2
 
 
 class TestColumnarProblems:
@@ -497,3 +502,62 @@ class TestColumnarProblems:
     def test_non_columnar_path_rejected(self, tmp_path):
         with pytest.raises(ValueError):
             solve(tmp_path / "missing", "kcover/sketch", k=2)
+
+
+class TestStreamingKernelPostProcessing:
+    """coverage_backend reaches the streaming family's offline phase."""
+
+    @pytest.fixture(scope="class")
+    def kcover_instance(self):
+        from repro.datasets import planted_kcover_instance
+
+        return planted_kcover_instance(40, 900, k=5, planted_coverage=0.85, seed=31)
+
+    @pytest.mark.parametrize(
+        "solver,kwargs",
+        [
+            ("kcover/sketch", {"options": {"scale": 0.3}}),
+            ("kcover/ensemble", {"options": {"scale": 0.3, "replicas": 3}}),
+            ("setcover/sketch", {"problem_kind": "set_cover",
+                                 "options": {"rounds": 2, "max_guesses": 6},
+                                 "max_passes": 40}),
+            ("outliers/sketch", {"problem_kind": "set_cover_outliers",
+                                 "outlier_fraction": 0.1,
+                                 "options": {"max_guesses": 6}}),
+        ],
+    )
+    def test_kernel_backed_result_matches_set_based(self, kcover_instance, solver, kwargs):
+        from repro.api import StreamSpec
+
+        stream = StreamSpec(order="random", seed=7)
+        plain = solve(kcover_instance, solver, seed=7, stream=stream, **kwargs)
+        kernelled = solve(
+            kcover_instance, solver, seed=7, stream=stream,
+            coverage_backend="words", **kwargs,
+        )
+        assert kernelled.solution == plain.solution
+        assert kernelled.coverage == plain.coverage
+        assert kernelled.space_peak == plain.space_peak
+
+    def test_streaming_kcover_records_backend(self, kcover_instance):
+        from repro.core.kcover import StreamingKCover
+
+        algo = StreamingKCover(
+            kcover_instance.n, kcover_instance.m, k=5, coverage_backend="words"
+        )
+        assert algo.describe()["coverage_backend"] == "words"
+
+    def test_explicit_solver_bypasses_the_kernel(self, kcover_instance):
+        from repro.core.kcover import StreamingKCover
+        from repro.streaming.events import EdgeArrival
+
+        calls = []
+        algo = StreamingKCover(
+            kcover_instance.n, kcover_instance.m, k=5,
+            coverage_backend="words",
+            solver=lambda graph, k: calls.append(k) or [0, 1],
+        )
+        for set_id, element in kcover_instance.graph.edges():
+            algo.process(EdgeArrival(set_id, element))
+        assert algo.result() == [0, 1]
+        assert calls == [5]

@@ -12,11 +12,14 @@ from repro.coverage.io import (
     graph_to_edge_lines,
     load_system,
     open_columnar,
+    open_columnar_sets,
     read_edge_list,
     save_system,
     system_from_json,
     system_to_json,
     write_columnar,
+    write_columnar_columns,
+    write_columnar_sets,
     write_edge_list,
 )
 from repro.coverage.setsystem import SetSystem
@@ -162,3 +165,113 @@ class TestColumnar:
         meta_path.write_text(json.dumps(meta))
         with pytest.raises(ValueError, match="num_edges"):
             open_columnar(tmp_path / "cols")
+
+
+class TestColumnarColumns:
+    def test_array_writer_matches_pair_writer(self, tmp_path, tiny_graph):
+        edges = sorted(tiny_graph.edges())
+        write_columnar(edges, tmp_path / "pairs")
+        write_columnar_columns(
+            np.array([s for s, _ in edges], dtype=np.uint64),
+            np.array([e for _, e in edges], dtype=np.uint64),
+            tmp_path / "arrays",
+        )
+        from_pairs = open_columnar(tmp_path / "pairs")
+        from_arrays = open_columnar(tmp_path / "arrays")
+        assert list(from_arrays.pairs()) == list(from_pairs.pairs())
+        assert from_arrays.num_sets == from_pairs.num_sets
+        assert from_arrays.num_elements == from_pairs.num_elements
+
+    def test_rejects_mismatched_columns(self, tmp_path):
+        with pytest.raises(ValueError, match="equal-length"):
+            write_columnar_columns(
+                np.zeros(3, dtype=np.uint64), np.zeros(2, dtype=np.uint64), tmp_path / "c"
+            )
+
+
+class TestColumnarSets:
+    FAMILY = [(0, [1, 2, 3]), (1, [3, 4]), (2, []), (5, [0, 9])]
+
+    def test_round_trip(self, tmp_path):
+        count = write_columnar_sets(self.FAMILY, tmp_path / "sets")
+        assert count == 7
+        columns = open_columnar_sets(tmp_path / "sets")
+        assert list(columns.sets()) == [(s, list(m)) for s, m in self.FAMILY]
+        assert columns.num_stored_sets == 4
+        assert columns.num_memberships == 7
+        assert columns.num_sets == 6  # max set id + 1
+        assert columns.num_elements == 6  # distinct members
+
+    def test_to_graph_matches_family(self, tmp_path):
+        write_columnar_sets(self.FAMILY, tmp_path / "sets")
+        graph = open_columnar_sets(tmp_path / "sets").to_graph()
+        for set_id, members in self.FAMILY:
+            assert graph.elements_of(set_id) == set(members)
+
+    def test_string_labels_get_a_vocab(self, tmp_path):
+        write_columnar_sets([("alpha", ["x", "y"]), ("beta", ["y"])], tmp_path / "sets")
+        columns = open_columnar_sets(tmp_path / "sets")
+        assert columns.set_labels == ("alpha", "beta")
+        assert columns.element_labels == ("x", "y")
+        assert list(columns.sets()) == [(0, [0, 1]), (1, [1])]
+
+    def test_empty_family(self, tmp_path):
+        assert write_columnar_sets([], tmp_path / "sets") == 0
+        columns = open_columnar_sets(tmp_path / "sets")
+        assert columns.num_stored_sets == 0
+        assert list(columns.sets()) == []
+
+    def test_open_rejects_other_formats(self, tmp_path, tiny_graph):
+        with pytest.raises(ValueError, match="no meta.json"):
+            open_columnar_sets(tmp_path)
+        write_columnar(tiny_graph.edges(), tmp_path / "edges")
+        with pytest.raises(ValueError, match="columnar-sets"):
+            open_columnar_sets(tmp_path / "edges")
+
+    def test_open_rejects_inconsistent_offsets(self, tmp_path):
+        write_columnar_sets(self.FAMILY, tmp_path / "sets")
+        np.save(tmp_path / "sets" / "offsets.npy", np.array([0, 1], dtype=np.int64))
+        with pytest.raises(ValueError, match="offsets"):
+            open_columnar_sets(tmp_path / "sets")
+
+
+class TestColumnarColumnsValidation:
+    def test_rejects_negative_ids(self, tmp_path):
+        with pytest.raises(ValueError, match="negative"):
+            write_columnar_columns(
+                np.array([-1, 2], dtype=np.int64),
+                np.array([0, 1], dtype=np.int64),
+                tmp_path / "c",
+            )
+
+    def test_rejects_non_integer_columns(self, tmp_path):
+        with pytest.raises(ValueError, match="integer column"):
+            write_columnar_columns(
+                np.array([0.5, 1.5]), np.array([0, 1], dtype=np.int64), tmp_path / "c"
+            )
+
+    def test_accepts_signed_non_negative(self, tmp_path):
+        write_columnar_columns(
+            np.array([0, 2], dtype=np.int64),
+            np.array([3, 1], dtype=np.int64),
+            tmp_path / "c",
+        )
+        assert list(open_columnar(tmp_path / "c").pairs()) == [(0, 3), (2, 1)]
+
+
+class TestColumnarSetsOffsetsValidation:
+    def test_open_rejects_nonzero_first_offset(self, tmp_path):
+        write_columnar_sets([(0, [1, 2]), (1, [3, 4])], tmp_path / "sets")
+        np.save(tmp_path / "sets" / "offsets.npy", np.array([2, 4, 4], dtype=np.int64))
+        with pytest.raises(ValueError, match="start at 0"):
+            open_columnar_sets(tmp_path / "sets")
+
+    def test_open_rejects_decreasing_offsets(self, tmp_path):
+        # Passes the length and terminal-bound checks but has a decreasing
+        # step, which would silently yield an empty slice for row 1.
+        write_columnar_sets([(0, [1]), (1, [2, 3]), (2, [4])], tmp_path / "sets")
+        np.save(
+            tmp_path / "sets" / "offsets.npy", np.array([0, 3, 1, 4], dtype=np.int64)
+        )
+        with pytest.raises(ValueError, match="non-decreasing"):
+            open_columnar_sets(tmp_path / "sets")

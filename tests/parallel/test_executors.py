@@ -1,0 +1,207 @@
+"""Unit tests for the repro.parallel executor registry and mapper."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.errors import SpecError
+from repro.parallel import (
+    ExecutorBackend,
+    ParallelMapper,
+    as_mapper,
+    executor_choices,
+    get_executor,
+    list_executors,
+    register_executor,
+    resolve_executor,
+    unregister_executor,
+    usable_cpus,
+)
+
+
+class TestRegistry:
+    def test_builtin_backends_registered(self):
+        assert list_executors() == ["process", "serial", "thread"]
+
+    def test_choices_lead_with_auto(self):
+        assert executor_choices() == ("auto", "process", "serial", "thread")
+
+    def test_unknown_backend_raises_with_hint(self):
+        with pytest.raises(SpecError, match="procss.*did you mean.*process"):
+            get_executor("procss")
+
+    def test_auto_is_not_a_concrete_backend(self):
+        with pytest.raises(SpecError):
+            get_executor("auto")
+
+    def test_duplicate_registration_rejected(self):
+        backend = ExecutorBackend(
+            name="serial", parallel=False, requires_pickling=False,
+            summary="dup", make_pool=None,
+        )
+        with pytest.raises(SpecError, match="already registered"):
+            register_executor(backend)
+
+    def test_auto_name_is_reserved(self):
+        backend = ExecutorBackend(
+            name="auto", parallel=False, requires_pickling=False,
+            summary="nope", make_pool=None,
+        )
+        with pytest.raises(SpecError, match="reserved"):
+            register_executor(backend)
+
+    def test_plugin_backend_registers_and_unregisters(self):
+        backend = ExecutorBackend(
+            name="plugin-test", parallel=False, requires_pickling=False,
+            summary="test-only", make_pool=None,
+        )
+        register_executor(backend)
+        try:
+            assert resolve_executor("plugin-test") is backend
+            assert "plugin-test" in executor_choices()
+        finally:
+            unregister_executor("plugin-test")
+        assert "plugin-test" not in list_executors()
+
+
+class TestResolution:
+    def test_none_resolves_to_serial(self):
+        assert resolve_executor(None).name == "serial"
+
+    def test_instance_passes_through(self):
+        backend = get_executor("thread")
+        assert resolve_executor(backend) is backend
+
+    def test_auto_matches_cpu_availability(self):
+        expected = "process" if usable_cpus() > 1 else "serial"
+        assert resolve_executor("auto").name == expected
+
+
+class TestParallelMapper:
+    @pytest.mark.parametrize("bad", [0, -1, True])
+    def test_max_workers_must_be_positive_int(self, bad):
+        with pytest.raises((TypeError, ValueError)):
+            ParallelMapper("serial", max_workers=bad)
+
+    def test_workers_never_exceed_jobs_or_cap(self):
+        mapper = ParallelMapper("thread", max_workers=3)
+        assert mapper.workers_for(0) == 1
+        assert mapper.workers_for(1) == 1
+        assert mapper.workers_for(2) == 2
+        assert mapper.workers_for(10) == 3
+
+    def test_serial_mapper_runs_inline(self):
+        mapper = ParallelMapper("serial")
+        assert mapper.is_serial
+        assert mapper.workers_for(100) == 1
+        assert mapper.map(lambda x: x * x, range(5)) == [0, 1, 4, 9, 16]
+
+    @pytest.mark.parametrize("executor", ["serial", "thread", "process"])
+    def test_results_come_back_in_input_order(self, executor):
+        # Later jobs finish first under a parallel backend (reverse sleeps),
+        # so preserved ordering is the gather discipline, not luck.
+        mapper = ParallelMapper(executor, max_workers=4)
+        jobs = [0.03, 0.02, 0.01, 0.0]
+        assert mapper.map(_sleep_and_echo, jobs) == jobs
+
+    @pytest.mark.parametrize("executor", ["serial", "thread", "process"])
+    def test_job_exceptions_propagate(self, executor):
+        mapper = ParallelMapper(executor, max_workers=2)
+        with pytest.raises(ValueError, match="boom 3"):
+            mapper.map(_raise_on_three, [1, 2, 3, 4])
+
+    def test_job_oserror_is_not_mistaken_for_pool_breakage(self):
+        # A job raising OSError must propagate as-is, NOT trigger the
+        # sandbox fallback's serial rerun of the whole job list.
+        import threading
+
+        calls = []
+        last_job_started = threading.Event()
+
+        def job(value):
+            calls.append(value)
+            if value == 3:
+                last_job_started.set()
+            if value == 2:
+                # Hold the failure until every job has started, so none can
+                # be cancelled by the gather unwinding early.
+                last_job_started.wait(timeout=10)
+                raise FileNotFoundError("gone")
+            return value
+
+        mapper = ParallelMapper("thread", max_workers=3)
+        with pytest.raises(FileNotFoundError, match="gone"):
+            mapper.map(job, [1, 2, 3])
+        assert sorted(calls) == [1, 2, 3]  # each job ran exactly once
+
+    def test_max_workers_alone_implies_auto(self):
+        from repro.parallel import usable_cpus
+
+        implied = ParallelMapper(None, max_workers=4)
+        expected = "process" if usable_cpus() > 1 else "serial"
+        assert implied.backend.name == expected
+        # Without a worker count, None still means the serial loop.
+        assert ParallelMapper(None).backend.name == "serial"
+
+    def test_describe_reports_backend(self):
+        info = ParallelMapper("thread", max_workers=2).describe()
+        assert info["executor"] == "thread"
+        assert info["max_workers"] == 2
+
+
+class TestAsMapper:
+    def test_passthrough_keeps_mapper(self):
+        mapper = ParallelMapper("thread", max_workers=2)
+        assert as_mapper(mapper) is mapper
+        assert as_mapper(mapper, 2) is mapper
+
+    def test_conflicting_max_workers_rejected(self):
+        mapper = ParallelMapper("thread", max_workers=2)
+        with pytest.raises(ValueError, match="max_workers"):
+            as_mapper(mapper, 4)
+
+    def test_name_builds_mapper(self):
+        mapper = as_mapper("process", 3)
+        assert mapper.backend.name == "process"
+        assert mapper.max_workers == 3
+
+
+def _sleep_and_echo(delay: float) -> float:
+    time.sleep(delay)
+    return delay
+
+
+def _raise_on_three(value: int) -> int:
+    if value == 3:
+        raise ValueError(f"boom {value}")
+    return value
+
+
+class TestLastExecution:
+    def test_records_the_plan_when_the_pool_works(self):
+        mapper = ParallelMapper("thread", max_workers=2)
+        mapper.map(_sleep_and_echo, [0.0, 0.0, 0.0])
+        assert mapper.last_execution == ("thread", 2)
+
+    def test_degenerate_single_job_runs_inline(self):
+        mapper = ParallelMapper("process", max_workers=4)
+        mapper.map(_sleep_and_echo, [0.0])
+        assert mapper.last_execution == ("process", 1)
+
+    def test_fallback_is_recorded_as_serial(self):
+        def broken_pool(max_workers):
+            raise OSError("no fork for you")
+
+        backend = ExecutorBackend(
+            name="broken-test", parallel=True, requires_pickling=False,
+            summary="always fails", make_pool=broken_pool,
+        )
+        register_executor(backend)
+        try:
+            mapper = ParallelMapper("broken-test", max_workers=2)
+            assert mapper.map(_sleep_and_echo, [0.0, 0.0]) == [0.0, 0.0]
+            assert mapper.last_execution == ("serial", 1)
+        finally:
+            unregister_executor("broken-test")

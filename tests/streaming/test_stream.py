@@ -235,3 +235,59 @@ class TestColumnBackedEdgeStream:
         for batch in EdgeStream.from_columnar(columnar_path).iter_batches(3):
             via_columns.process_batch(batch)
         assert via_columns.describe() == via_tuples.describe()
+
+
+class TestColumnBackedSetStream:
+    FAMILY = {0: [1, 2, 3], 1: [3, 4], 2: [], 5: [0, 9]}
+
+    @pytest.fixture
+    def columnar_sets_path(self, tmp_path):
+        from repro.coverage.io import write_columnar_sets
+
+        path = tmp_path / "sets.cols"
+        write_columnar_sets(sorted(self.FAMILY.items()), path)
+        return path
+
+    def test_scalar_events_match_in_memory_stream(self, columnar_sets_path):
+        memory = SetStream(self.FAMILY, order="random", seed=4)
+        columnar = SetStream.from_columnar(columnar_sets_path, order="random", seed=4)
+        assert [(e.set_id, tuple(e.elements)) for e in memory] == [
+            (e.set_id, tuple(e.elements)) for e in columnar
+        ]
+
+    def test_batches_match_in_memory_stream(self, columnar_sets_path):
+        memory = SetStream(self.FAMILY, order="given")
+        columnar = SetStream.from_columnar(columnar_sets_path, order="given")
+        memory_batches = [
+            (b.set_ids.tolist(), b.elements.tolist(), b.offsets.tolist())
+            for b in memory.iter_batches(2)
+        ]
+        columnar_batches = [
+            (b.set_ids.tolist(), b.elements.tolist(), b.offsets.tolist())
+            for b in columnar.iter_batches(2)
+        ]
+        assert memory_batches == columnar_batches
+
+    def test_batched_path_defers_scalar_materialisation(self, columnar_sets_path):
+        stream = SetStream.from_columnar(columnar_sets_path)
+        list(stream.iter_batches(3))
+        assert stream._sets is None  # no per-set tuples for batched consumers
+        list(stream)
+        assert stream._sets is not None
+
+    def test_metadata_and_graph(self, columnar_sets_path):
+        stream = SetStream.from_columnar(columnar_sets_path)
+        assert stream.num_sets == 6
+        assert stream.num_events == 4
+        graph = stream.to_graph()
+        for set_id, members in self.FAMILY.items():
+            assert graph.elements_of(set_id) == set(members)
+
+    def test_accepts_open_columns_and_rejects_bad_order(self, columnar_sets_path):
+        from repro.coverage.io import open_columnar_sets
+
+        columns = open_columnar_sets(columnar_sets_path)
+        stream = SetStream.from_columnar(columns, order="given")
+        assert stream.num_events == 4
+        with pytest.raises(ValueError, match="given.*random|orders"):
+            SetStream.from_columnar(columns, order="element_grouped")
