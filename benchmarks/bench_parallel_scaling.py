@@ -38,6 +38,7 @@ from repro.core.params import SketchParams
 from repro.coverage.io import write_columnar_columns
 from repro.distributed import DistributedKCover
 from repro.parallel import usable_cpus
+from repro.utils.rng import spawn_rng
 from repro.utils.tables import Table
 
 K = 10
@@ -55,7 +56,7 @@ MIN_SPEEDUP = 2.0
 
 
 def _write_instance(tmp_path, label: str, num_edges: int):
-    rng = np.random.default_rng(SEED + num_edges)
+    rng = spawn_rng(SEED + num_edges, "bench-parallel-scaling-instance")
     path = tmp_path / f"{label}.cols"
     write_columnar_columns(
         rng.integers(N, size=num_edges, dtype=np.uint64),

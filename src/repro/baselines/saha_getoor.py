@@ -75,8 +75,11 @@ class SahaGetoorKCover:
         """
         if batch.offsets is None:
             raise TypeError("SahaGetoorKCover consumes set batches, got an edge batch")
-        set_ids = batch.set_ids.tolist()
-        bounds = batch.offsets.tolist()
+        # Admission is sequential and data-dependent (each offer can swap a
+        # slot), so survivors are processed one set at a time; the columns
+        # convert to Python once per batch, not once per event.
+        set_ids = batch.set_ids.tolist()  # repro-lint: disable=hot-path-hygiene -- sequential swap logic; one conversion per batch
+        bounds = batch.offsets.tolist()  # repro-lint: disable=hot-path-hygiene -- sequential swap logic; one conversion per batch
         member_counts = np.diff(batch.offsets)
         elements = batch.elements
         min_charge = None

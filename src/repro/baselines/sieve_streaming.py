@@ -100,9 +100,12 @@ class SieveStreamingKCover:
         """
         if batch.offsets is None:
             raise TypeError("SieveStreamingKCover consumes set batches, got an edge batch")
-        set_ids = batch.set_ids.tolist()
-        bounds = batch.offsets.tolist()
-        elements = batch.elements.tolist()
+        # Every set must go through the scalar sieve offer (each offer can
+        # update every threshold's slot state), so there is no vectorised
+        # prefilter; the columns convert to Python once per batch.
+        set_ids = batch.set_ids.tolist()  # repro-lint: disable=hot-path-hygiene -- every set reaches the scalar offer; one conversion per batch
+        bounds = batch.offsets.tolist()  # repro-lint: disable=hot-path-hygiene -- every set reaches the scalar offer; one conversion per batch
+        elements = batch.elements.tolist()  # repro-lint: disable=hot-path-hygiene -- every set reaches the scalar offer; one conversion per batch
         for index, set_id in enumerate(set_ids):
             self._offer(set_id, elements[bounds[index] : bounds[index + 1]])
 

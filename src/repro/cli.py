@@ -13,6 +13,9 @@ workflows without writing any Python:
 * ``distributed`` — run the two-round MapReduce-style k-cover; columnar
   ``--edges`` directories are sharded off the memory-mapped columns.
 * ``list-solvers`` — print the solver registry with capability metadata.
+* ``lint`` — run the repo-aware static-analysis pass (:mod:`repro.lint`)
+  over files/directories; exits 0 when clean, 1 on findings, 2 on usage
+  errors, so CI can gate on it.
 
 Every command is a thin lookup into the :mod:`repro.api` solver registry and
 the :mod:`repro.datasets` dataset registry — algorithms and workloads
@@ -34,6 +37,7 @@ from repro.coverage.io import open_columnar, read_edge_list, write_columnar, wri
 from repro.coverage.kernels import kernel_backend_choices
 from repro.datasets import get_dataset, iter_datasets, list_datasets
 from repro.distributed.partition import PARTITION_STRATEGIES
+from repro.lint import iter_rule_metas, lint_paths, render_json, render_text, rule_choices
 from repro.parallel import executor_choices
 from repro.utils.tables import Table
 
@@ -145,6 +149,26 @@ def build_parser() -> argparse.ArgumentParser:
                                   "--executor auto")
 
     sub.add_parser("list-solvers", help="list the registered solvers and their capabilities")
+
+    lint = sub.add_parser(
+        "lint", help="repo-aware static analysis of the determinism contracts"
+    )
+    lint.add_argument("paths", nargs="*", type=Path,
+                      help="files and/or directories to lint (e.g. src benchmarks tests)")
+    lint.add_argument("--rules", default=None,
+                      help="comma-separated subset of rules to run "
+                           "(default: every registered rule; see --list-rules)")
+    lint.add_argument("--list-rules", action="store_true", dest="list_rules",
+                      help="print the registered rules (generated from rule "
+                           "metadata) and exit")
+    lint.add_argument("--format", choices=("text", "json"), default="text",
+                      dest="output_format",
+                      help="'text' prints path:line:col findings; 'json' emits "
+                           "the lossless report (re-readable via "
+                           "repro.lint.report_from_json)")
+    lint.add_argument("--output", type=Path, default=None,
+                      help="also write the JSON report to this file (for CI "
+                           "artifacts), regardless of --format")
     return parser
 
 
@@ -322,6 +346,40 @@ def _cmd_distributed(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace, out) -> int:
+    if args.list_rules:
+        if args.output_format == "json":
+            import json
+
+            print(json.dumps([meta.to_dict() for meta in iter_rule_metas()],
+                             indent=2, sort_keys=True), file=out)
+        else:
+            table = Table(["rule", "summary"])
+            for meta in iter_rule_metas():
+                table.add_row(rule=meta.name, summary=meta.summary)
+            _print(table, out)
+        return 0
+    if not args.paths:
+        raise ValueError("lint requires at least one path (or --list-rules)")
+    selected = None
+    if args.rules is not None:
+        selected = [name.strip() for name in args.rules.split(",") if name.strip()]
+        unknown = sorted(set(selected) - set(rule_choices()))
+        if unknown:
+            raise ValueError(
+                f"unknown rule(s) {unknown}; see 'repro lint --list-rules'"
+            )
+        if not selected:
+            raise ValueError("--rules was given but names no rules")
+    report = lint_paths(args.paths, rules=selected)
+    if args.output is not None:
+        args.output.parent.mkdir(parents=True, exist_ok=True)
+        args.output.write_text(render_json(report) + "\n", encoding="utf-8")
+    renderer = render_json if args.output_format == "json" else render_text
+    print(renderer(report), file=out)
+    return report.exit_code()
+
+
 def _cmd_list_solvers(args: argparse.Namespace, out) -> int:
     table = Table(["name", "kind", "problems", "arrival", "passes", "space", "summary"])
     for info in iter_solvers():
@@ -338,6 +396,7 @@ _COMMANDS = {
     "sketch": _cmd_sketch,
     "distributed": _cmd_distributed,
     "list-solvers": _cmd_list_solvers,
+    "lint": _cmd_lint,
 }
 
 

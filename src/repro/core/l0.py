@@ -223,6 +223,9 @@ class L0CoverageOracle:
             )
         values = self._hash.value_many(batch.elements)
         sketches = self._sketches
+        # Hashing is the vectorised part; the per-set KMV insertions must
+        # happen in stream order against mutable per-sketch heaps.
+        # repro-lint: disable=hot-path-hygiene -- KMV heap insertion is inherently per-event; hashing above is the batched part
         for set_id, value in zip(batch.set_ids.tolist(), values.tolist()):
             sketches[set_id].add_hashed(value)
 

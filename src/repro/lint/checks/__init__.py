@@ -1,0 +1,27 @@
+"""The built-in repo-specific lint rules.
+
+Importing this package registers every built-in rule in the rule registry
+(the same import-for-side-effect convention the solver and dataset
+registries use).  Each rule lives in its own module, named after the
+contract it defends.
+"""
+
+from repro.lint.checks import (  # noqa: F401  (imported for registration)
+    hot_path,
+    picklable_jobs,
+    raw_rng,
+    registry_names,
+    silent_except,
+    spec_roundtrip,
+    suppressions,
+)
+
+__all__ = [
+    "hot_path",
+    "picklable_jobs",
+    "raw_rng",
+    "registry_names",
+    "silent_except",
+    "spec_roundtrip",
+    "suppressions",
+]

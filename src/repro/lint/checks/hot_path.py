@@ -1,0 +1,98 @@
+"""``hot-path-hygiene`` — keep per-event Python out of the batched hot paths.
+
+``process_batch`` exists so one numpy pass replaces thousands of per-event
+Python iterations; the ~7.8x streaming and ~4-7x distributed speedups live
+or die on it.  The recurring regression is a whole batch column quietly
+flowing back into the scalar world — ``batch.elements.tolist()`` followed by
+a per-row loop — which keeps results identical while erasing the speedup, so
+no correctness test ever catches it.  This rule flags whole-column
+``.tolist()`` conversions and per-row ``for`` loops over batch columns
+inside ``process_batch`` methods and the kernel-backend modules.  Converting
+a *filtered* selection (``batch.set_ids[survivors].tolist()``) is fine: the
+vectorised prefilter has already done the per-event work.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.rules import Rule, RuleMeta, register_rule
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from repro.lint.engine import LintContext
+
+#: Functions whose bodies are batched hot paths wherever they live.
+_HOT_FUNCTIONS = frozenset({"process_batch"})
+
+#: Modules that are hot paths end to end (the coverage kernel backends).
+_HOT_MODULES = ("coverage/kernels.py",)
+
+#: EventBatch / columnar column attribute names.
+_BATCH_COLUMNS = frozenset({"set_ids", "elements", "offsets", "members"})
+
+
+def _in_hot_scope(ctx: "LintContext") -> bool:
+    if ctx.in_module(*_HOT_MODULES):
+        return True
+    return any(
+        getattr(fn, "name", None) in _HOT_FUNCTIONS for fn in ctx.enclosing_functions()
+    )
+
+
+def _bare_column(node: ast.AST) -> str | None:
+    """``X.set_ids``-style whole-column reference (no subscript) or None."""
+    if isinstance(node, ast.Attribute) and node.attr in _BATCH_COLUMNS:
+        return node.attr
+    return None
+
+
+@register_rule
+class HotPathHygieneRule(Rule):
+    """Flag whole-column scalar fallbacks inside batched hot paths."""
+
+    meta = RuleMeta(
+        name="hot-path-hygiene",
+        summary="no whole-column .tolist()/per-row loops in process_batch or kernels",
+        rationale=(
+            "The batched engine's speedups depend on process_batch staying "
+            "vectorised; converting a whole EventBatch column to Python "
+            "objects (or looping over it row by row) keeps results identical "
+            "while silently erasing the speedup, so only a static check "
+            "catches it. Filtered selections like "
+            "batch.set_ids[survivors].tolist() are allowed — the vectorised "
+            "prefilter already did the per-event work."
+        ),
+        example_bad="for e in batch.elements.tolist(): self._admit(e)",
+        example_good="survivors = ranks < self._threshold\n"
+        "for e in batch.elements[survivors].tolist(): self._admit(e)",
+    )
+
+    def visit_Call(self, node: ast.Call, ctx: "LintContext") -> Iterator[Finding]:
+        if not _in_hot_scope(ctx):
+            return
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and func.attr == "tolist"):
+            return
+        column = _bare_column(func.value)
+        if column is not None:
+            yield self.finding(
+                ctx,
+                node,
+                f"whole-column .{column}.tolist() in a batched hot path "
+                "drops back to per-event Python; vectorise the test or "
+                "subscript the survivors first",
+            )
+
+    def visit_For(self, node: ast.For, ctx: "LintContext") -> Iterator[Finding]:
+        if not _in_hot_scope(ctx):
+            return
+        column = _bare_column(node.iter)
+        if column is not None:
+            yield self.finding(
+                ctx,
+                node,
+                f"per-row for-loop over batch column .{column} in a batched "
+                "hot path; iterate a vectorised mask/selection instead",
+            )

@@ -1,0 +1,122 @@
+"""``no-raw-rng`` — all randomness flows through :mod:`repro.utils.rng`.
+
+The paper's sketch is a *deterministic* function of the hash seeds: the
+byte-identity property tests (scalar vs batched, serial vs process pools,
+merged shards vs one-shot sketch) only hold because every random draw in the
+library derives from ``derive_seed`` / ``mix64`` / ``spawn_rng``.  An ad-hoc
+``np.random.default_rng()`` (or the stdlib ``random`` module, or a
+time-based seed) creates a stream the seed-derivation scheme cannot see, and
+the determinism contract silently breaks.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.rules import Rule, RuleMeta, attribute_chain, register_rule
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from repro.lint.engine import LintContext
+
+#: The one module allowed to touch numpy's RNG constructors directly.
+_RNG_HOME = ("utils/rng.py",)
+
+#: Direct-name constructors that bypass the seed-derivation scheme.
+_BANNED_NAMES = frozenset({"default_rng", "RandomState"})
+
+#: Calls whose result is wall-clock time — a non-deterministic seed.
+_TIME_SOURCES = frozenset({"time", "time_ns", "monotonic", "perf_counter", "now"})
+
+
+def _is_time_call(node: ast.AST) -> bool:
+    for inner in ast.walk(node):
+        if isinstance(inner, ast.Call):
+            chain = attribute_chain(inner.func)
+            if chain and chain[-1] in _TIME_SOURCES:
+                return True
+    return False
+
+
+@register_rule
+class NoRawRngRule(Rule):
+    """Flag RNG streams created outside :mod:`repro.utils.rng`."""
+
+    meta = RuleMeta(
+        name="no-raw-rng",
+        summary="randomness must flow through repro.utils.rng (derive_seed/spawn_rng)",
+        rationale=(
+            "The sketch is a deterministic function of the hash seeds; the "
+            "byte-identity property tests across batch sizes, executors and "
+            "shard merges rely on every random stream deriving from "
+            "derive_seed/mix64. A raw np.random.default_rng(), the stdlib "
+            "random module, or a time-based seed creates a stream the "
+            "seed-derivation scheme cannot reproduce."
+        ),
+        example_bad="rng = np.random.default_rng()",
+        example_good='rng = spawn_rng(master_seed, "my-subsystem")',
+    )
+
+    def visit_Call(self, node: ast.Call, ctx: "LintContext") -> Iterator[Finding]:
+        if ctx.in_module(*_RNG_HOME):
+            return
+        chain = attribute_chain(node.func)
+        if chain is not None:
+            if len(chain) >= 3 and chain[0] in ("np", "numpy") and chain[1] == "random":
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{'.'.join(chain)}() creates a random stream outside "
+                    "repro.utils.rng; derive it with spawn_rng(seed, label) / "
+                    "derive_seed so the determinism contract holds",
+                )
+            elif len(chain) == 1 and chain[0] in _BANNED_NAMES:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{chain[0]}() bypasses repro.utils.rng; use "
+                    "spawn_rng(seed, label) instead",
+                )
+        for keyword in node.keywords:
+            if keyword.arg == "seed" and _is_time_call(keyword.value):
+                yield self.finding(
+                    ctx,
+                    keyword.value,
+                    "seed is derived from wall-clock time; seeds must be "
+                    "explicit integers (or derive_seed results) so runs replay",
+                )
+
+    def visit_Import(self, node: ast.Import, ctx: "LintContext") -> Iterator[Finding]:
+        if ctx.in_module(*_RNG_HOME):
+            return
+        for alias in node.names:
+            if alias.name == "random" or alias.name.startswith("random."):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "the stdlib random module is process-global and unseeded by "
+                    "default; use repro.utils.rng (SplitMix64/spawn_rng) instead",
+                )
+
+    def visit_ImportFrom(
+        self, node: ast.ImportFrom, ctx: "LintContext"
+    ) -> Iterator[Finding]:
+        if ctx.in_module(*_RNG_HOME):
+            return
+        if node.module == "random":
+            yield self.finding(
+                ctx,
+                node,
+                "importing from the stdlib random module bypasses "
+                "repro.utils.rng; use SplitMix64/spawn_rng instead",
+            )
+        elif node.module in ("numpy.random", "numpy") and any(
+            alias.name in _BANNED_NAMES | {"random"} for alias in node.names
+        ):
+            yield self.finding(
+                ctx,
+                node,
+                "importing numpy RNG constructors bypasses repro.utils.rng; "
+                "use spawn_rng(seed, label) instead",
+            )

@@ -1,0 +1,68 @@
+"""``no-silent-except`` — exceptions are handled, re-raised or recorded.
+
+The executor runtime and the mmap ingestion layer both degrade gracefully on
+purpose — but *explicitly*: the mapper's sandbox fallback records
+``last_execution=("serial", 1)`` and the columnar loader raises typed
+errors.  A bare ``except:`` (which also swallows ``KeyboardInterrupt``) or a
+handler whose whole body is ``pass`` hides exactly the failures those layers
+are designed to surface: a worker killed mid-map, a truncated column file,
+an out-of-bounds row slice.  Handlers must re-raise, return a fallback,
+log, or otherwise leave a trace.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.rules import Rule, RuleMeta, register_rule
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from repro.lint.engine import LintContext
+
+
+def _is_noop(statement: ast.stmt) -> bool:
+    if isinstance(statement, (ast.Pass, ast.Continue)):
+        return True
+    if isinstance(statement, ast.Expr) and isinstance(statement.value, ast.Constant):
+        return True  # docstring or bare Ellipsis
+    return False
+
+
+@register_rule
+class NoSilentExceptRule(Rule):
+    """Flag bare excepts and handlers that swallow exceptions silently."""
+
+    meta = RuleMeta(
+        name="no-silent-except",
+        summary="no bare except, no handler whose whole body is pass",
+        rationale=(
+            "Graceful degradation in this library is explicit: the mapper's "
+            "sandbox fallback records what actually ran, the mmap loader "
+            "raises typed errors. A bare except (which even catches "
+            "KeyboardInterrupt) or an except-pass hides worker deaths and "
+            "truncated column files behind silently wrong results."
+        ),
+        example_bad="try:\n    sketch = job.run()\nexcept Exception:\n    pass",
+        example_good="except OSError:\n    return self._fallback(fn, jobs)",
+    )
+
+    def visit_ExceptHandler(
+        self, node: ast.ExceptHandler, ctx: "LintContext"
+    ) -> Iterator[Finding]:
+        if node.type is None:
+            yield self.finding(
+                ctx,
+                node,
+                "bare 'except:' catches everything including "
+                "KeyboardInterrupt/SystemExit; name the exception types",
+            )
+        if node.body and all(_is_noop(statement) for statement in node.body):
+            caught = ast.unparse(node.type) if node.type is not None else "everything"
+            yield self.finding(
+                ctx,
+                node,
+                f"handler for {caught} swallows the exception with no trace; "
+                "re-raise, return a fallback, or record what was skipped",
+            )

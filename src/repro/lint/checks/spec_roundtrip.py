@@ -1,0 +1,157 @@
+"""``spec-roundtrip`` — frozen spec dataclasses serialize every field.
+
+Run specs exist so experiments can be persisted, diffed and replayed; a
+field that is missing from ``to_dict`` silently vanishes from archived runs,
+and one missing from ``from_dict`` makes old reports unreadable.  Both have
+happened in past PRs (``DistributedRunReport.as_dict`` once dropped the
+per-machine loads).  This rule cross-references each frozen dataclass's
+declared fields against the string keys its ``to_dict`` emits and the names
+its ``from_dict`` accepts, so a new field cannot land without riding through
+both directions of the round-trip.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.rules import Rule, RuleMeta, attribute_chain, register_rule
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from repro.lint.engine import LintContext
+
+
+def _is_frozen_dataclass(node: ast.ClassDef) -> bool:
+    for decorator in node.decorator_list:
+        if not isinstance(decorator, ast.Call):
+            continue
+        chain = attribute_chain(decorator.func)
+        if chain is None or chain[-1] != "dataclass":
+            continue
+        for keyword in decorator.keywords:
+            if (
+                keyword.arg == "frozen"
+                and isinstance(keyword.value, ast.Constant)
+                and keyword.value.value is True
+            ):
+                return True
+    return False
+
+
+def _field_names(node: ast.ClassDef) -> list[str]:
+    """Declared dataclass fields (top-level annotated names, no ClassVar)."""
+    names: list[str] = []
+    for statement in node.body:
+        if not isinstance(statement, ast.AnnAssign):
+            continue
+        if not isinstance(statement.target, ast.Name):
+            continue
+        annotation = ast.unparse(statement.annotation)
+        if "ClassVar" in annotation or "InitVar" in annotation:
+            continue
+        if statement.target.id.startswith("_"):
+            continue
+        names.append(statement.target.id)
+    return names
+
+
+def _method(node: ast.ClassDef, name: str) -> ast.FunctionDef | None:
+    for statement in node.body:
+        if isinstance(statement, ast.FunctionDef) and statement.name == name:
+            return statement
+    return None
+
+
+def _string_constants(node: ast.AST) -> set[str]:
+    return {
+        inner.value
+        for inner in ast.walk(node)
+        if isinstance(inner, ast.Constant) and isinstance(inner.value, str)
+    }
+
+
+def _accepts_kwargs_splat(node: ast.FunctionDef) -> bool:
+    """Whether the body forwards a ``**mapping`` into a constructor call."""
+    return any(
+        isinstance(inner, ast.Call)
+        and any(keyword.arg is None for keyword in inner.keywords)
+        for inner in ast.walk(node)
+    )
+
+
+@register_rule
+class SpecRoundtripRule(Rule):
+    """Flag spec fields missing from the to_dict/from_dict round-trip."""
+
+    meta = RuleMeta(
+        name="spec-roundtrip",
+        summary="frozen dataclass fields must appear in both to_dict and from_dict",
+        rationale=(
+            "Specs and reports are persisted, diffed and replayed; a field "
+            "missing from to_dict vanishes from archived runs, one missing "
+            "from from_dict makes old reports unreadable. Every frozen "
+            "dataclass that offers the round-trip must carry all of its "
+            "fields through both directions."
+        ),
+        example_bad=(
+            "@dataclass(frozen=True)\n"
+            "class Spec:\n"
+            "    a: int\n"
+            "    b: int\n"
+            "    def to_dict(self):\n"
+            "        return {'a': self.a}  # b is dropped"
+        ),
+        example_good=(
+            "def to_dict(self):\n"
+            "    return {'a': self.a, 'b': self.b}\n"
+            "@classmethod\n"
+            "def from_dict(cls, data):\n"
+            "    return cls(**data)"
+        ),
+    )
+
+    def visit_ClassDef(self, node: ast.ClassDef, ctx: "LintContext") -> Iterator[Finding]:
+        if not _is_frozen_dataclass(node):
+            return
+        to_dict = _method(node, "to_dict")
+        from_dict = _method(node, "from_dict")
+        if to_dict is None and from_dict is None:
+            return
+        if to_dict is None or from_dict is None:
+            present, missing = (
+                ("to_dict", "from_dict") if from_dict is None else ("from_dict", "to_dict")
+            )
+            yield self.finding(
+                ctx,
+                node,
+                f"{node.name} defines {present} but not {missing}; the "
+                "serialization round-trip needs both directions",
+            )
+        fields = _field_names(node)
+        if to_dict is not None:
+            emitted = _string_constants(to_dict)
+            for name in fields:
+                if name not in emitted:
+                    yield self.finding(
+                        ctx,
+                        to_dict,
+                        f"{node.name}.to_dict drops field '{name}'; every "
+                        "field must appear in the serialized form",
+                    )
+        if from_dict is not None and not _accepts_kwargs_splat(from_dict):
+            accepted = _string_constants(from_dict) | {
+                keyword.arg
+                for inner in ast.walk(from_dict)
+                if isinstance(inner, ast.Call)
+                for keyword in inner.keywords
+                if keyword.arg is not None
+            }
+            for name in fields:
+                if name not in accepted:
+                    yield self.finding(
+                        ctx,
+                        from_dict,
+                        f"{node.name}.from_dict never reads field '{name}'; "
+                        "round-tripping a serialized spec would lose it",
+                    )

@@ -1,0 +1,59 @@
+"""``suppression-hygiene`` — suppressions name real rules and say why.
+
+Inline suppressions are part of the contract surface: a suppressed finding
+is a documented, deliberate exception.  That only works if the comment names
+a rule that actually exists (a typo would silence nothing while looking like
+it did) and carries a justification the next reader can audit.  Findings
+from this rule are deliberately *unsuppressable* — otherwise
+``disable=all`` would justify itself.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.rules import Rule, RuleMeta, list_rules, register_rule
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from repro.lint.engine import LintContext
+
+
+@register_rule
+class SuppressionHygieneRule(Rule):
+    """Audit the suppression comments themselves."""
+
+    meta = RuleMeta(
+        name="suppression-hygiene",
+        summary="suppressions must name registered rules and carry a justification",
+        rationale=(
+            "A suppressed finding is a documented exception to a contract. "
+            "A comment naming a misspelled rule silences nothing while "
+            "looking like it did, and one without a justification leaves "
+            "the next reader unable to audit whether the exception still "
+            "holds. These findings cannot themselves be suppressed."
+        ),
+        example_bad="x = rng()  # repro-lint: disable=no-raw-rng",
+        example_good=(
+            "x = rng()  # repro-lint: disable=no-raw-rng -- literal seed, "
+            "fixture only"
+        ),
+    )
+
+    def finish_module(self, ctx: "LintContext") -> Iterator[Finding]:
+        known = set(list_rules()) | {"all", "syntax-error"}
+        for suppression in sorted(ctx.suppressions.values(), key=lambda s: s.line):
+            for name in sorted(suppression.rules - known):
+                yield self.finding(
+                    ctx,
+                    suppression.line,
+                    f"suppression names unknown rule '{name}'; see "
+                    "'repro lint --list-rules'",
+                )
+            if not suppression.justification:
+                yield self.finding(
+                    ctx,
+                    suppression.line,
+                    "suppression has no justification; write "
+                    "'# repro-lint: disable=<rule> -- <why this exception holds>'",
+                )

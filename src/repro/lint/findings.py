@@ -1,0 +1,155 @@
+"""Findings and reports produced by the :mod:`repro.lint` pass.
+
+A :class:`Finding` is one rule violation at one source location; a
+:class:`LintReport` is the outcome of linting a set of paths — the findings
+that survived suppression, plus the counts the reporters and the CI artifact
+need.  Both are frozen dataclasses that round-trip losslessly through
+``to_dict`` / ``from_dict`` (the same contract the :mod:`repro.api` specs
+follow), so a JSON report written by one run can be re-read, diffed and
+re-rendered without losing information.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Any, Mapping
+
+from repro.errors import SpecError
+
+__all__ = ["Finding", "LintReport"]
+
+
+def _reject_unknown_keys(cls: type, data: Mapping[str, Any]) -> None:
+    known = {f.name for f in fields(cls)}
+    unknown = sorted(set(data) - known)
+    if unknown:
+        raise SpecError(
+            f"{cls.__name__}.from_dict got unknown field(s) {unknown}; "
+            f"expected a subset of {sorted(known)}"
+        )
+
+
+def _require_mapping(data: Any, cls: type) -> Mapping[str, Any]:
+    if not isinstance(data, Mapping):
+        raise SpecError(
+            f"{cls.__name__}.from_dict expects a mapping, got {type(data).__name__}"
+        )
+    return data
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    ``path`` is the display path the engine linted under (repo-relative when
+    possible), ``line`` / ``col`` are 1-based / 0-based as in :mod:`ast`,
+    and ``message`` explains the violation in terms of the contract the rule
+    defends.  Findings order by location so reports are deterministic.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.path, str) or not self.path:
+            raise SpecError(f"finding path must be a non-empty string, got {self.path!r}")
+        if not isinstance(self.rule, str) or not self.rule:
+            raise SpecError(f"finding rule must be a non-empty string, got {self.rule!r}")
+        if isinstance(self.line, bool) or not isinstance(self.line, int) or self.line < 1:
+            raise SpecError(f"finding line must be a positive integer, got {self.line!r}")
+        if isinstance(self.col, bool) or not isinstance(self.col, int) or self.col < 0:
+            raise SpecError(f"finding col must be a non-negative integer, got {self.col!r}")
+        if not isinstance(self.message, str) or not self.message:
+            raise SpecError("finding message must be a non-empty string")
+
+    def location(self) -> str:
+        """``path:line:col`` for text reports (clickable in most editors)."""
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form (JSON-serializable)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Finding":
+        """Inverse of :meth:`to_dict`; unknown fields raise :class:`SpecError`."""
+        data = _require_mapping(data, cls)
+        _reject_unknown_keys(cls, data)
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """The outcome of one lint run over a set of paths.
+
+    ``findings`` are the unsuppressed violations in deterministic
+    (path, line, col, rule) order; ``suppressed`` counts the violations an
+    inline ``# repro-lint: disable=...`` comment silenced; ``rules`` names
+    the rules that ran (so a filtered run is distinguishable from a clean
+    full run in an archived report).
+    """
+
+    findings: tuple[Finding, ...] = ()
+    files_scanned: int = 0
+    suppressed: int = 0
+    rules: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "findings", tuple(self.findings))
+        object.__setattr__(self, "rules", tuple(self.rules))
+        for finding in self.findings:
+            if not isinstance(finding, Finding):
+                raise SpecError(f"findings must be Finding instances, got {finding!r}")
+        for name in self.rules:
+            if not isinstance(name, str) or not name:
+                raise SpecError(f"rules must be non-empty strings, got {name!r}")
+        for label, value in (("files_scanned", self.files_scanned),
+                             ("suppressed", self.suppressed)):
+            if isinstance(value, bool) or not isinstance(value, int) or value < 0:
+                raise SpecError(f"{label} must be a non-negative integer, got {value!r}")
+
+    @property
+    def clean(self) -> bool:
+        """Whether the run produced no unsuppressed findings."""
+        return not self.findings
+
+    def exit_code(self) -> int:
+        """The CLI exit code this report maps to (0 clean, 1 findings)."""
+        return 0 if self.clean else 1
+
+    def by_rule(self) -> dict[str, int]:
+        """Finding counts per rule name (only rules that fired)."""
+        counts: dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form (JSON-serializable)."""
+        return {
+            "findings": [finding.to_dict() for finding in self.findings],
+            "files_scanned": self.files_scanned,
+            "suppressed": self.suppressed,
+            "rules": list(self.rules),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "LintReport":
+        """Inverse of :meth:`to_dict`; unknown fields raise :class:`SpecError`."""
+        data = _require_mapping(data, cls)
+        _reject_unknown_keys(cls, data)
+        payload = dict(data)
+        raw_findings = payload.pop("findings", ())
+        if not isinstance(raw_findings, (list, tuple)):
+            raise SpecError("findings must be a list")
+        findings = tuple(Finding.from_dict(item) for item in raw_findings)
+        return cls(findings=findings, **payload)

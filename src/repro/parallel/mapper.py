@@ -126,11 +126,13 @@ class ParallelMapper:
         try:
             try:
                 futures = [pool.submit(fn, job) for job in jobs]
+            # repro-lint: disable=no-silent-except -- deliberate fallthrough: the finally drains the pool, then _fallback records ("serial", 1) and reruns
             except (OSError, RuntimeError, BrokenExecutor):
                 pass  # pragma: no cover - worker spawn blocked at submit
             else:
                 try:
                     return [future.result() for future in futures]
+                # repro-lint: disable=no-silent-except -- deliberate fallthrough to the recorded serial rescue below
                 except BrokenExecutor:  # pragma: no cover - pool died mid-run
                     pass
         finally:

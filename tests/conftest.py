@@ -7,12 +7,13 @@ import pytest
 
 from repro.coverage.bipartite import BipartiteGraph
 from repro.datasets import planted_kcover_instance, planted_setcover_instance
+from repro.utils.rng import spawn_rng
 
 
 @pytest.fixture
 def rng() -> np.random.Generator:
     """A deterministic numpy generator for sampled checks."""
-    return np.random.default_rng(12345)
+    return spawn_rng(12345, "test-suite-fixture")
 
 
 @pytest.fixture

@@ -9,6 +9,7 @@ from repro.coverage.bitset import BitsetCoverage
 from repro.coverage.kernels import list_kernel_backends
 from repro.datasets import uniform_random_instance, zipf_instance
 from repro.offline.greedy import greedy_k_cover
+from repro.utils.rng import spawn_rng
 
 BACKENDS = list_kernel_backends()
 
@@ -59,7 +60,7 @@ class TestAgreementOnRandomInstances:
     def test_matches_set_based_coverage(self, seed, backend):
         instance = uniform_random_instance(25, 120, density=0.1, seed=seed)
         fast = BitsetCoverage(instance.graph, backend=backend)
-        rng = np.random.default_rng(seed)
+        rng = spawn_rng(seed, "bitset-agreement-queries")
         for _ in range(30):
             size = int(rng.integers(0, 10))
             family = list(rng.choice(25, size=size, replace=False)) if size else []

@@ -15,6 +15,7 @@ from repro.coverage.kernels import (
     unregister_kernel_backend,
 )
 from repro.errors import SpecError
+from repro.utils.rng import spawn_rng
 
 
 class TestRegistry:
@@ -74,7 +75,7 @@ class TestBackendPrimitives:
     @pytest.mark.parametrize("name", ["bytes", "words"])
     def test_pack_popcount_round_trip(self, name):
         backend = get_kernel_backend(name)
-        rng = np.random.default_rng(7)
+        rng = spawn_rng(7, "kernel-pack-round-trip")
         dense = rng.random((5, 100)) < 0.3
         packed = backend.pack(dense)
         assert packed.dtype == backend.dtype
@@ -102,7 +103,7 @@ class TestBackendPrimitives:
         import repro.coverage.kernels as kernels_module
 
         backend = get_kernel_backend("words")
-        rng = np.random.default_rng(11)
+        rng = spawn_rng(11, "kernel-fallback-popcount")
         rows = rng.integers(0, 2**63, size=(4, 6), dtype=np.uint64)
         native = backend.popcount(rows, 1)
         original = kernels_module._HAS_BITWISE_COUNT

@@ -1,0 +1,203 @@
+"""Engine-level tests: suppression parsing, file collection, rule registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SpecError
+from repro.lint import (
+    Rule,
+    RuleMeta,
+    collect_files,
+    get_rule,
+    lint_paths,
+    lint_source,
+    list_rules,
+    register_rule,
+    unregister_rule,
+)
+from repro.lint.engine import parse_suppressions
+
+RNG_VIOLATION = "import numpy as np\nrng = np.random.default_rng()\n"
+
+
+class TestParseSuppressions:
+    def test_trailing_comment_with_justification(self):
+        lines = ["x = f()  # repro-lint: disable=no-raw-rng -- fixture only"]
+        parsed = parse_suppressions(lines)
+        assert set(parsed) == {1}
+        suppression = parsed[1]
+        assert suppression.rules == frozenset({"no-raw-rng"})
+        assert suppression.justification == "fixture only"
+        assert not suppression.standalone
+
+    def test_standalone_comment_detected(self):
+        parsed = parse_suppressions(["    # repro-lint: disable=no-raw-rng -- why"])
+        assert parsed[1].standalone
+
+    def test_comma_separated_rule_list(self):
+        parsed = parse_suppressions(
+            ["# repro-lint: disable=no-raw-rng, hot-path-hygiene -- both hold"]
+        )
+        assert parsed[1].rules == frozenset({"no-raw-rng", "hot-path-hygiene"})
+
+    def test_missing_justification_is_none(self):
+        # Assembled at runtime so this file's own source stays hygiene-clean.
+        line = "x = 1  # repro-lint" + ": disable=no-raw-rng"
+        parsed = parse_suppressions([line])
+        assert parsed[1].justification is None
+
+    def test_unrelated_comments_ignored(self):
+        assert parse_suppressions(["x = 1  # plain comment", "y = 2"]) == {}
+
+
+class TestSuppressionPlacement:
+    def test_standalone_comment_covers_next_line(self):
+        source = (
+            "import numpy as np\n"
+            "# repro-lint: disable=no-raw-rng -- fixture stream\n"
+            "rng = np.random.default_rng()\n"
+        )
+        findings, suppressed = lint_source(source, rules=["no-raw-rng"])
+        assert findings == []
+        assert suppressed == 1
+
+    def test_trailing_comment_does_not_cover_next_line(self):
+        source = (
+            "import numpy as np\n"
+            "x = 1  # repro-lint: disable=no-raw-rng -- wrong line\n"
+            "rng = np.random.default_rng()\n"
+        )
+        findings, _ = lint_source(source, rules=["no-raw-rng"])
+        assert [f.rule for f in findings] == ["no-raw-rng"]
+
+    def test_suppression_only_covers_named_rules(self):
+        source = (
+            "import numpy as np\n"
+            "rng = np.random.default_rng()  # repro-lint: disable=hot-path-hygiene -- wrong rule\n"
+        )
+        findings, suppressed = lint_source(source, rules=["no-raw-rng"])
+        assert [f.rule for f in findings] == ["no-raw-rng"]
+        assert suppressed == 0
+
+    def test_disable_all_covers_any_suppressable_rule(self):
+        source = (
+            "import numpy as np\n"
+            "rng = np.random.default_rng()  # repro-lint: disable=all -- scratch script\n"
+        )
+        findings, suppressed = lint_source(source, rules=["no-raw-rng"])
+        assert findings == []
+        assert suppressed == 1
+
+
+class TestLintSource:
+    def test_syntax_error_becomes_a_finding(self):
+        findings, suppressed = lint_source("def broken(:\n", "bad.py")
+        assert len(findings) == 1
+        assert findings[0].rule == "syntax-error"
+        assert findings[0].path == "bad.py"
+        assert suppressed == 0
+
+    def test_findings_sorted_by_location(self):
+        source = (
+            "import random\n"
+            "import numpy as np\n"
+            "def f():\n"
+            "    return np.random.default_rng()\n"
+        )
+        findings, _ = lint_source(source, rules=["no-raw-rng"])
+        assert [f.line for f in findings] == sorted(f.line for f in findings)
+
+    def test_unknown_rule_selection_raises(self):
+        with pytest.raises(SpecError, match="no-raw-rgn"):
+            lint_source("x = 1\n", rules=["no-raw-rgn"])
+
+    def test_empty_rule_selection_raises(self):
+        with pytest.raises(SpecError, match="no lint rules"):
+            lint_source("x = 1\n", rules=[])
+
+
+class TestCollectFiles:
+    def test_directories_expand_sorted_and_deduplicated(self, tmp_path):
+        (tmp_path / "b.py").write_text("x = 1\n")
+        (tmp_path / "a.py").write_text("x = 1\n")
+        sub = tmp_path / "sub"
+        sub.mkdir()
+        (sub / "c.py").write_text("x = 1\n")
+        (tmp_path / "notes.txt").write_text("not python\n")
+        files = collect_files([tmp_path, tmp_path / "a.py"])
+        assert [f.name for f in files] == ["a.py", "b.py", "c.py"]
+
+    def test_explicit_non_python_file_rejected(self, tmp_path):
+        target = tmp_path / "notes.txt"
+        target.write_text("hello\n")
+        with pytest.raises(SpecError, match="not a Python file"):
+            collect_files([target])
+
+    def test_missing_path_raises_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            collect_files([tmp_path / "nowhere"])
+
+
+class TestLintPaths:
+    def test_report_counts_and_determinism(self, tmp_path):
+        (tmp_path / "dirty.py").write_text(RNG_VIOLATION)
+        (tmp_path / "clean.py").write_text("x = 1\n")
+        first = lint_paths([tmp_path])
+        second = lint_paths([tmp_path])
+        assert first == second
+        assert first.files_scanned == 2
+        assert not first.clean
+        assert first.exit_code() == 1
+        assert first.by_rule() == {"no-raw-rng": 1}
+        assert first.rules == tuple(list_rules())
+
+    def test_filtered_run_records_its_rule_subset(self, tmp_path):
+        (tmp_path / "dirty.py").write_text(RNG_VIOLATION)
+        report = lint_paths([tmp_path], rules=["no-silent-except"])
+        assert report.clean
+        assert report.rules == ("no-silent-except",)
+
+
+class TestRuleRegistry:
+    def test_rules_register_like_every_other_registry(self):
+        class _ProbeRule(Rule):
+            meta = RuleMeta(
+                name="probe-test-rule",
+                summary="test-only probe",
+                rationale="registry smoke test",
+                example_bad="bad",
+                example_good="good",
+            )
+
+        register_rule(_ProbeRule)
+        try:
+            assert get_rule("probe-test-rule") is _ProbeRule
+            assert "probe-test-rule" in list_rules()
+        finally:
+            unregister_rule("probe-test-rule")
+        assert "probe-test-rule" not in list_rules()
+
+    def test_the_name_all_is_reserved(self):
+        class _AllRule(Rule):
+            meta = RuleMeta(
+                name="all",
+                summary="nope",
+                rationale="reserved for blanket suppressions",
+                example_bad="bad",
+                example_good="good",
+            )
+
+        with pytest.raises(SpecError, match="reserved"):
+            register_rule(_AllRule)
+
+    def test_rule_without_meta_rejected(self):
+        class _Bare(Rule):
+            pass
+
+        with pytest.raises(SpecError, match="meta"):
+            register_rule(_Bare)
+
+    def test_unknown_rule_lookup_has_did_you_mean_hint(self):
+        with pytest.raises(SpecError, match="did you mean.*no-raw-rng"):
+            get_rule("no-raw-rgn")

@@ -10,6 +10,7 @@ from repro.core.hashing import UniformHash
 from repro.core.params import SketchParams
 from repro.core.sketch import apply_degree_cap, build_h_leq_n, build_hp
 from repro.core.streaming_sketch import StreamingSketchBuilder
+from repro.utils.rng import random_permutation, spawn_rng
 
 set_systems = st.lists(
     st.frozensets(st.integers(min_value=0, max_value=40), min_size=0, max_size=12),
@@ -94,11 +95,10 @@ def test_streaming_sketch_invariants(sets, budget, cap, seed, order_seed):
     )
     hash_fn = UniformHash(seed)
     builder = StreamingSketchBuilder(params, hash_fn=hash_fn)
-    edges = sorted(graph.edges())
-    # Deterministic shuffle by order_seed.
-    import random
-
-    random.Random(order_seed).shuffle(edges)
+    # Deterministic shuffle by order_seed, through the library's own RNG.
+    edges = random_permutation(
+        sorted(graph.edges()), spawn_rng(order_seed, "sketch-property-order")
+    )
     builder.consume(edges)
     sketch = builder.sketch()
     # 1. Degree cap everywhere.
