@@ -27,6 +27,7 @@ from repro.api.registry import (
 from repro.api.specs import (
     PROBLEM_KINDS,
     ProblemSpec,
+    QuerySpec,
     RunSpec,
     SolverSpec,
     StreamSpec,
@@ -48,6 +49,7 @@ __all__ = [
     "ProblemSpec",
     "SolverSpec",
     "StreamSpec",
+    "QuerySpec",
     "RunSpec",
     "solve",
     "run",

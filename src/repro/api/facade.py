@@ -476,6 +476,7 @@ class Session:
         self.executor = executor
         self.max_workers = max_workers
         self._kernel_cache: Any | None = None
+        self._serve_engine: Any | None = None
         self._reference = reference_value
         # A default reference only makes sense for k-cover (Opt_k); computing
         # it is a full offline greedy, so defer until a row actually needs it.
@@ -556,6 +557,53 @@ class Session:
             max_workers=self.max_workers,
             extra=dict(extra or {}),
         )
+        self._record_row(report, label)
+        return report
+
+    def serve(
+        self,
+        *,
+        store: Any | None = None,
+        batch_size: int | None = 1024,
+    ) -> Any:
+        """The session's serving engine (built lazily, one per session).
+
+        The engine is configured to match :meth:`run`'s defaults — stream
+        order ``"random"`` seeded by the session seed, the session's
+        coverage backend — so ``session.query(QuerySpec(...))`` answers
+        with the same solution ``session.run(solver, options=...)`` would
+        compute, while repeat queries skip ingestion entirely.  ``store``
+        and ``batch_size`` only take effect on the first call (they shape
+        the engine being created); later calls return the cached engine.
+        """
+        if self._serve_engine is None:
+            from repro.serve import QueryEngine
+
+            self._serve_engine = QueryEngine(
+                self.problem,
+                store=store,
+                seed=self.seed,
+                order="random",
+                stream_seed=self.seed,
+                batch_size=batch_size,
+                coverage_backend=self.coverage_backend,
+            )
+        return self._serve_engine
+
+    def query(self, spec: Any, *, label: str | None = None) -> StreamingReport:
+        """Serve one query from the cached sketch and append its suite row.
+
+        ``spec`` is a :class:`~repro.api.specs.QuerySpec` (or its dict
+        form).  The row carries the same reference/approximation metrics
+        :meth:`run` records, so served and freshly-solved rows aggregate
+        side by side.
+        """
+        report = self.serve().query(spec)
+        self._record_row(report, label)
+        return report
+
+    def _record_row(self, report: StreamingReport, label: str | None) -> None:
+        """Append one report to the suite with the session-level metrics."""
         metrics: dict[str, Any] = {}
         graph = (
             self.problem.graph
@@ -572,7 +620,6 @@ class Session:
         self.suite.add_report(
             label or report.algorithm, self.instance_name, report, extra=metrics
         )
-        return report
 
     def compare(
         self,

@@ -32,6 +32,7 @@ __all__ = [
     "SolverSpec",
     "StreamSpec",
     "RunSpec",
+    "QuerySpec",
 ]
 
 #: The three coverage problems the library solves (ProblemKind values).
@@ -295,6 +296,100 @@ class StreamSpec:
         data = _require_mapping(data, cls)
         _reject_unknown_keys(cls, data)
         return cls(**data)
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """One serving-layer query against an already-built sketch.
+
+    Where :class:`ProblemSpec` describes what to *build*, a ``QuerySpec``
+    describes what to *ask*: the problem kind, the per-query parameters that
+    vary between requests (``k``, ``outlier_fraction``, ``forbidden`` set
+    ids, solver ``options``) and the kernel backend the answer should be
+    evaluated on.  Everything that determines the sketch's *content* —
+    dataset, seed, stream order, space budgets — lives on the
+    :class:`repro.serve.QueryEngine` instead, so distinct queries share one
+    cached sketch whenever their derived build inputs coincide.
+
+    ``forbidden`` is normalized to a sorted tuple of distinct ids, making
+    equal queries compare (and serialize) equal.
+    """
+
+    problem: str = "k_cover"
+    k: int | None = None
+    outlier_fraction: float | None = None
+    forbidden: tuple[int, ...] = ()
+    options: dict[str, Any] = field(default_factory=dict)
+    coverage_backend: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.problem not in PROBLEM_KINDS:
+            raise SpecError(
+                f"unknown problem {self.problem!r}; expected one of {PROBLEM_KINDS}"
+            )
+        if self.k is not None:
+            if isinstance(self.k, bool) or not isinstance(self.k, int) or self.k < 1:
+                raise SpecError(f"k must be a positive integer or None, got {self.k!r}")
+        if self.problem == "k_cover" and self.k is None:
+            raise SpecError("k_cover queries require k")
+        if self.outlier_fraction is not None:
+            if (
+                isinstance(self.outlier_fraction, bool)
+                or not isinstance(self.outlier_fraction, (int, float))
+                or not 0.0 < float(self.outlier_fraction) < 1.0
+            ):
+                raise SpecError(
+                    "outlier_fraction must lie strictly between 0 and 1, "
+                    f"got {self.outlier_fraction!r}"
+                )
+        if self.problem == "set_cover_outliers" and self.outlier_fraction is None:
+            raise SpecError("set_cover_outliers queries require outlier_fraction")
+        forbidden = self.forbidden
+        if isinstance(forbidden, (str, bytes)) or not isinstance(
+            forbidden, (list, tuple)
+        ):
+            raise SpecError(
+                f"forbidden must be a sequence of set ids, got {forbidden!r}"
+            )
+        ids = []
+        for item in forbidden:
+            if isinstance(item, bool) or not isinstance(item, int) or item < 0:
+                raise SpecError(
+                    f"forbidden must hold non-negative integers, got {item!r}"
+                )
+            ids.append(int(item))
+        object.__setattr__(self, "forbidden", tuple(sorted(set(ids))))
+        object.__setattr__(self, "options", _check_options_dict(self.options, "options"))
+        if self.coverage_backend is not None:
+            choices = kernel_backend_choices()
+            if self.coverage_backend not in choices:
+                raise SpecError(
+                    f"unknown coverage_backend {self.coverage_backend!r}; "
+                    f"expected one of {choices} or None"
+                )
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form (JSON-serializable)."""
+        return {
+            "problem": self.problem,
+            "k": self.k,
+            "outlier_fraction": self.outlier_fraction,
+            "forbidden": list(self.forbidden),
+            "options": dict(self.options),
+            "coverage_backend": self.coverage_backend,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "QuerySpec":
+        """Inverse of :meth:`to_dict`; unknown fields raise :class:`SpecError`."""
+        data = _require_mapping(data, cls)
+        _reject_unknown_keys(cls, data)
+        payload = dict(data)
+        if "forbidden" in payload and payload["forbidden"] is not None:
+            payload["forbidden"] = tuple(payload["forbidden"])
+        else:
+            payload.pop("forbidden", None)
+        return cls(**payload)
 
 
 @dataclass(frozen=True)

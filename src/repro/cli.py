@@ -12,6 +12,11 @@ workflows without writing any Python:
 * ``sketch`` — build the sketch of an edge-list file and report its size.
 * ``distributed`` — run the two-round MapReduce-style k-cover; columnar
   ``--edges`` directories are sharded off the memory-mapped columns.
+* ``serve`` — build the sketch once and drive a concurrent k-sweep query
+  load against it (:mod:`repro.serve`), reporting p50/p99 latency, QPS and
+  cache statistics.
+* ``query`` — answer one coverage query from the cached sketch (repeat it
+  with ``--repeat`` to see the warm-cache latency drop).
 * ``list-solvers`` — print the solver registry with capability metadata.
 * ``lint`` — run the repo-aware static-analysis pass (:mod:`repro.lint`)
   over files/directories; exits 0 when clean, 1 on findings, 2 on usage
@@ -147,6 +152,44 @@ def build_parser() -> argparse.ArgumentParser:
                                   "(default: the usable CPU count); given "
                                   "without --executor it implies "
                                   "--executor auto")
+
+    serve = sub.add_parser(
+        "serve", help="cached-sketch serving: one build, a concurrent query load"
+    )
+    add_instance_options(serve)
+    add_stream_options(serve)
+    serve.add_argument("--k", type=int, default=10,
+                       help="queries sweep k over 1..k (distinct budgets build "
+                            "their own cache entries; colliding ones share)")
+    serve.add_argument("--epsilon", type=float, default=0.2)
+    serve.add_argument("--scale", type=float, default=0.1)
+    serve.add_argument("--queries", type=int, default=32,
+                       help="number of queries in the driven load")
+    serve.add_argument("--clients", type=int, default=8,
+                       help="concurrent client threads")
+    serve.add_argument("--executor", choices=("serial", "thread"), default="thread",
+                       help="request executor; only shared-memory backends are "
+                            "allowed (a process pool would duplicate the cache)")
+
+    query = sub.add_parser(
+        "query", help="answer one coverage query from the cached sketch"
+    )
+    add_instance_options(query)
+    add_stream_options(query)
+    query.add_argument("--problem", choices=("k_cover", "set_cover", "set_cover_outliers"),
+                       default="k_cover")
+    query.add_argument("--k", type=int, default=10,
+                       help="cardinality budget (k_cover queries)")
+    query.add_argument("--outlier-fraction", type=float, default=0.1,
+                       help="λ for set_cover_outliers queries")
+    query.add_argument("--epsilon", type=float, default=0.2)
+    query.add_argument("--scale", type=float, default=0.1)
+    query.add_argument("--forbidden", default=None,
+                       help="comma-separated set ids excluded from selection "
+                            "(answered from the same cached sketch)")
+    query.add_argument("--repeat", type=int, default=2,
+                       help="ask the query this many times (first call builds, "
+                            "repeats hit the cache)")
 
     sub.add_parser("list-solvers", help="list the registered solvers and their capabilities")
 
@@ -380,6 +423,78 @@ def _cmd_lint(args: argparse.Namespace, out) -> int:
     return report.exit_code()
 
 
+def _serve_engine(args: argparse.Namespace):
+    from repro.serve import QueryEngine
+
+    return QueryEngine(
+        _load_graph(args),
+        seed=args.seed,
+        batch_size=args.batch_size,
+        coverage_backend=args.coverage_backend,
+    )
+
+
+def _cmd_serve(args: argparse.Namespace, out) -> int:
+    from repro.api import QuerySpec
+    from repro.serve import drive_queries
+
+    engine = _serve_engine(args)
+    options = {"epsilon": args.epsilon, "scale": args.scale}
+    specs = [
+        QuerySpec(problem="k_cover", k=1 + (i % max(1, args.k)), options=options)
+        for i in range(args.queries)
+    ]
+    # Warm the cache first so the driven numbers measure *serving*; the
+    # build cost is reported separately as warm_build_seconds.
+    warm = engine.query(specs[0])
+    load = drive_queries(
+        engine, specs, clients=args.clients, executor=args.executor
+    )
+    table = Table(["quantity", "value"])
+    table.add_row(quantity="warm_build_seconds", value=round(warm.timings["solve"], 6))
+    for key, value in load.as_dict().items():
+        value = round(value, 6) if isinstance(value, float) else value
+        table.add_row(quantity=key, value=value)
+    for key, value in engine.store.stats().items():
+        table.add_row(quantity=f"store_{key}", value=value)
+    _print(table, out)
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace, out) -> int:
+    from repro.api import QuerySpec
+
+    engine = _serve_engine(args)
+    forbidden = ()
+    if args.forbidden:
+        forbidden = tuple(
+            int(part) for part in args.forbidden.split(",") if part.strip()
+        )
+    options = {"epsilon": args.epsilon, "scale": args.scale}
+    if args.problem == "set_cover":
+        options["max_guesses"] = 14
+    elif args.problem == "set_cover_outliers":
+        options["max_guesses"] = 16
+    spec = QuerySpec(
+        problem=args.problem,
+        k=args.k if args.problem == "k_cover" else None,
+        outlier_fraction=(
+            args.outlier_fraction if args.problem == "set_cover_outliers" else None
+        ),
+        forbidden=forbidden,
+        options=options,
+    )
+    table = Table(["call", "cache_hit", "coverage", "fraction", "size", "solve_seconds"])
+    for call in range(max(1, args.repeat)):
+        report = engine.query(spec)
+        table.add_row(call=call, cache_hit=report.extra["cache_hit"],
+                      coverage=report.coverage, fraction=report.coverage_fraction,
+                      size=report.solution_size,
+                      solve_seconds=round(report.timings["solve"], 6))
+    _print(table, out)
+    return 0
+
+
 def _cmd_list_solvers(args: argparse.Namespace, out) -> int:
     table = Table(["name", "kind", "problems", "arrival", "passes", "space", "summary"])
     for info in iter_solvers():
@@ -395,6 +510,8 @@ _COMMANDS = {
     "generate": _cmd_generate,
     "sketch": _cmd_sketch,
     "distributed": _cmd_distributed,
+    "serve": _cmd_serve,
+    "query": _cmd_query,
     "list-solvers": _cmd_list_solvers,
     "lint": _cmd_lint,
 }

@@ -14,7 +14,7 @@ head-to-head with the baselines.
 from __future__ import annotations
 
 import math
-from typing import Callable
+from typing import Callable, Iterable
 
 from repro.coverage.bipartite import BipartiteGraph
 from repro.core.hashing import HashFamily
@@ -96,6 +96,13 @@ class StreamingKCover:
         *sketch* and runs the greedy on it — identical selections (the
         kernels share the greedy's tie-break, property-tested), much faster
         on dense sketches.  Ignored when an explicit ``solver`` is given.
+    forbidden:
+        Set ids the offline phase may not select.  The sketch construction is
+        unaffected (the stream pass is oblivious to the constraint — that is
+        what lets a serving layer answer many forbidden-set queries against
+        one sketch); only the greedy on the sketch skips these ids.
+        Unsupported with an explicit ``solver`` (the callable's signature has
+        nowhere to carry the constraint).
     """
 
     def __init__(
@@ -113,6 +120,7 @@ class StreamingKCover:
         rank_source: str = "hash",
         solver: Callable[[BipartiteGraph, int], list[int]] | None = None,
         coverage_backend: str | None = None,
+        forbidden: Iterable[int] = (),
     ) -> None:
         check_positive_int(k, "k")
         check_open_unit(epsilon, "epsilon")
@@ -121,6 +129,12 @@ class StreamingKCover:
         self.k = k
         self.epsilon = epsilon
         self.coverage_backend = coverage_backend
+        self.forbidden = frozenset(int(s) for s in forbidden)
+        if solver is not None and self.forbidden:
+            raise ValueError(
+                "forbidden= requires the default greedy solver; an explicit "
+                "solver callable cannot receive the constraint"
+            )
         self.params = params or default_kcover_params(
             num_sets, num_elements, k, epsilon, mode=mode, scale=scale
         )
@@ -141,7 +155,10 @@ class StreamingKCover:
         from repro.coverage.bitset import kernel_for
 
         return greedy_k_cover(
-            graph, k, kernel=kernel_for(graph, self.coverage_backend)
+            graph,
+            k,
+            forbidden=self.forbidden,
+            kernel=kernel_for(graph, self.coverage_backend),
         ).selected
 
     # ------------------------------------------------------------------ #

@@ -25,7 +25,7 @@ through the :class:`StreamingRunner`.
 from __future__ import annotations
 
 import math
-from typing import Literal
+from typing import Iterable, Literal
 
 from repro.coverage.bipartite import BipartiteGraph
 from repro.core.setcover_outliers import StreamingSetCoverOutliers
@@ -69,6 +69,11 @@ class StreamingSetCover:
         Optional packed-bitset kernel backend, threaded into every
         iteration's Algorithm 5 instance (each guess's greedy runs on a
         kernel of its sketch) and into the final residual greedy.
+    forbidden:
+        Set ids excluded from selection in every iteration's Algorithm 5
+        check and in the final residual greedy.  The stream passes are
+        unaffected.  A nonempty exclusion usually needs ``allow_partial``
+        (the remaining family may not cover the ground set).
     """
 
     def __init__(
@@ -85,6 +90,7 @@ class StreamingSetCover:
         max_guesses: int | None = None,
         allow_partial: bool = True,
         coverage_backend: str | None = None,
+        forbidden: Iterable[int] = (),
     ) -> None:
         check_positive_int(num_sets, "num_sets")
         check_positive_int(num_elements, "num_elements")
@@ -103,6 +109,7 @@ class StreamingSetCover:
         self.max_guesses = max_guesses
         self.allow_partial = allow_partial
         self.coverage_backend = coverage_backend
+        self.forbidden = frozenset(int(s) for s in forbidden)
         self.outlier_rate = outlier_rate_for_passes(num_elements, rounds)
         self.space = SpaceMeter(unit="edges")
 
@@ -159,6 +166,7 @@ class StreamingSetCover:
                 seed=self.seed + 7919 * iteration,
                 max_guesses=self.max_guesses,
                 coverage_backend=self.coverage_backend,
+                forbidden=self.forbidden,
             )
         elif phase == "collect":
             self._residual = BipartiteGraph(self.num_sets)
@@ -201,6 +209,7 @@ class StreamingSetCover:
             result = greedy_set_cover(
                 self._residual,
                 allow_partial=self.allow_partial,
+                forbidden=self.forbidden,
                 kernel=kernel_for(self._residual, self.coverage_backend),
             )
             self._extend_solution(result.selected)

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 from repro.core.hashing import HashFamily, UniformHash
 from repro.core.params import SketchParams
@@ -36,7 +36,14 @@ from repro.streaming.events import EdgeArrival
 from repro.streaming.space import SpaceMeter
 from repro.utils.validation import check_in_range, check_open_unit, check_positive_int
 
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from repro.coverage.bitset import KernelCache
+
 __all__ = ["GuessChecker", "GuessOutcome", "StreamingSetCoverOutliers", "guess_schedule"]
+
+#: Sentinel distinguishing "use the instance's configured backend" from an
+#: explicit per-query override (which may legitimately be ``None``).
+_UNSET: object = object()
 
 
 def guess_schedule(num_sets: int, epsilon: float) -> list[int]:
@@ -146,20 +153,57 @@ class GuessChecker:
             seed=seed,
             space=self.space,
         )
+        self._final_sketch: CoverageSketch | None = None
+        self._kernels: "KernelCache | None" = None
 
     def process(self, event: EdgeArrival) -> None:
         """Feed one edge into this guess's sketch."""
         self.builder.process(event)
 
-    def check(self) -> GuessOutcome:
-        """Run greedy on the sketch and apply the acceptance test (Algorithm 4)."""
+    def finalize(self) -> CoverageSketch:
+        """Freeze the post-stream sketch (plus a kernel cache) for queries.
+
+        Before finalization every :meth:`check` re-snapshots the builder (the
+        pre-existing behaviour, correct while the stream is still being fed);
+        after it, checks and queries share one immutable sketch and one
+        packed kernel per backend — the serving layer's repeat-query path.
+        """
+        if self._final_sketch is None:
+            from repro.coverage.bitset import KernelCache
+
+            self._final_sketch = self.builder.sketch()
+            self._kernels = KernelCache(self._final_sketch.graph)
+        return self._final_sketch
+
+    def check(
+        self,
+        *,
+        forbidden: Iterable[int] = (),
+        coverage_backend: object = _UNSET,
+    ) -> GuessOutcome:
+        """Run greedy on the sketch and apply the acceptance test (Algorithm 4).
+
+        ``forbidden`` excludes set ids from the greedy; ``coverage_backend``
+        overrides the configured kernel backend for this call only.  Neither
+        affects the sketch itself, so one stream pass supports arbitrarily
+        many differently-constrained checks.
+        """
         from repro.coverage.bitset import kernel_for
 
-        sketch: CoverageSketch = self.builder.sketch()
+        backend = (
+            self.coverage_backend if coverage_backend is _UNSET else coverage_backend
+        )
+        if self._final_sketch is not None and self._kernels is not None:
+            sketch = self._final_sketch
+            kernel = self._kernels.get(backend)  # type: ignore[arg-type]
+        else:
+            sketch = self.builder.sketch()
+            kernel = kernel_for(sketch.graph, backend)  # type: ignore[arg-type]
         result = greedy_k_cover(
             sketch.graph,
             self.budget_k,
-            kernel=kernel_for(sketch.graph, self.coverage_backend),
+            forbidden=forbidden,
+            kernel=kernel,
         )
         fraction = sketch.coverage_fraction(result.selected)
         required = 1.0 - self.lambda_prime - self.epsilon * math.log(1.0 / self.lambda_prime)
@@ -197,6 +241,9 @@ class StreamingSetCoverOutliers:
         Optional packed-bitset kernel backend; every guess's offline check
         (greedy on its sketch) then runs kernel-backed — the sketches are
         where this algorithm spends its offline time, one per guess.
+    forbidden:
+        Set ids no guess's greedy may select.  Applied at check time only;
+        the per-guess sketches are built identically regardless.
     """
 
     def __init__(
@@ -212,6 +259,7 @@ class StreamingSetCoverOutliers:
         seed: int = 0,
         max_guesses: int | None = None,
         coverage_backend: str | None = None,
+        forbidden: Iterable[int] = (),
     ) -> None:
         check_positive_int(num_sets, "num_sets")
         check_open_unit(epsilon, "epsilon")
@@ -249,6 +297,7 @@ class StreamingSetCoverOutliers:
             for index, guess in enumerate(guesses)
         ]
         self.coverage_backend = coverage_backend
+        self.forbidden = frozenset(int(s) for s in forbidden)
         self._outcomes: list[GuessOutcome] | None = None
         self._solution: list[int] | None = None
 
@@ -287,8 +336,37 @@ class StreamingSetCoverOutliers:
     def outcomes(self) -> list[GuessOutcome]:
         """Per-guess Algorithm 4 outcomes (computed once, cached)."""
         if self._outcomes is None:
-            self._outcomes = [checker.check() for checker in self._checkers]
+            self._outcomes = [
+                checker.check(forbidden=self.forbidden) for checker in self._checkers
+            ]
         return self._outcomes
+
+    def query(
+        self,
+        *,
+        forbidden: Iterable[int] = (),
+        coverage_backend: object = _UNSET,
+    ) -> tuple[list[int], list[GuessOutcome]]:
+        """Re-run the accept/reject cascade against the frozen sketches.
+
+        Unlike :meth:`result`/:meth:`outcomes` this never touches the cached
+        state, so a long-lived instance can answer many differently
+        constrained queries (new forbidden sets, another kernel backend)
+        after its single stream pass.  Returns ``(solution, outcomes)`` with
+        the same first-accepted-else-last selection rule as :meth:`result`.
+        """
+        backend = (
+            self.coverage_backend if coverage_backend is _UNSET else coverage_backend
+        )
+        outcomes: list[GuessOutcome] = []
+        for checker in self._checkers:
+            checker.finalize()
+            outcomes.append(
+                checker.check(forbidden=forbidden, coverage_backend=backend)
+            )
+        accepted = next((o for o in outcomes if o.accepted), None)
+        chosen = accepted if accepted is not None else outcomes[-1]
+        return list(dict.fromkeys(chosen.solution)), outcomes
 
     def guesses(self) -> Sequence[int]:
         """The guessed cover sizes, in increasing order."""

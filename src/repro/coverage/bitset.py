@@ -36,9 +36,13 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from repro.coverage.bipartite import BipartiteGraph
-from repro.coverage.kernels import KernelBackend, resolve_kernel_backend
+from repro.coverage.kernels import (
+    KernelBackend,
+    canonical_backend_name,
+    resolve_kernel_backend,
+)
 
-__all__ = ["BitsetCoverage", "kernel_for"]
+__all__ = ["BitsetCoverage", "KernelCache", "kernel_for"]
 
 
 def kernel_for(graph: BipartiteGraph, backend: str | KernelBackend | None) -> "BitsetCoverage | None":
@@ -119,6 +123,11 @@ class BitsetCoverage:
     def set_size(self, set_id: int) -> int:
         """``|S|`` for one set."""
         return int(self._set_sizes[set_id])
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by the packed rows (what a cache entry keeps resident)."""
+        return int(self._packed.nbytes)
 
     # ------------------------------------------------------------------ #
     # evaluation
@@ -339,3 +348,54 @@ class BitsetCoverage:
             unions = np.bitwise_or.reduce(gathered, axis=1)
             return self._backend.popcount(unions, 1).tolist()
         return [self.coverage(row) for row in rows]
+
+
+class KernelCache:
+    """Per-graph cache of packed kernels, one per *canonical* backend name.
+
+    The packing step is the expensive part of answering a query against an
+    already-built sketch, and the packed rows are immutable — so a sketch
+    held by the serving layer keeps one :class:`BitsetCoverage` per backend
+    and every subsequent query (any ``k``, any forbidden set) reuses it.
+    ``"auto"`` and the concrete backend it resolves to share one slot, so a
+    client asking for ``"auto"`` and one asking for ``"words"`` never pack
+    the same graph twice.
+
+    Mirrors :func:`kernel_for`: ``backend=None`` and empty graphs yield
+    ``None`` (the set-based path / nothing to evaluate).  Concurrent lookups
+    from the thread backend are safe — at worst two threads both pack the
+    same backend once and one dict assignment wins; both objects are
+    read-only and bit-identical.
+    """
+
+    def __init__(self, graph: BipartiteGraph) -> None:
+        self._graph = graph
+        self._kernels: dict[str, BitsetCoverage] = {}
+
+    @property
+    def graph(self) -> BipartiteGraph:
+        """The graph whose kernels are cached."""
+        return self._graph
+
+    def get(self, backend: str | KernelBackend | None) -> "BitsetCoverage | None":
+        """The cached kernel for ``backend``, packing on first use."""
+        if backend is None or self._graph.num_edges == 0:
+            return None
+        name = canonical_backend_name(backend)
+        kernel = self._kernels.get(name)
+        if kernel is None:
+            kernel = BitsetCoverage(self._graph, backend=name)
+            self._kernels[name] = kernel
+        return kernel
+
+    def __len__(self) -> int:
+        return len(self._kernels)
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes of packed rows across all cached backends."""
+        return sum(kernel.nbytes for kernel in self._kernels.values())
+
+    def backends(self) -> tuple[str, ...]:
+        """Canonical names of the backends packed so far (sorted)."""
+        return tuple(sorted(self._kernels))

@@ -41,6 +41,7 @@ __all__ = [
     "unregister_kernel_backend",
     "get_kernel_backend",
     "resolve_kernel_backend",
+    "canonical_backend_name",
     "list_kernel_backends",
     "kernel_backend_choices",
 ]
@@ -181,3 +182,13 @@ register_kernel_backend(
 def kernel_backend_choices() -> tuple[str, ...]:
     """Valid values for user-facing backend options (CLI, specs)."""
     return ("auto", *list_kernel_backends())
+
+
+def canonical_backend_name(backend: str | KernelBackend = "auto") -> str:
+    """The concrete registered name a backend request resolves to.
+
+    ``"auto"`` and the concrete name it currently resolves to are the *same*
+    kernel, so caches keyed by canonical name share one packed copy between
+    ``backend="auto"`` and ``backend="words"`` (or ``"bytes"``) callers.
+    """
+    return resolve_kernel_backend(backend).name

@@ -183,18 +183,26 @@ def greedy_set_cover(
     graph: BipartiteGraph,
     *,
     allow_partial: bool = False,
+    forbidden: Iterable[int] = (),
     kernel: "BitsetCoverage | None" = None,
 ) -> GreedyResult:
     """The ``ln m`` greedy for set cover.
 
     Raises :class:`InfeasibleError` when the family does not cover the ground
     set, unless ``allow_partial`` is true (then the maximal achievable
-    coverage is returned).
+    coverage is returned).  ``forbidden`` excludes set ids from selection —
+    with a nonempty exclusion the remaining family may no longer cover the
+    ground set, so pair it with ``allow_partial`` when that is acceptable.
     """
+    blocked = frozenset(forbidden)
     if kernel is not None:
-        result = _kernel_greedy(kernel, max_sets=None, target_coverage=graph.num_elements)
+        result = _kernel_greedy(
+            kernel, max_sets=None, target_coverage=graph.num_elements, forbidden=blocked
+        )
     else:
-        result = _lazy_greedy(graph, max_sets=None, target_coverage=graph.num_elements)
+        result = _lazy_greedy(
+            graph, max_sets=None, target_coverage=graph.num_elements, forbidden=blocked
+        )
     if result.coverage < graph.num_elements and not allow_partial:
         raise InfeasibleError(
             f"the family covers only {result.coverage} of {graph.num_elements} elements"
@@ -206,6 +214,7 @@ def greedy_partial_cover(
     graph: BipartiteGraph,
     target_fraction: float,
     *,
+    forbidden: Iterable[int] = (),
     kernel: "BitsetCoverage | None" = None,
 ) -> GreedyResult:
     """Greedy until at least ``target_fraction`` of the elements are covered.
@@ -216,10 +225,15 @@ def greedy_partial_cover(
     check_fraction(target_fraction, "target_fraction")
     target = math.ceil(target_fraction * graph.num_elements - 1e-9)
     target = min(graph.num_elements, max(0, target))
+    blocked = frozenset(forbidden)
     if kernel is not None:
-        result = _kernel_greedy(kernel, max_sets=None, target_coverage=target)
+        result = _kernel_greedy(
+            kernel, max_sets=None, target_coverage=target, forbidden=blocked
+        )
     else:
-        result = _lazy_greedy(graph, max_sets=None, target_coverage=target)
+        result = _lazy_greedy(
+            graph, max_sets=None, target_coverage=target, forbidden=blocked
+        )
     if result.coverage < target:
         raise InfeasibleError(
             f"cannot cover {target} elements; maximum achievable is {result.coverage}"

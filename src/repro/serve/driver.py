@@ -1,0 +1,163 @@
+"""Concurrent request driver: many clients, one engine, latency capture.
+
+The serving story is only real under load, so this module drives a batch of
+:class:`~repro.api.specs.QuerySpec` requests through one
+:class:`~repro.serve.engine.QueryEngine` on a :mod:`repro.parallel`
+mapper and reports per-query latencies plus p50/p99/QPS.
+
+Only the ``serial`` and ``thread`` backends are accepted: the whole point
+of warm serving is that every client shares the *same* resident sketch and
+packed kernel arrays, and a process pool would pickle a private copy of
+the engine into each worker — silently measuring N cold caches instead of
+one warm one.  Threads are the honest model for this workload anyway; the
+hot path is dominated by NumPy kernel reductions, which release the GIL.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.api.specs import QuerySpec
+from repro.errors import SpecError
+from repro.parallel import ParallelMapper
+from repro.streaming.runner import StreamingReport
+
+__all__ = [
+    "QueryJob",
+    "LoadReport",
+    "drive_queries",
+    "percentile",
+    "run_query_job",
+]
+
+#: Executor backends that keep every client on the shared engine.
+_SHARED_MEMORY_EXECUTORS = ("serial", "thread")
+
+
+@dataclass
+class QueryJob:
+    """One client request: which engine to ask, and what to ask it."""
+
+    engine: Any
+    spec: QuerySpec
+
+
+def run_query_job(job: QueryJob) -> tuple[StreamingReport, float]:
+    """Execute one request, returning ``(report, latency_seconds)``.
+
+    Module-level on purpose: it is the function handed to
+    ``ParallelMapper.map``, and jobs must stay importable descriptions of
+    work (see the ``picklable-jobs`` lint contract).
+    """
+    start = time.perf_counter()
+    report = job.engine.query(job.spec)
+    return report, time.perf_counter() - start
+
+
+def percentile(latencies: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (``q`` in [0, 100]) of a non-empty sample."""
+    if not latencies:
+        raise ValueError("percentile of an empty sample")
+    ordered = sorted(latencies)
+    rank = max(1, min(len(ordered), math.ceil(q / 100.0 * len(ordered))))
+    return ordered[rank - 1]
+
+
+@dataclass
+class LoadReport:
+    """Outcome of one driven batch of queries.
+
+    ``reports``/``latencies`` are in request order (the mapper guarantees
+    input-order results), so callers can line answers up with their specs.
+    ``executor``/``workers`` record what actually ran — a sandbox that
+    cannot spawn threads degrades to the serial loop and says so.
+    """
+
+    clients: int
+    executor: str
+    workers: int
+    latencies: list[float]
+    reports: list[StreamingReport]
+    wall_seconds: float
+
+    @property
+    def num_queries(self) -> int:
+        """How many requests the batch contained."""
+        return len(self.latencies)
+
+    @property
+    def p50(self) -> float:
+        """Median per-query latency (seconds)."""
+        return percentile(self.latencies, 50)
+
+    @property
+    def p99(self) -> float:
+        """99th-percentile per-query latency (seconds)."""
+        return percentile(self.latencies, 99)
+
+    @property
+    def mean_latency(self) -> float:
+        """Mean per-query latency (seconds)."""
+        return sum(self.latencies) / len(self.latencies)
+
+    @property
+    def qps(self) -> float:
+        """Aggregate throughput: completed queries per wall-clock second."""
+        return self.num_queries / self.wall_seconds if self.wall_seconds else 0.0
+
+    def as_dict(self) -> dict[str, Any]:
+        """Flat summary for tables and JSON artifacts (no per-query data)."""
+        return {
+            "clients": self.clients,
+            "executor": self.executor,
+            "workers": self.workers,
+            "num_queries": self.num_queries,
+            "wall_seconds": self.wall_seconds,
+            "p50_seconds": self.p50,
+            "p99_seconds": self.p99,
+            "mean_seconds": self.mean_latency,
+            "qps": self.qps,
+        }
+
+
+def drive_queries(
+    engine: Any,
+    specs: Iterable[QuerySpec | Mapping[str, Any]],
+    *,
+    clients: int = 8,
+    executor: str = "thread",
+) -> LoadReport:
+    """Drive a batch of queries through ``engine`` with ``clients`` workers.
+
+    ``specs`` may mix :class:`QuerySpec` instances and their dict forms.
+    Latency is measured per query inside the worker; ``wall_seconds``
+    covers the whole batch, so ``qps`` reflects real concurrency.
+    """
+    if executor not in _SHARED_MEMORY_EXECUTORS:
+        raise SpecError(
+            f"drive_queries supports executors {_SHARED_MEMORY_EXECUTORS}, "
+            f"got {executor!r}: a process pool would pickle a private engine "
+            "copy per worker and benchmark cold caches instead of the shared "
+            "warm one"
+        )
+    resolved = [
+        spec if isinstance(spec, QuerySpec) else QuerySpec.from_dict(spec)
+        for spec in specs
+    ]
+    jobs = [QueryJob(engine=engine, spec=spec) for spec in resolved]
+    mapper = ParallelMapper(executor, max_workers=clients)
+    start = time.perf_counter()
+    outcomes = mapper.map(run_query_job, jobs)
+    wall = time.perf_counter() - start
+    executed_backend, executed_workers = mapper.last_execution
+    return LoadReport(
+        clients=clients,
+        executor=executed_backend,
+        workers=executed_workers,
+        latencies=[latency for _, latency in outcomes],
+        reports=[report for report, _ in outcomes],
+        wall_seconds=wall,
+    )

@@ -1,0 +1,75 @@
+"""Content fingerprints for coverage problems.
+
+A serving cache must key sketches by *what the data is*: two
+:class:`~repro.coverage.bipartite.BipartiteGraph` objects holding the same
+edges are the same dataset, and one :class:`~repro.serve.store.SketchStore`
+may be shared by several engines over different datasets.  The fingerprint
+is a SHA-256 over a canonical byte encoding:
+
+* **Graphs** hash ``(num_sets, num_elements)`` followed by every set's id
+  and its *sorted* member array.  Sorting matters: the graph stores
+  adjacency as hash sets, so raw ``edges()`` iteration order is not stable
+  across processes, while the sorted encoding is a pure function of the
+  edge set.
+* **Columnar views** hash the raw column bytes plus the dimensions.  The
+  columns are the on-disk representation, already canonical (file order),
+  and hashing them avoids materialising a graph just to fingerprint it.
+
+A graph and the columnar view of the same edges therefore get *different*
+fingerprints — the fingerprint identifies the loaded representation, which
+is also what determines the stream the build consumes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+
+import numpy as np
+
+from repro.coverage.bipartite import BipartiteGraph
+from repro.coverage.instance import CoverageInstance
+from repro.coverage.io import ColumnarEdges
+from repro.errors import SpecError
+
+__all__ = ["fingerprint_graph", "fingerprint_columns", "fingerprint_problem"]
+
+
+def fingerprint_graph(graph: BipartiteGraph) -> str:
+    """SHA-256 hex digest of a graph's canonical (sorted) edge encoding."""
+    digest = hashlib.sha256()
+    digest.update(b"repro.fingerprint.graph.v1")
+    digest.update(struct.pack("<QQ", graph.num_sets, graph.num_elements))
+    for set_id in graph.set_ids():
+        members = np.array(sorted(graph.elements_of(set_id)), dtype=np.int64)
+        digest.update(struct.pack("<QQ", set_id, len(members)))
+        digest.update(members.tobytes())
+    return digest.hexdigest()
+
+
+def fingerprint_columns(columns: ColumnarEdges) -> str:
+    """SHA-256 hex digest of a columnar view's raw column bytes."""
+    digest = hashlib.sha256()
+    digest.update(b"repro.fingerprint.columns.v1")
+    digest.update(
+        struct.pack("<QQQ", columns.num_sets, columns.num_elements, columns.num_edges)
+    )
+    digest.update(np.ascontiguousarray(columns.set_ids).tobytes())
+    digest.update(np.ascontiguousarray(columns.elements).tobytes())
+    return digest.hexdigest()
+
+
+def fingerprint_problem(
+    problem: CoverageInstance | BipartiteGraph | ColumnarEdges,
+) -> str:
+    """Fingerprint any of the problem shapes the serving engine accepts."""
+    if isinstance(problem, ColumnarEdges):
+        return fingerprint_columns(problem)
+    if isinstance(problem, CoverageInstance):
+        return fingerprint_graph(problem.graph)
+    if isinstance(problem, BipartiteGraph):
+        return fingerprint_graph(problem)
+    raise SpecError(
+        "fingerprint_problem expects a CoverageInstance, BipartiteGraph or "
+        f"ColumnarEdges, got {type(problem).__name__}"
+    )

@@ -1,0 +1,134 @@
+"""The sketch cache: LRU store of built sketches keyed by content + params.
+
+One :class:`SketchStore` can back any number of
+:class:`~repro.serve.engine.QueryEngine` instances — every key carries the
+dataset's content fingerprint, so engines over different datasets never
+collide.  Entries hold whatever the engine needs to answer queries without
+re-ingesting the stream: the built sketch, its packed coverage kernels and
+the build run's report.
+
+Concurrency model: a single lock is held across lookup *and* build.  Builds
+are rare (one stream pass per distinct build configuration) while hits are
+cheap, so serialising a cold build against concurrent requests for the same
+key is the point — without it, eight clients racing on a cold cache would
+each pay the full ingestion.  The entries themselves are read-only after
+construction, so hit paths that escape the lock are safe to use from many
+threads.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.utils.validation import check_positive_int
+
+__all__ = ["SketchKey", "SketchStore"]
+
+
+@dataclass(frozen=True)
+class SketchKey:
+    """Identity of one cached build.
+
+    Attributes
+    ----------
+    fingerprint:
+        Content hash of the input dataset
+        (:func:`repro.serve.fingerprint.fingerprint_problem`).
+    family:
+        The registry name of the solver family the entry was built for
+        (``"kcover/sketch"``, ``"setcover/sketch"``, ``"outliers/sketch"``).
+    config:
+        The build inputs that determine the entry's content, as a flat
+        hashable tuple — derived space budgets, seeds, stream order.  What
+        goes in (and what is deliberately left out, e.g. the coverage
+        backend and the per-query ``k``/``forbidden``) is the engine's
+        contract; see :mod:`repro.serve.engine`.
+    """
+
+    fingerprint: str
+    family: str
+    config: tuple[Any, ...]
+
+
+class SketchStore:
+    """Bounded LRU cache of built sketch entries.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of entries kept resident.  The least-recently-used
+        entry is evicted when a build pushes the store past the bound;
+        evicted configurations are rebuilt (deterministically — same key,
+        same bytes) on their next request, which the serving property tests
+        exercise explicitly.
+    """
+
+    def __init__(self, capacity: int = 8) -> None:
+        check_positive_int(capacity, "capacity")
+        self.capacity = capacity
+        self._entries: "OrderedDict[SketchKey, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._builds = 0
+        self._evictions = 0
+
+    def get_or_build(
+        self, key: SketchKey, build: Callable[[], Any]
+    ) -> tuple[Any, bool]:
+        """Return ``(entry, cache_hit)``, building and admitting on a miss."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self._hits += 1
+                return entry, True
+            self._misses += 1
+            entry = build()
+            self._builds += 1
+            self._entries[key] = entry
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+            return entry, False
+
+    def evict(self, key: SketchKey) -> bool:
+        """Drop one entry; returns whether it was present."""
+        with self._lock:
+            if key in self._entries:
+                del self._entries[key]
+                self._evictions += 1
+                return True
+            return False
+
+    def clear(self) -> int:
+        """Drop every entry; returns how many were evicted."""
+        with self._lock:
+            count = len(self._entries)
+            self._entries.clear()
+            self._evictions += count
+            return count
+
+    def keys(self) -> tuple[SketchKey, ...]:
+        """The resident keys, least-recently-used first."""
+        with self._lock:
+            return tuple(self._entries)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> dict[str, int]:
+        """Lifetime counters for reports and the CLI."""
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self._hits,
+                "misses": self._misses,
+                "builds": self._builds,
+                "evictions": self._evictions,
+            }

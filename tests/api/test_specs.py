@@ -6,7 +6,7 @@ import json
 
 import pytest
 
-from repro.api import ProblemSpec, RunSpec, SolverSpec, StreamSpec
+from repro.api import ProblemSpec, QuerySpec, RunSpec, SolverSpec, StreamSpec
 from repro.errors import SpecError
 
 
@@ -164,6 +164,52 @@ class TestRunSpec:
     def test_requires_spec_types(self):
         with pytest.raises(SpecError):
             RunSpec(problem={"problem": "k_cover"}, solver=SolverSpec("kcover/sketch"))
+
+
+class TestQuerySpec:
+    def test_round_trip(self):
+        spec = QuerySpec(
+            problem="k_cover",
+            k=5,
+            forbidden=(3, 1),
+            options={"scale": 0.1},
+            coverage_backend="bytes",
+        )
+        data = spec.to_dict()
+        json.dumps(data)
+        assert QuerySpec.from_dict(data) == spec
+
+    def test_forbidden_normalized_sorted_deduped(self):
+        spec = QuerySpec(problem="k_cover", k=2, forbidden=[5, 1, 5, 3])
+        assert spec.forbidden == (1, 3, 5)
+
+    def test_kcover_requires_k(self):
+        with pytest.raises(SpecError, match="k"):
+            QuerySpec(problem="k_cover")
+        with pytest.raises(SpecError):
+            QuerySpec(problem="k_cover", k=0)
+
+    def test_outliers_requires_fraction(self):
+        with pytest.raises(SpecError, match="outlier_fraction"):
+            QuerySpec(problem="set_cover_outliers")
+        with pytest.raises(SpecError):
+            QuerySpec(problem="set_cover_outliers", outlier_fraction=1.5)
+
+    def test_rejects_unknown_problem(self):
+        with pytest.raises(SpecError):
+            QuerySpec(problem="vertex_cover")
+
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(SpecError, match="coverage_backend"):
+            QuerySpec(problem="set_cover", coverage_backend="trits")
+
+    def test_rejects_unknown_keys(self):
+        with pytest.raises(SpecError):
+            QuerySpec.from_dict({"problem": "set_cover", "budget": 3})
+
+    def test_rejects_non_serializable_options(self):
+        with pytest.raises(SpecError):
+            QuerySpec(problem="set_cover", options={"fn": lambda x: x})
 
 
 class TestCoverageBackendField:

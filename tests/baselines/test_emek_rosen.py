@@ -2,9 +2,12 @@
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
 from repro.baselines.emek_rosen import ThresholdPartialSetCover
+from repro.coverage.bipartite import BipartiteGraph
+from repro.streaming.batches import EventBatch
 from repro.streaming.runner import StreamingRunner
 from repro.streaming.stream import SetStream
 
@@ -67,3 +70,80 @@ class TestThresholdPartialSetCover:
         info = algo.describe()
         assert info["algorithm"] == "threshold-partial-cover"
         assert info["passes"] == 2
+
+
+def _witness_heavy_graph() -> BipartiteGraph:
+    """A graph engineered so the outcome hinges on witness bookkeeping.
+
+    One giant set clears every threshold; a tail of tiny overlapping sets
+    never does, so the final cover must be patched from witnesses — the
+    exact state the batched observe path maintains vectorised.  The tiny
+    sets overlap pairwise, making the patch sensitive to *which* set each
+    element witnessed first.
+    """
+    graph = BipartiteGraph(12)
+    for element in range(40):
+        graph.add_edge(0, element)
+    # Tiny sets: set 1+i holds elements {40+i, 41+i, 42+i} — heavy overlap.
+    for i in range(11):
+        for offset in range(3):
+            graph.add_edge(1 + i, 40 + i + offset)
+    return graph
+
+
+class TestProcessBatchEquivalence:
+    """Hostile cases for the native CSR threshold prefilter."""
+
+    def _run(self, graph, batch_size, *, passes=3, outlier_fraction=0.05, seed=7):
+        algo = ThresholdPartialSetCover(
+            max(1, graph.num_elements), outlier_fraction, passes=passes
+        )
+        stream = SetStream.from_graph(graph, order="random", seed=seed)
+        report = StreamingRunner(graph).run(algo, stream, batch_size=batch_size)
+        return report, algo
+
+    def test_rejects_edge_batches(self):
+        algo = ThresholdPartialSetCover(10, 0.1)
+        edge_batch = EventBatch(set_ids=np.array([0]), elements=np.array([1]))
+        with pytest.raises(TypeError):
+            algo.process_batch(edge_batch)
+
+    @pytest.mark.parametrize("batch_size", (1, 7, 1024))
+    def test_witness_state_matches_scalar(self, batch_size):
+        """Internal state (not just the report) is byte-identical."""
+        graph = _witness_heavy_graph()
+        scalar_report, scalar_algo = self._run(graph, None)
+        batched_report, batched_algo = self._run(graph, batch_size)
+        assert batched_report.solution == scalar_report.solution
+        assert batched_report.coverage == scalar_report.coverage
+        assert batched_report.space_peak == scalar_report.space_peak
+        assert batched_algo._witness == scalar_algo._witness
+        assert batched_algo._covered == scalar_algo._covered
+        assert batched_algo._universe == scalar_algo._universe
+
+    @pytest.mark.parametrize("batch_size", (1, 7, 1024))
+    def test_all_below_threshold_single_pass(self, batch_size):
+        """A batch that is one long skipped run still observes everything."""
+        graph = BipartiteGraph(8)
+        for set_id in range(8):
+            graph.add_edge(set_id, set_id)
+            graph.add_edge(set_id, (set_id + 1) % 8)
+        scalar_report, scalar_algo = self._run(
+            graph, None, passes=1, outlier_fraction=0.5
+        )
+        batched_report, batched_algo = self._run(
+            graph, batch_size, passes=1, outlier_fraction=0.5
+        )
+        assert batched_report.solution == scalar_report.solution
+        assert batched_algo._witness == scalar_algo._witness
+        assert batched_report.space_peak == scalar_report.space_peak
+
+    def test_prefilter_never_skips_acceptable_sets(self):
+        """Every set at/above the threshold goes through the exact path."""
+        graph = _witness_heavy_graph()
+        for batch_size in (1, 7, 1024):
+            batched_report, _ = self._run(graph, batch_size)
+            scalar_report, _ = self._run(graph, None)
+            # The giant set must be selected under both drive modes.
+            assert 0 in batched_report.solution
+            assert batched_report.solution == scalar_report.solution

@@ -13,7 +13,7 @@ from pathlib import Path
 from repro.lint import iter_rule_metas, lint_paths, render_text
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
-LINTED_TREES = ("src", "benchmarks", "tests")
+LINTED_TREES = ("src", "benchmarks", "tests", "examples")
 
 
 def test_repository_lints_clean():
