@@ -41,6 +41,7 @@ from repro.coverage.bipartite import BipartiteGraph
 from repro.coverage.io import open_columnar, read_edge_list, write_columnar, write_edge_list
 from repro.coverage.kernels import kernel_backend_choices
 from repro.datasets import get_dataset, iter_datasets, list_datasets
+from repro.distributed.coordinator import REDUCE_MODES
 from repro.distributed.partition import PARTITION_STRATEGIES
 from repro.lint import iter_rule_metas, lint_paths, render_json, render_text, rule_choices
 from repro.parallel import executor_choices
@@ -152,6 +153,13 @@ def build_parser() -> argparse.ArgumentParser:
                                   "(default: the usable CPU count); given "
                                   "without --executor it implies "
                                   "--executor auto")
+    distributed.add_argument("--reduce", choices=REDUCE_MODES, default=None,
+                             help="reduce mode: 'streaming' folds machine "
+                                  "sketches into an incremental merge tree as "
+                                  "map jobs complete (O(log machines) resident "
+                                  "sketches); 'barrier' gathers all sketches "
+                                  "before one flat merge; results are "
+                                  "byte-identical (default: streaming)")
 
     serve = sub.add_parser(
         "serve", help="cached-sketch serving: one build, a concurrent query load"
@@ -366,7 +374,7 @@ def _cmd_distributed(args: argparse.Namespace, out) -> int:
     report = solve(
         problem, "kcover/distributed", problem_kind="k_cover", k=args.k,
         seed=args.seed, coverage_backend=args.coverage_backend,
-        executor=args.executor, max_workers=args.workers,
+        executor=args.executor, max_workers=args.workers, reduce=args.reduce,
         options={"epsilon": args.epsilon, "scale": args.scale,
                  "num_machines": args.machines, "strategy": args.strategy},
     )
@@ -375,6 +383,10 @@ def _cmd_distributed(args: argparse.Namespace, out) -> int:
     table.add_row(quantity="strategy", value=report.extra["strategy"])
     table.add_row(quantity="executor", value=report.extra["executor"])
     table.add_row(quantity="map_workers", value=report.extra["map_workers"])
+    table.add_row(quantity="reduce_mode", value=report.extra["reduce_mode"])
+    table.add_row(quantity="peak_resident_sketches",
+                  value=report.extra["peak_resident_sketches"])
+    table.add_row(quantity="merge_count", value=report.extra["merge_count"])
     table.add_row(quantity="rounds", value=report.passes)
     table.add_row(quantity="coverage", value=report.coverage)
     table.add_row(quantity="coverage_estimate", value=report.extra["coverage_estimate"])

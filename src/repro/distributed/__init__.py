@@ -9,14 +9,20 @@ per-machine space and communication both bounded by the sketch size.
 The pipeline is batched end to end: :class:`EdgePartitioner` shards whole
 columnar event batches in one vectorised assignment, workers ingest batches
 through the sketch builder's native path, and the coordinator's merge is one
-lexsort admission pass over the stacked shard columns.
-:meth:`DistributedKCover.run_from_columnar` maps each worker over its own
-row slice of a memory-mapped columnar directory.
+lexsort admission pass over the stacked shard columns — run either as one
+barrier merge or as a streaming binary merge tree that folds sketches in as
+they complete (:class:`StreamingMergeTree`, O(log machines) resident,
+byte-identical).  :meth:`DistributedKCover.run_from_columnar` ships zero
+edge bytes for every partition strategy: workers re-open the memory-mapped
+columnar directory themselves, via row bounds (:class:`ColumnarSliceJob`)
+or deterministic local re-routing (:class:`ShardRecomputeJob`).
 """
 
 from repro.distributed.coordinator import (
+    REDUCE_MODES,
     DistributedKCover,
     DistributedRunReport,
+    StreamingMergeTree,
     merge_machine_sketches,
 )
 from repro.distributed.partition import (
@@ -31,14 +37,17 @@ from repro.distributed.worker import (
     ColumnarSliceJob,
     MachineShardJob,
     MachineSketch,
+    ShardRecomputeJob,
     build_all_machine_sketches,
     build_machine_sketch,
     execute_map_job,
 )
 
 __all__ = [
+    "REDUCE_MODES",
     "DistributedKCover",
     "DistributedRunReport",
+    "StreamingMergeTree",
     "merge_machine_sketches",
     "PARTITION_STRATEGIES",
     "EdgePartitioner",
@@ -49,6 +58,7 @@ __all__ = [
     "MachineSketch",
     "MachineShardJob",
     "ColumnarSliceJob",
+    "ShardRecomputeJob",
     "execute_map_job",
     "build_all_machine_sketches",
     "build_machine_sketch",

@@ -20,20 +20,38 @@ distributed k-cover: round 1 — machines sketch their shards; round 2 — the
 coordinator merges and runs the offline greedy (optionally on a packed
 coverage kernel, see ``coverage_backend``).
 
+Reduce modes
+------------
+The merge operator is associative and commutative (the admission pass
+depends only on the multiset of surviving ``(set, element, rank)`` rows, not
+on how they were grouped), so the reduce does not have to be a barrier.
+:class:`StreamingMergeTree` merges machine sketches pairwise **as they
+arrive** from :meth:`~repro.parallel.ParallelMapper.map_unordered` — a
+binary-counter tree that keeps at most ``O(log num_machines)`` sketches
+resident for *any* arrival order and produces the byte-identical final
+sketch the one-shot barrier merge produces (property-tested across
+executors, worker counts and adversarial arrival orders).  The ``reduce``
+knob selects the mode; ``streaming`` is the default.
+
 The whole pipeline is columnar: sharding decides whole
 :class:`~repro.streaming.batches.EventBatch` columns at a time
 (:class:`~repro.distributed.partition.EdgePartitioner`), workers ingest
 batches through the sketch builder's vectorised path, and the merge itself
 stacks the shard sketches' edge columns and runs one lexsort admission pass.
 :meth:`DistributedKCover.run_from_columnar` closes the loop for on-disk
-inputs: each worker maps its own row slice of a columnar directory, so the
-coordinator never materialises a single per-edge Python tuple.
+inputs: with a parallel executor **every** partition strategy ships only a
+job description — ``row_range`` slices carry path + row bounds
+(:class:`~repro.distributed.worker.ColumnarSliceJob`), every other strategy
+carries path + routing parameters and recomputes its shard locally
+(:class:`~repro.distributed.worker.ShardRecomputeJob`) — so the coordinator
+never materialises a single per-edge Python tuple and no edge bytes cross a
+process boundary.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
@@ -48,6 +66,8 @@ from repro.distributed.worker import (
     ColumnarSliceJob,
     MachineShardJob,
     MachineSketch,
+    MapJob,
+    ShardRecomputeJob,
     execute_map_job,
 )
 from repro.offline.greedy import greedy_k_cover
@@ -56,7 +76,18 @@ from repro.streaming.batches import EventBatch
 from repro.streaming.stream import EdgeStream
 from repro.utils.validation import check_positive_int
 
-__all__ = ["merge_machine_sketches", "DistributedRunReport", "DistributedKCover"]
+__all__ = [
+    "REDUCE_MODES",
+    "merge_machine_sketches",
+    "StreamingMergeTree",
+    "DistributedRunReport",
+    "DistributedKCover",
+]
+
+#: How the coordinator gathers machine sketches: ``barrier`` holds all of
+#: them and merges once; ``streaming`` merges pairwise as they arrive,
+#: keeping O(log machines) resident.  Both produce byte-identical runs.
+REDUCE_MODES = ("barrier", "streaming")
 
 
 def _sketch_columns(sketch: CoverageSketch) -> tuple[np.ndarray, np.ndarray]:
@@ -88,11 +119,35 @@ def merge_machine_sketches(
     """
     if not machine_sketches:
         raise ValueError("need at least one machine sketch to merge")
+    return _merge_sketches(
+        [ms.sketch for ms in machine_sketches], params, hash_seed=hash_seed
+    )
+
+
+def _merge_sketches(
+    sketches: Sequence[CoverageSketch],
+    params: SketchParams,
+    *,
+    hash_seed: int = 0,
+) -> CoverageSketch:
+    """The admission pass over raw sketches (the associative merge operator).
+
+    Associativity/commutativity, which the streaming tree relies on: the
+    lexsort realises one global total order by ``(rank, element, set)``, so
+    the surviving rows depend only on the *multiset* of input rows.  An
+    intermediate merge can only (a) drop whole elements whose rank exceeds
+    its own admitted threshold — but that threshold is itself >= the final
+    one, so those elements would be dropped at the root anyway — and (b)
+    cap an element's owners to the smallest ``degree_cap`` set ids —
+    smallest-of-union selection, which is associative.  Hash ties between
+    distinct elements (probability ~2^-64) are the only caveat, the same
+    caveat the barrier merge already carries.
+    """
     hash_fn = UniformHash(hash_seed)
-    global_threshold = min(ms.sketch.threshold for ms in machine_sketches)
+    global_threshold = min(sketch.threshold for sketch in sketches)
 
     # Stack the shard columns, restricted to globally-admitted elements.
-    columns = [_sketch_columns(ms.sketch) for ms in machine_sketches]
+    columns = [_sketch_columns(sketch) for sketch in sketches]
     sets = np.concatenate([c[0] for c in columns])
     elements = np.concatenate([c[1] for c in columns])
     merged = BipartiteGraph(params.num_sets)
@@ -158,6 +213,107 @@ def merge_machine_sketches(
 
 
 @dataclass
+class _MergeNode:
+    """One in-flight subtree of the streaming reduce.
+
+    ``carried`` accumulates the degree-cap truncation flags the *flat* merge
+    would have computed: an intermediate pass sees already-capped child
+    degrees, so its own ``truncated_elements`` under-reports whenever the
+    true union degree exceeded the cap at a lower level.  The propagation
+    rule ``computed ∪ ((left ∪ right) ∩ admitted)`` restores exactly the
+    flat set (leaves carry nothing — the barrier merge ignores the machines'
+    own shard-level flags the same way).
+    """
+
+    height: int
+    sketch: CoverageSketch
+    carried: frozenset[int]
+
+
+class StreamingMergeTree:
+    """Incremental pairwise reduce of machine sketches, O(log M) resident.
+
+    Sketches enter as height-0 subtrees; whenever two subtrees of equal
+    height exist they merge immediately (a binary counter over subtree
+    heights), so at most ``log2(M) + 1`` sketches are ever resident at the
+    coordinator **regardless of arrival order** — a fixed-shape tree would
+    degrade to ``M/2`` resident under an adversarial order.  Because the
+    merge operator is associative and commutative (see
+    :func:`_merge_sketches`), the final sketch is byte-identical to the
+    one-shot barrier merge for every arrival order, even though the
+    intermediate groupings differ.
+
+    ``peak_resident`` and ``merge_count`` feed the run report;
+    :meth:`result` drains the remaining subtrees (total pairwise merges:
+    ``M - 1``) and may be called once.
+    """
+
+    def __init__(self, params: SketchParams, *, hash_seed: int = 0) -> None:
+        self.params = params
+        self.hash_seed = hash_seed
+        self._slots: list[_MergeNode | None] = []
+        self._added = 0
+        #: Pairwise merge passes run so far (``M - 1`` after :meth:`result`).
+        self.merge_count = 0
+        #: Sketches currently held (slots plus the one being sifted in).
+        self.resident = 0
+        #: High-water mark of ``resident`` — the memory model the report and
+        #: the benchmark gate: O(log M) vs the barrier's M.
+        self.peak_resident = 0
+
+    def add(self, machine_sketch: MachineSketch) -> None:
+        """Fold one arriving machine sketch into the tree (carry-merge)."""
+        node = _MergeNode(
+            height=0, sketch=machine_sketch.sketch, carried=frozenset()
+        )
+        self._added += 1
+        self.resident += 1
+        self.peak_resident = max(self.peak_resident, self.resident)
+        while node.height < len(self._slots) and self._slots[node.height] is not None:
+            other = self._slots[node.height]
+            self._slots[node.height] = None
+            node = self._merge_pair(other, node)
+        if node.height == len(self._slots):
+            self._slots.append(None)
+        self._slots[node.height] = node
+
+    def _merge_pair(self, left: _MergeNode, right: _MergeNode) -> _MergeNode:
+        """Merge two subtrees, propagating the carried truncation flags."""
+        merged = _merge_sketches(
+            [left.sketch, right.sketch], self.params, hash_seed=self.hash_seed
+        )
+        carried = frozenset(merged.truncated_elements) | frozenset(
+            element
+            for element in (left.carried | right.carried)
+            if element in merged.element_hashes
+        )
+        self.merge_count += 1
+        self.resident -= 1
+        return _MergeNode(
+            height=max(left.height, right.height) + 1, sketch=merged, carried=carried
+        )
+
+    def result(self) -> CoverageSketch:
+        """Drain the remaining subtrees into the final merged sketch."""
+        nodes = [node for node in self._slots if node is not None]
+        if not nodes:
+            raise ValueError("no machine sketches were added to the merge tree")
+        self._slots = []
+        node = nodes[0]
+        for other in nodes[1:]:
+            node = self._merge_pair(node, other)
+        if self.merge_count == 0:
+            # A single machine never pairs up, but the barrier merge still
+            # runs one admission pass over that lone sketch — match it.
+            merged = _merge_sketches(
+                [node.sketch], self.params, hash_seed=self.hash_seed
+            )
+            self.merge_count += 1
+            return merged
+        return replace(node.sketch, truncated_elements=node.carried)
+
+
+@dataclass
 class DistributedRunReport:
     """Everything measured about one distributed run."""
 
@@ -174,6 +330,14 @@ class DistributedRunReport:
     coverage_backend: str | None = None
     executor: str = "serial"
     map_workers: int = 1
+    #: Which reduce gathered the machine sketches (see :data:`REDUCE_MODES`).
+    reduce_mode: str = "barrier"
+    #: Most machine sketches the coordinator held at once: ``num_machines``
+    #: for the barrier, O(log num_machines) for the streaming tree.
+    peak_resident_sketches: int = 0
+    #: Merge passes the reduce ran: 1 for the barrier, ``num_machines - 1``
+    #: pairwise passes for the streaming tree.
+    merge_count: int = 0
 
     @property
     def max_machine_load(self) -> int:
@@ -218,6 +382,9 @@ class DistributedRunReport:
             "coverage_backend": self.coverage_backend or "-",
             "executor": self.executor,
             "map_workers": self.map_workers,
+            "reduce_mode": self.reduce_mode,
+            "peak_resident_sketches": self.peak_resident_sketches,
+            "merge_count": self.merge_count,
         }
 
 
@@ -247,11 +414,16 @@ class DistributedKCover:
         ``"process"``, ``"auto"``, an
         :class:`~repro.parallel.ExecutorBackend` or a prebuilt
         :class:`~repro.parallel.ParallelMapper`); ``None`` keeps the serial
-        loop.  Machine sketches are gathered in machine order, so every
-        backend produces byte-identical runs (property-tested).
+        loop.  Every backend produces byte-identical runs (property-tested).
     max_workers:
         Pool-size cap for the parallel executors (defaults to the usable
         CPU count).
+    reduce:
+        Reduce mode (see :data:`REDUCE_MODES`).  ``"streaming"`` (default)
+        merges machine sketches pairwise as they complete — overlapping the
+        reduce with the slowest mappers and holding O(log num_machines)
+        sketches instead of all of them — ``"barrier"`` gathers every sketch
+        first and merges once.  Byte-identical outcomes either way.
     """
 
     def __init__(
@@ -271,12 +443,17 @@ class DistributedKCover:
         batch_size: int = DEFAULT_MAP_BATCH,
         executor: str | ExecutorBackend | ParallelMapper | None = None,
         max_workers: int | None = None,
+        reduce: str = "streaming",
     ) -> None:
         from repro.core.kcover import default_kcover_params
 
         check_positive_int(num_machines, "num_machines")
         check_positive_int(k, "k")
         check_positive_int(batch_size, "batch_size")
+        if reduce not in REDUCE_MODES:
+            raise ValueError(
+                f"unknown reduce mode {reduce!r}; expected one of {REDUCE_MODES}"
+            )
         self.num_sets = num_sets
         self.num_elements = num_elements
         self.k = k
@@ -286,6 +463,7 @@ class DistributedKCover:
         self.seed = seed
         self.coverage_backend = coverage_backend
         self.batch_size = batch_size
+        self.reduce = reduce
         self.mapper = as_mapper(executor, max_workers)
         self.params = params or default_kcover_params(
             num_sets, num_elements, k, epsilon, mode=mode, scale=scale
@@ -326,8 +504,8 @@ class DistributedKCover:
         coordinator memory (and the process backend additionally pickles
         each shard to its child), where the serial loop holds one batch at
         a time — the parallel win costs ``O(total_edges)`` resident.  For
-        on-disk workloads prefer ``strategy="row_range"`` with
-        :meth:`run_from_columnar`, whose jobs ship no edge data at all.
+        on-disk workloads prefer :meth:`run_from_columnar`, whose jobs ship
+        no edge data for any strategy.
         """
         partitioner = EdgePartitioner(
             self.num_machines,
@@ -347,18 +525,27 @@ class DistributedKCover:
                 if len(sub):
                     builders[machine].process_batch(sub)
                     shard_edges[machine] += len(sub)
-        machine_sketches = []
+        return self._reduce(self._drain_builders(builders), shard_edges)
+
+    @staticmethod
+    def _drain_builders(
+        builders: Sequence[StreamingSketchBuilder],
+    ) -> Iterator[MachineSketch]:
+        """Finalise the serial builders one at a time (lazily, in machine order).
+
+        Yielding lazily lets the streaming reduce fold machine ``i``'s
+        sketch into the merge tree before machine ``i+1``'s is even built,
+        so the serial path gets the same O(log M) resident-sketch bound as
+        the parallel one.
+        """
         for machine_id, builder in enumerate(builders):
             sketch = builder.sketch()
-            machine_sketches.append(
-                MachineSketch(
-                    machine_id=machine_id,
-                    sketch=sketch,
-                    edges_processed=builder.edges_seen,
-                    edges_stored=sketch.num_edges,
-                )
+            yield MachineSketch(
+                machine_id=machine_id,
+                sketch=sketch,
+                edges_processed=builder.edges_seen,
+                edges_stored=sketch.num_edges,
             )
-        return self._reduce(machine_sketches, shard_edges)
 
     def _run_batched_parallel(
         self, batches: Iterable[EventBatch], partitioner: EdgePartitioner
@@ -390,48 +577,65 @@ class DistributedKCover:
                     num_sets=self.params.num_sets,
                 )
             )
-        machine_sketches = self._map_jobs(jobs)
         shard_edges = [len(job.set_ids) for job in jobs]
-        return self._reduce(
-            machine_sketches, shard_edges, execution=self.mapper.last_execution
-        )
+        return self._map_reduce(jobs, shard_edges)
 
     def run_from_columnar(self, source) -> DistributedRunReport:
         """Execute the rounds straight off a columnar directory (or view).
 
         ``source`` is a path written by
         :func:`repro.coverage.io.write_columnar` or an already-open
-        :class:`repro.coverage.io.ColumnarEdges`.  With the ``row_range``
-        strategy each worker streams its own contiguous row slice of the
-        memory-mapped columns — the coordinator touches no edge data at all;
-        every other strategy streams the file once through the batched
-        router.  Results are byte-identical to :meth:`run` on the same edges
-        in file order.
+        :class:`repro.coverage.io.ColumnarEdges`.  The coordinator touches
+        no edge data at all: with the ``row_range`` strategy each worker
+        streams its own contiguous row slice of the memory-mapped columns,
+        and under a parallel executor every *other* strategy ships a
+        :class:`~repro.distributed.worker.ShardRecomputeJob` — path plus
+        routing parameters — whose worker re-opens the directory, re-runs
+        the deterministic partitioner locally and keeps only its own rows.
+        Either way **zero edge bytes** are pickled to workers for every
+        strategy.  Results are byte-identical to :meth:`run` on the same
+        edges in file order (property-tested per strategy).
 
-        Under a process executor the ``row_range`` map phase ships
-        :class:`~repro.distributed.worker.ColumnarSliceJob` descriptions —
-        path plus row bounds — and every child re-opens (memory-maps) the
-        directory itself, so no edge data is ever pickled.  The other
-        strategies route through :meth:`run_batched`, which under a
-        parallel executor buffers the routed shards in memory first (see
-        there); ``row_range`` is the strategy built for this path.
+        A serial mapper routes non-``row_range`` strategies through
+        :meth:`run_batched` instead — one scan of the file feeding all the
+        builders beats ``num_machines`` redundant scans when there is no
+        parallelism to hide them — and an in-memory-only view (no backing
+        path) has nothing for a child to re-open, so it takes the same
+        routed path.
         """
         from repro.coverage.io import ColumnarEdges, open_columnar
 
         columns = source if isinstance(source, ColumnarEdges) else open_columnar(source)
         if self.strategy != "row_range":
-            stream = EdgeStream.from_columnar(columns, order="given")
-            return self.run_batched(
-                stream.iter_batches(self.batch_size), total_edges=stream.num_events
-            )
+            if self.mapper.is_serial or columns.path is None:
+                stream = EdgeStream.from_columnar(columns, order="given")
+                return self.run_batched(
+                    stream.iter_batches(self.batch_size), total_edges=stream.num_events
+                )
+            jobs: list[MapJob] = [
+                ShardRecomputeJob(
+                    machine_id=i,
+                    path=str(columns.path),
+                    strategy=self.strategy,
+                    seed=self.seed,
+                    num_machines=self.num_machines,
+                    params=self.params,
+                    hash_seed=self.seed,
+                    batch_size=self.batch_size,
+                )
+                for i in range(self.num_machines)
+            ]
+            # Shard sizes are discovered by the workers themselves (each
+            # job's edges_processed is its shard's row count).
+            return self._map_reduce(jobs, shard_edges=None)
         bounds = row_range_bounds(columns.num_edges, self.num_machines)
         ship_paths = (
             self.mapper.backend.requires_pickling and columns.path is not None
         )
-        jobs: list[MachineShardJob | ColumnarSliceJob] = []
+        slice_jobs: list[MapJob] = []
         for i in range(self.num_machines):
             if ship_paths:
-                jobs.append(
+                slice_jobs.append(
                     ColumnarSliceJob(
                         machine_id=i,
                         path=str(columns.path),
@@ -443,7 +647,7 @@ class DistributedKCover:
                     )
                 )
             else:
-                jobs.append(
+                slice_jobs.append(
                     MachineShardJob(
                         machine_id=i,
                         set_ids=columns.set_ids[bounds[i] : bounds[i + 1]],
@@ -455,25 +659,42 @@ class DistributedKCover:
                         num_elements_hint=columns.num_elements,
                     )
                 )
-        machine_sketches = self._map_jobs(jobs)
         shard_edges = [int(bounds[i + 1] - bounds[i]) for i in range(self.num_machines)]
-        return self._reduce(
-            machine_sketches, shard_edges, execution=self.mapper.last_execution
-        )
+        return self._map_reduce(slice_jobs, shard_edges)
 
     # ------------------------------------------------------------------ #
     # round 1: map (executor fan-out)
     # ------------------------------------------------------------------ #
-    def _map_jobs(
-        self, jobs: Sequence[MachineShardJob | ColumnarSliceJob]
-    ) -> list[MachineSketch]:
+    def _map_reduce(
+        self, jobs: Sequence[MapJob], shard_edges: list[int] | None
+    ) -> DistributedRunReport:
+        """Fan the map jobs over the executor and reduce in the configured mode.
+
+        One :meth:`~repro.parallel.ParallelMapper.pool_scope` wraps the whole
+        run, so the map fan-out and a streaming reduce's as-completed gather
+        share a single pool instead of paying worker start-up per call.  In
+        ``streaming`` mode sketches flow straight from
+        :meth:`~repro.parallel.ParallelMapper.map_unordered` into the merge
+        tree — the reduce overlaps the slowest mappers; in ``barrier`` mode
+        the ordered gather lands first and one flat merge follows.
+        """
+        with self.mapper.pool_scope():
+            if self.reduce == "streaming":
+                arrivals = (
+                    sketch
+                    for _, sketch in self.mapper.map_unordered(execute_map_job, jobs)
+                )
+                return self._reduce(arrivals, shard_edges)
+            return self._reduce(self._map_jobs(jobs), shard_edges)
+
+    def _map_jobs(self, jobs: Sequence[MapJob]) -> list[MachineSketch]:
         """Fan the map jobs over the executor; gather in machine-id order.
 
         The mapper already returns results in input order; the explicit sort
-        re-asserts the invariant the merge depends on, so a future unordered
-        gather cannot silently reorder shards.  After the call,
-        ``self.mapper.last_execution`` says what actually ran (the sandbox
-        fallback degrades to serial), and the report records that truth.
+        re-asserts the invariant the barrier merge's report depends on.
+        After the call, ``self.mapper.last_execution`` says what actually
+        ran (the sandbox fallback degrades to serial), and the report
+        records that truth.
         """
         machine_sketches = self.mapper.map(execute_map_job, jobs)
         machine_sketches.sort(key=lambda ms: ms.machine_id)
@@ -484,14 +705,43 @@ class DistributedKCover:
     # ------------------------------------------------------------------ #
     def _reduce(
         self,
-        machine_sketches: list[MachineSketch],
-        shard_edges: list[int],
-        *,
-        execution: tuple[str, int] | None = None,
+        machine_sketches: Iterable[MachineSketch],
+        shard_edges: list[int] | None,
     ) -> DistributedRunReport:
-        merged = merge_machine_sketches(
-            machine_sketches, self.params, hash_seed=self.seed
-        )
+        """Merge the machine sketches (barrier or streaming) and solve.
+
+        ``machine_sketches`` may arrive in any order — the streaming tree is
+        order-independent and the per-machine stats are keyed by machine id.
+        ``shard_edges=None`` means the callers didn't route the shards
+        themselves (shard-recompute jobs); each machine's ``edges_processed``
+        is then its shard size.  ``self.mapper.last_execution`` is read
+        *after* the sketches are drained, so it reflects what the map phase
+        actually ran on (including the sandbox fallback).
+        """
+        stats: dict[int, tuple[int, int]] = {}
+        if self.reduce == "streaming":
+            tree = StreamingMergeTree(self.params, hash_seed=self.seed)
+            for ms in machine_sketches:
+                stats[ms.machine_id] = (ms.edges_processed, ms.edges_stored)
+                tree.add(ms)
+            merged = tree.result()
+            peak_resident, merge_count = tree.peak_resident, tree.merge_count
+        else:
+            gathered = sorted(machine_sketches, key=lambda ms: ms.machine_id)
+            stats = {
+                ms.machine_id: (ms.edges_processed, ms.edges_stored)
+                for ms in gathered
+            }
+            merged = merge_machine_sketches(
+                gathered, self.params, hash_seed=self.seed
+            )
+            peak_resident, merge_count = len(gathered), 1
+        machine_ids = sorted(stats)
+        machine_stored_edges = [stats[i][1] for i in machine_ids]
+        if shard_edges is None:
+            shard_edges = [stats[i][0] for i in machine_ids]
+        execution = self.mapper.last_execution
+
         from repro.coverage.bitset import kernel_for
 
         kernel = kernel_for(merged.graph, self.coverage_backend)
@@ -503,11 +753,14 @@ class DistributedKCover:
             strategy=self.strategy,
             rounds=2,
             shard_edges=shard_edges,
-            machine_stored_edges=[ms.edges_stored for ms in machine_sketches],
+            machine_stored_edges=machine_stored_edges,
             coordinator_edges=merged.num_edges,
-            communication_edges=sum(ms.edges_stored for ms in machine_sketches),
+            communication_edges=sum(machine_stored_edges),
             merged_threshold=merged.threshold,
             coverage_backend=kernel.backend.name if kernel is not None else None,
-            executor=execution[0] if execution else self.mapper.backend.name,
-            map_workers=execution[1] if execution else 1,
+            executor=execution[0],
+            map_workers=execution[1],
+            reduce_mode=self.reduce,
+            peak_resident_sketches=peak_resident,
+            merge_count=merge_count,
         )

@@ -26,10 +26,16 @@ so :class:`~concurrent.futures.ProcessPoolExecutor` can pickle it by
 reference).  A :class:`ColumnarSliceJob` carries only a columnar directory
 path, the machine's row bounds and the sketch parameters — the child process
 re-opens (memory-maps) the directory itself and maps its own slice, so **no
-edge data ever crosses the process boundary**.  A :class:`MachineShardJob`
-carries the shard's edge columns directly, for shards that only exist in
-memory (thread/serial backends read them zero-copy; the process backend
-pickles them, which is correct but pays the transfer).
+edge data ever crosses the process boundary**.  A :class:`ShardRecomputeJob`
+extends the same zero-ship idea to every *non-contiguous* partition
+strategy: shard assignment is deterministic (see
+:mod:`repro.distributed.partition`), so the job carries only ``(path,
+strategy, seed, machine_id, params)`` — the child re-opens the columnar
+directory, re-runs the partitioner's routing locally, keeps its own
+machine's rows and sketches them.  A :class:`MachineShardJob` carries the
+shard's edge columns directly, for shards that only exist in memory
+(thread/serial backends read them zero-copy; the process backend pickles
+them, which is correct but pays the transfer).
 """
 
 from __future__ import annotations
@@ -53,6 +59,7 @@ __all__ = [
     "MachineSketch",
     "MachineShardJob",
     "ColumnarSliceJob",
+    "ShardRecomputeJob",
     "execute_map_job",
     "build_machine_sketch",
     "build_all_machine_sketches",
@@ -241,8 +248,64 @@ class ColumnarSliceJob:
         )
 
 
+@dataclass(frozen=True)
+class ShardRecomputeJob:
+    """One machine's shard of a columnar directory, described by its routing.
+
+    No edge data (and no row bounds) is carried at all: shard assignment is a
+    pure function of ``(strategy, seed, num_machines)`` over the columns in
+    file order — batch-boundary-invariant by contract
+    (:class:`~repro.distributed.partition.EdgePartitioner`, property-tested)
+    — so the executing worker re-opens (memory-maps) the directory, re-runs
+    the routing locally and keeps only the rows assigned to
+    ``machine_id``.  Every partition strategy therefore ships **zero edge
+    bytes**, not just ``row_range``; the redundant routing work is the
+    classic recompute-over-communicate trade and is itself vectorised.
+    The resulting sketch is byte-identical to the shipped-columns path
+    (property-tested per strategy).
+    """
+
+    machine_id: int
+    path: str
+    strategy: str
+    seed: int
+    num_machines: int
+    params: SketchParams
+    hash_seed: int = 0
+    batch_size: int = DEFAULT_MAP_BATCH
+
+    def run(self) -> MachineSketch:
+        """Re-open the columnar directory, route it, sketch this machine's rows."""
+        from repro.coverage.io import open_columnar
+        from repro.distributed.partition import EdgePartitioner
+
+        columns = open_columnar(Path(self.path))
+        partitioner = EdgePartitioner(
+            self.num_machines,
+            strategy=self.strategy,
+            seed=self.seed,
+            total_edges=columns.num_edges,
+        )
+        builder = StreamingSketchBuilder(
+            self.params, hash_fn=UniformHash(self.hash_seed)
+        )
+        stream = EdgeStream.from_columnar(columns, order="given")
+        for batch in stream.iter_batches(self.batch_size):
+            assigned = partitioner.assign(batch.set_ids, batch.elements)
+            rows = np.flatnonzero(assigned == self.machine_id)
+            if len(rows):
+                builder.process_batch(batch.take(rows))
+        sketch = builder.sketch()
+        return MachineSketch(
+            machine_id=self.machine_id,
+            sketch=sketch,
+            edges_processed=builder.edges_seen,
+            edges_stored=sketch.num_edges,
+        )
+
+
 #: Any picklable description of one machine's map work.
-MapJob = MachineShardJob | ColumnarSliceJob
+MapJob = MachineShardJob | ColumnarSliceJob | ShardRecomputeJob
 
 
 def execute_map_job(job: MapJob) -> MachineSketch:

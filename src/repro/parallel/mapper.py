@@ -8,7 +8,17 @@ backend, :meth:`ParallelMapper.map` returns results **in input order** —
 job ``i``'s result sits at index ``i`` — so callers that merge results
 (e.g. :func:`repro.distributed.coordinator.merge_machine_sketches`) see
 exactly the sequence a serial loop would have produced and stay
-byte-identical across backends.
+byte-identical across backends.  :meth:`ParallelMapper.map_unordered` is the
+as-completed variant: it yields ``(index, result)`` pairs the moment each
+job finishes, for callers whose gather is order-independent (an associative
+reduce can start merging while the slowest mapper is still running).
+
+Pool lifecycle: by default every map call owns its pool (create, use, shut
+down).  A caller that issues several maps back to back — or wants the pool
+warm while it consumes an unordered gather — wraps them in
+:meth:`ParallelMapper.pool_scope`, which creates the pool lazily on first
+use and keeps it alive until the scope exits, so one distributed run pays
+worker start-up once instead of per call.
 
 Robustness: pool creation can fail in restricted sandboxes (no ``/dev/shm``,
 seccomp-filtered ``fork``); the mapper degrades to the serial loop in that
@@ -19,8 +29,9 @@ as the serial loop would raise them.
 
 from __future__ import annotations
 
-from concurrent.futures import BrokenExecutor
-from typing import Any, Callable, Iterable, TypeVar
+from concurrent.futures import BrokenExecutor, Executor, Future, as_completed
+from contextlib import contextmanager
+from typing import Any, Callable, Iterable, Iterator, TypeVar
 
 from repro.parallel.executors import ExecutorBackend, resolve_executor, usable_cpus
 from repro.utils.validation import check_positive_int
@@ -64,11 +75,19 @@ class ParallelMapper:
                 executor = "auto"
         self.backend = resolve_executor(executor)
         self.max_workers = max_workers
-        #: What the most recent :meth:`map` call actually executed with —
-        #: ``(backend name, pool size)``.  Differs from the configured
-        #: backend only when the sandbox fallback had to run the jobs
-        #: serially, so reports can record the truth instead of the plan.
+        #: What the most recent :meth:`map` / :meth:`map_unordered` call
+        #: actually executed with — ``(backend name, pool size)``.  Differs
+        #: from the configured backend only when the sandbox fallback had to
+        #: run the jobs serially, so reports can record the truth instead of
+        #: the plan.
         self.last_execution: tuple[str, int] = (self.backend.name, 1)
+        # pool_scope state: a scope keeps one lazily-created pool alive
+        # across the maps issued inside it.  ``_scope_broken`` remembers a
+        # failed creation so the rest of the scope goes straight to the
+        # serial loop instead of re-attempting a doomed pool per call.
+        self._scope_depth = 0
+        self._scope_pool: Executor | None = None
+        self._scope_broken = False
 
     @property
     def is_serial(self) -> bool:
@@ -88,6 +107,69 @@ class ParallelMapper:
         limit = self.max_workers if self.max_workers is not None else usable_cpus()
         return max(1, min(limit, num_jobs))
 
+    # ------------------------------------------------------------------ #
+    # pool lifecycle
+    # ------------------------------------------------------------------ #
+    @contextmanager
+    def pool_scope(self) -> Iterator["ParallelMapper"]:
+        """Reuse one pool across every map issued inside the ``with`` body.
+
+        The pool is created lazily by the first parallel map in the scope
+        (and sized for it; later maps reuse it as-is) and shut down when the
+        outermost scope exits, so a multi-call pipeline — e.g. a distributed
+        run's map fan-out plus its streaming reduce — pays worker start-up
+        once.  Scopes nest: inner scopes share the outer scope's pool.  A
+        pool-creation failure inside a scope marks the whole scope broken
+        (serial loop for its remaining maps); pool *breakage* mid-map
+        discards the scoped pool so later maps in the scope fall back
+        cleanly rather than resubmitting to a dead pool.  Serial mappers
+        pass through unchanged.
+        """
+        self._scope_depth += 1
+        try:
+            yield self
+        finally:
+            self._scope_depth -= 1
+            if self._scope_depth == 0:
+                pool, self._scope_pool = self._scope_pool, None
+                self._scope_broken = False
+                if pool is not None:
+                    pool.shutdown(wait=True, cancel_futures=True)
+
+    def _acquire_pool(self, workers: int) -> tuple[Executor | None, bool]:
+        """A pool for one map call: ``(pool, owned)``; ``(None, False)`` = serial.
+
+        Inside a :meth:`pool_scope` the scoped pool is created on first use
+        and returned un-owned (the scope exit shuts it down); outside, the
+        caller owns the fresh pool and must release it.
+        """
+        if self._scope_depth > 0:
+            if self._scope_broken:
+                return None, False
+            if self._scope_pool is None:
+                try:
+                    self._scope_pool = self.backend.make_pool(workers)
+                except OSError:  # pragma: no cover - sandbox fallback
+                    self._scope_broken = True
+                    return None, False
+            return self._scope_pool, False
+        try:
+            return self.backend.make_pool(workers), True
+        except OSError:  # pragma: no cover - sandbox fallback
+            return None, False
+
+    def _release_pool(self, pool: Executor, owned: bool, broken: bool) -> None:
+        """Close an owned pool; drop a scoped pool only if it broke mid-map."""
+        if owned:
+            pool.shutdown(wait=True, cancel_futures=True)
+        elif broken:
+            pool.shutdown(wait=True, cancel_futures=True)
+            self._scope_pool = None
+            self._scope_broken = True
+
+    # ------------------------------------------------------------------ #
+    # ordered gather
+    # ------------------------------------------------------------------ #
     def map(self, fn: Callable[[Job], Result], jobs: Iterable[Job]) -> list[Result]:
         """Apply ``fn`` to every job; results come back in input order.
 
@@ -115,34 +197,103 @@ class ParallelMapper:
             self.last_execution = (self.backend.name, 1)
             return [fn(job) for job in jobs]
         self.last_execution = (self.backend.name, workers)
-        try:
-            pool = self.backend.make_pool(workers)
-        except OSError:  # pragma: no cover - sandbox fallback
+        pool, owned = self._acquire_pool(workers)
+        if pool is None:
             return self._fallback(fn, jobs)
         # On a pool-level failure, fall through WITHOUT rescuing yet: the
         # finally clause first drains/cancels everything already submitted,
         # so the serial rescue below never runs concurrently with a
         # half-finished pool job.
+        broken = False
+        futures: list[Future] = []
         try:
             try:
                 futures = [pool.submit(fn, job) for job in jobs]
-            # repro-lint: disable=no-silent-except -- deliberate fallthrough: the finally drains the pool, then _fallback records ("serial", 1) and reruns
             except (OSError, RuntimeError, BrokenExecutor):
-                pass  # pragma: no cover - worker spawn blocked at submit
+                broken = True  # pragma: no cover - worker spawn blocked at submit
             else:
                 try:
                     return [future.result() for future in futures]
-                # repro-lint: disable=no-silent-except -- deliberate fallthrough to the recorded serial rescue below
                 except BrokenExecutor:  # pragma: no cover - pool died mid-run
-                    pass
+                    broken = True
         finally:
-            pool.shutdown(wait=True, cancel_futures=True)
+            for future in futures:
+                future.cancel()
+            self._release_pool(pool, owned, broken)
         return self._fallback(fn, jobs)  # pragma: no cover - sandbox fallback
+
+    # ------------------------------------------------------------------ #
+    # as-completed gather
+    # ------------------------------------------------------------------ #
+    def map_unordered(
+        self, fn: Callable[[Job], Result], jobs: Iterable[Job]
+    ) -> Iterator[tuple[int, Result]]:
+        """Yield ``(index, result)`` pairs as jobs complete.
+
+        The *set* of pairs equals ``list(enumerate(self.map(fn, jobs)))``;
+        only the order is scheduling-dependent (the serial backend yields in
+        input order).  Callers whose gather is order-independent — an
+        associative streaming reduce — consume results while slower jobs are
+        still running, instead of waiting for the whole barrier.
+
+        Fallback semantics match :meth:`map`: a pool that cannot be created
+        or breaks mid-run is drained, then the jobs not yet yielded rerun
+        serially (``last_execution`` records ``("serial", 1)``).  Job
+        exceptions propagate untouched.  Abandoning the generator early
+        cancels the pending futures and releases the pool.
+        """
+        jobs = list(jobs)
+        workers = self.workers_for(len(jobs))
+        if workers == 1 or self.backend.make_pool is None:
+            self.last_execution = (self.backend.name, 1)
+            for index, job in enumerate(jobs):
+                yield index, fn(job)
+            return
+        self.last_execution = (self.backend.name, workers)
+        pool, owned = self._acquire_pool(workers)
+        if pool is None:
+            yield from self._fallback_unordered(fn, jobs, frozenset())
+            return
+        broken = False
+        done: set[int] = set()
+        futures: dict[Future, int] = {}
+        try:
+            try:
+                futures = {pool.submit(fn, job): i for i, job in enumerate(jobs)}
+            except (OSError, RuntimeError, BrokenExecutor):
+                broken = True  # pragma: no cover - worker spawn blocked at submit
+            else:
+                try:
+                    for future in as_completed(futures):
+                        index = futures[future]
+                        result = future.result()
+                        done.add(index)
+                        yield index, result
+                except BrokenExecutor:  # pragma: no cover - pool died mid-run
+                    broken = True
+        finally:
+            for future in futures:
+                future.cancel()
+            self._release_pool(pool, owned, broken)
+        if broken:  # pragma: no cover - sandbox fallback
+            yield from self._fallback_unordered(fn, jobs, done)
 
     def _fallback(self, fn: Callable[[Job], Result], jobs: list[Job]) -> list[Result]:
         """The serial rescue loop for pool-level failures (recorded as such)."""
         self.last_execution = ("serial", 1)
         return [fn(job) for job in jobs]
+
+    def _fallback_unordered(
+        self,
+        fn: Callable[[Job], Result],
+        jobs: list[Job],
+        already_yielded: "frozenset[int] | set[int]",
+    ) -> Iterator[tuple[int, Result]]:
+        """Serial rescue for :meth:`map_unordered`: rerun only un-yielded jobs."""
+        self.last_execution = ("serial", 1)
+        for index, job in enumerate(jobs):
+            if index not in already_yielded:
+                yield index, fn(job)
 
     def describe(self) -> dict[str, Any]:
         """Diagnostics for reports and tables."""

@@ -1,0 +1,277 @@
+"""Properties of the streaming reduce and the zero-ship recompute map jobs.
+
+Two contracts pinned here:
+
+1. **Reduce-mode invariance** — the streaming merge tree is a *performance*
+   knob, never a semantics knob: for every executor backend, partition
+   strategy, machine count and (adversarial) arrival order, the streaming
+   reduce produces the byte-identical run a barrier reduce produces —
+   solution, coverage estimate, merged threshold, per-machine loads, the
+   merged sketch's edges, element hashes and truncation flags.  On top of
+   that the binary-counter tree keeps only O(log machines) sketches
+   resident while the barrier holds all of them.
+
+2. **Zero-ship map jobs** — for every non-contiguous partition strategy, a
+   columnar run under a parallel executor ships
+   :class:`~repro.distributed.worker.ShardRecomputeJob` descriptions whose
+   pickled payload is a small constant independent of the edge count (no
+   edge columns cross the process boundary), and the recomputed shards
+   yield the byte-identical run the shipped-columns path yields.
+"""
+
+from __future__ import annotations
+
+import math
+import pickle
+
+import pytest
+
+from repro.api import ProblemSpec, solve
+from repro.core.params import SketchParams
+from repro.coverage.io import open_columnar, write_columnar
+from repro.datasets import planted_kcover_instance
+from repro.distributed import (
+    DistributedKCover,
+    ShardRecomputeJob,
+    StreamingMergeTree,
+    build_machine_sketch,
+    merge_machine_sketches,
+)
+
+EXECUTORS = ("serial", "thread", "process")
+NONCONTIGUOUS = ("random", "by_set", "by_element", "round_robin")
+K = 4
+
+
+def _instance(seed=11):
+    return planted_kcover_instance(40, 900, k=K, planted_coverage=0.85, seed=seed)
+
+
+def _params(instance) -> SketchParams:
+    return SketchParams.explicit(
+        instance.n, instance.m, K, 0.2, edge_budget=350, degree_cap=15
+    )
+
+
+def _run_key(report):
+    return (
+        report.solution,
+        report.coverage_estimate,
+        report.merged_threshold,
+        report.shard_edges,
+        report.machine_stored_edges,
+        report.coordinator_edges,
+    )
+
+
+def _sketch_key(sketch):
+    return (
+        sorted(sketch.graph.edges()),
+        sketch.threshold,
+        sketch.element_hashes,
+        sketch.truncated_elements,
+    )
+
+
+def _kcover(instance, *, machines, strategy="random", executor=None, reduce, seed=11):
+    return DistributedKCover(
+        instance.n, instance.m, k=K, num_machines=machines, strategy=strategy,
+        params=_params(instance), seed=seed, executor=executor,
+        max_workers=3, reduce=reduce,
+    )
+
+
+class TestReduceModeInvariance:
+    @pytest.mark.parametrize("executor", EXECUTORS)
+    @pytest.mark.parametrize("strategy", ["random", "by_set", "round_robin"])
+    def test_streaming_equals_barrier(self, executor, strategy):
+        instance = _instance()
+        edges = list(instance.graph.edges())
+        reports = {
+            reduce: _kcover(
+                instance, machines=3, strategy=strategy,
+                executor=executor, reduce=reduce,
+            ).run(edges)
+            for reduce in ("barrier", "streaming")
+        }
+        assert _run_key(reports["streaming"]) == _run_key(reports["barrier"])
+        assert reports["streaming"].reduce_mode == "streaming"
+        assert reports["barrier"].reduce_mode == "barrier"
+
+    @pytest.mark.parametrize("machines", [1, 2, 5, 8])
+    def test_resident_sketches_logarithmic(self, machines):
+        instance = _instance()
+        edges = list(instance.graph.edges())
+        streaming = _kcover(instance, machines=machines, reduce="streaming").run(edges)
+        barrier = _kcover(instance, machines=machines, reduce="barrier").run(edges)
+        assert _run_key(streaming) == _run_key(barrier)
+        # Binary-counter bound: at most floor(log2(M)) + 1 resident subtrees
+        # (plus the one being sifted in); the barrier holds all M.
+        assert streaming.peak_resident_sketches <= int(math.log2(machines)) + 2
+        assert streaming.merge_count == max(1, machines - 1)
+        assert barrier.peak_resident_sketches == machines
+        assert barrier.merge_count == 1
+        if machines >= 4:
+            assert streaming.peak_resident_sketches < machines
+
+    def test_default_reduce_is_streaming(self):
+        instance = _instance()
+        algo = DistributedKCover(instance.n, instance.m, k=K)
+        assert algo.reduce == "streaming"
+
+    def test_unknown_reduce_rejected(self):
+        with pytest.raises(ValueError, match="reduce mode"):
+            DistributedKCover(10, 100, k=2, reduce="bogus")
+
+
+class TestMergeTreeArrivalOrders:
+    """The tree result is independent of the order sketches arrive in."""
+
+    def _machine_sketches(self, machines, seed=11):
+        instance = _instance(seed)
+        params = _params(instance)
+        edges = list(instance.graph.edges())
+        shards = [edges[i::machines] for i in range(machines)]
+        return params, [
+            build_machine_sketch(i, shard, params, hash_seed=seed)
+            for i, shard in enumerate(shards)
+        ]
+
+    @pytest.mark.parametrize("machines", [1, 2, 3, 8])
+    def test_adversarial_orders_match_barrier(self, machines):
+        params, sketches = self._machine_sketches(machines)
+        barrier = merge_machine_sketches(sketches, params, hash_seed=11)
+        orders = {
+            "in_order": list(range(machines)),
+            "reversed": list(reversed(range(machines))),
+            "interleaved": [
+                index
+                for pair in zip(
+                    range(machines), reversed(range(machines))
+                )
+                for index in pair
+            ][:machines],
+        }
+        for name, order in orders.items():
+            tree = StreamingMergeTree(params, hash_seed=11)
+            for index in dict.fromkeys(order):
+                tree.add(sketches[index])
+            merged = tree.result()
+            assert _sketch_key(merged) == _sketch_key(barrier), name
+            assert tree.merge_count == max(1, machines - 1), name
+            assert tree.peak_resident <= int(math.log2(machines)) + 2, name
+
+    def test_empty_tree_rejected(self):
+        instance = _instance()
+        tree = StreamingMergeTree(_params(instance))
+        with pytest.raises(ValueError, match="no machine sketches"):
+            tree.result()
+
+
+class TestShardRecomputeJobs:
+    @pytest.fixture()
+    def columnar(self, tmp_path):
+        instance = _instance()
+        path = tmp_path / "w.cols"
+        write_columnar(instance.graph.edges(), path, num_sets=instance.n)
+        return instance, path
+
+    @pytest.mark.parametrize("strategy", NONCONTIGUOUS)
+    @pytest.mark.parametrize("executor", ["thread", "process"])
+    def test_recompute_matches_serial_barrier(self, columnar, strategy, executor):
+        instance, path = columnar
+        reference = _kcover(
+            instance, machines=3, strategy=strategy, reduce="barrier"
+        ).run_from_columnar(path)
+        recomputed = _kcover(
+            instance, machines=3, strategy=strategy,
+            executor=executor, reduce="streaming",
+        ).run_from_columnar(path)
+        assert _run_key(recomputed) == _run_key(reference)
+
+    @pytest.mark.parametrize("strategy", NONCONTIGUOUS)
+    def test_pickled_job_ships_no_edge_bytes(self, columnar, tmp_path, strategy):
+        """The job payload is a small constant, independent of edge count."""
+        instance, path = columnar
+        columns = open_columnar(path)
+        big_path = tmp_path / "big.cols"
+        write_columnar(
+            (edge for _ in range(10) for edge in instance.graph.edges()),
+            big_path, num_sets=instance.n,
+        )
+        sizes = {}
+        for source in (path, big_path):
+            job = ShardRecomputeJob(
+                machine_id=0,
+                path=str(source),
+                strategy=strategy,
+                seed=11,
+                num_machines=3,
+                params=_params(instance),
+            )
+            sizes[source] = len(pickle.dumps(job))
+        assert columns.num_edges > 500  # the payload bound is not vacuous
+        for source, size in sizes.items():
+            assert size < 1024, (strategy, source, size)
+        # 10x the edges moves the payload only by the path-string length.
+        assert abs(sizes[big_path] - sizes[path]) <= len(str(big_path))
+
+    def test_serial_mapper_keeps_single_scan_path(self, columnar):
+        """A serial mapper routes once instead of scanning per machine."""
+        instance, path = columnar
+        algo = _kcover(instance, machines=3, reduce="streaming")
+        columnar_report = algo.run_from_columnar(path)
+        stream_order_edges = list(
+            zip(
+                open_columnar(path).set_ids.tolist(),
+                open_columnar(path).elements.tolist(),
+            )
+        )
+        in_memory = _kcover(instance, machines=3, reduce="streaming").run(
+            stream_order_edges
+        )
+        assert _run_key(columnar_report) == _run_key(in_memory)
+
+
+class TestReduceKnobPlumbing:
+    def test_solve_threads_reduce_through(self):
+        instance = _instance(seed=9)
+        reports = {
+            reduce: solve(
+                instance, "kcover/distributed", k=K, seed=9, reduce=reduce,
+                options={"num_machines": 5, "edge_budget": 350, "degree_cap": 15},
+            )
+            for reduce in ("barrier", "streaming")
+        }
+        assert reports["streaming"].solution == reports["barrier"].solution
+        assert (
+            reports["streaming"].extra["merged_threshold"]
+            == reports["barrier"].extra["merged_threshold"]
+        )
+        assert reports["streaming"].extra["reduce_mode"] == "streaming"
+        assert reports["barrier"].extra["peak_resident_sketches"] == 5
+        assert reports["streaming"].extra["peak_resident_sketches"] < 5
+        assert reports["streaming"].extra["merge_count"] == 4
+
+    def test_spec_reduce_round_trips_and_drives_solve(self):
+        spec = ProblemSpec(
+            problem="k_cover",
+            k=K,
+            dataset="planted_kcover",
+            dataset_args={"num_sets": 40, "num_elements": 900, "k": K, "seed": 3},
+            reduce="barrier",
+        )
+        assert ProblemSpec.from_dict(spec.to_dict()) == spec
+        report = solve(
+            spec,
+            "kcover/distributed",
+            options={"num_machines": 3, "edge_budget": 350, "degree_cap": 15},
+        )
+        assert report.extra["reduce_mode"] == "barrier"
+
+    def test_spec_rejects_unknown_reduce(self):
+        from repro.errors import SpecError
+
+        with pytest.raises(SpecError, match="reduce"):
+            ProblemSpec(problem="k_cover", k=K, dataset="planted_kcover",
+                        reduce="bogus")
