@@ -1,0 +1,145 @@
+"""Lint engine throughput: cold vs incremental-warm vs parallel runs.
+
+The whole-program lint engine promises that its two scaling levers are free
+of semantic cost: the content-hash cache may only skip work (a warm run's
+report is byte-identical to a cold run's) and the ``ParallelMapper`` fan-out
+may only reorder work (a parallel run's report is byte-identical to a
+serial run's).  This benchmark measures both levers over the repository's
+own linted trees — the exact corpus the CI lint gate walks — and gates:
+
+* **warm >= 5x cold** — a fully warmed cache must make the re-run at least
+  ``MIN_WARM_SPEEDUP``x faster (measured ~8x on a 1-CPU sandbox: the warm
+  run still reads + hashes every file and re-runs the project rules, so the
+  speedup is bounded by that floor, not by parse+walk);
+* **byte identity** — warm and parallel reports must equal the cold serial
+  report byte-for-byte under ``render_json``.
+
+Timings land in ``results/lint_throughput.json`` + ``.md``; the cold run's
+full report (with engine stats) lands in ``results/lint-report.json`` so
+``collect_results.py`` folds finding counts, cache hit rate and wall time
+into the trajectory artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from benchmarks.common import RESULTS_DIR, print_table, write_table
+from repro.lint import lint_paths_with_stats, render_json
+from repro.utils.tables import Table
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+#: The corpus: the same trees the CI lint gate and the self-lint test walk.
+LINTED_TREES = ("src", "benchmarks", "tests", "examples")
+#: Required cold-over-warm wall-time ratio.  ~8x on a single-CPU sandbox;
+#: the warm run's floor is file hashing + cache decode + project rules.
+MIN_WARM_SPEEDUP = 5.0
+#: Worker cap for the parallel run (identity matters, not speed: with ~200
+#: small files the pool startup can dominate on small runners).
+PARALLEL_WORKERS = 4
+
+
+def _paths() -> list[Path]:
+    return [REPO_ROOT / tree for tree in LINTED_TREES]
+
+
+def _measure(cache_dir: Path) -> dict[str, object]:
+    runs: dict[str, object] = {}
+    for label, kwargs in (
+        ("cold", {"cache_dir": cache_dir}),
+        ("warm", {"cache_dir": cache_dir}),
+        ("parallel", {"executor": "process", "max_workers": PARALLEL_WORKERS}),
+    ):
+        start = time.perf_counter()
+        report, stats = lint_paths_with_stats(_paths(), rules=["all"], **kwargs)
+        runs[label] = {
+            "seconds": time.perf_counter() - start,
+            "report": report,
+            "stats": stats,
+        }
+    return runs
+
+
+@pytest.mark.benchmark(group="lint-throughput")
+def test_warm_cache_lints_5x_faster_and_byte_identical(benchmark, tmp_path):
+    """Record cold/warm/parallel wall time; gate the cache and the fan-out."""
+    runs = benchmark.pedantic(
+        _measure, args=(tmp_path / "lint-cache",), rounds=1, iterations=1
+    )
+    cold, warm, parallel = runs["cold"], runs["warm"], runs["parallel"]
+    cold_json = render_json(cold["report"])
+
+    # The cache may only skip work, never change the outcome.
+    assert render_json(warm["report"]) == cold_json
+    assert warm["stats"].files_analyzed == 0
+    assert warm["stats"].cache_hit_rate == 1.0
+    # The fan-out may only reorder work, never change the outcome.
+    assert render_json(parallel["report"]) == cold_json
+
+    speedup = cold["seconds"] / warm["seconds"]
+    table = Table(
+        ["phase", "executor", "files", "analyzed", "cache_hits", "seconds", "files_per_s"]
+    )
+    for label in ("cold", "warm", "parallel"):
+        stats = runs[label]["stats"]
+        seconds = runs[label]["seconds"]
+        table.add_row(
+            phase=label,
+            executor=f"{stats.executor} x{stats.workers}",
+            files=stats.files_in_scope,
+            analyzed=stats.files_analyzed,
+            cache_hits=stats.files_from_cache,
+            seconds=seconds,
+            files_per_s=stats.files_in_scope / seconds,
+        )
+    print_table("Lint engine — cold vs warm cache vs parallel", table)
+    write_table(
+        "lint_throughput",
+        "Whole-program lint throughput (cold / warm cache / parallel)",
+        table,
+        notes=[
+            f"corpus: {', '.join(LINTED_TREES)} "
+            f"({cold['stats'].files_in_scope} files), all rules.",
+            f"warm speedup over cold: {speedup:.1f}x "
+            f"(gate: >= {MIN_WARM_SPEEDUP}x); warm and parallel reports are "
+            "asserted byte-identical to the cold serial report.",
+            f"parallel run used the '{parallel['stats'].executor}' backend "
+            f"with {parallel['stats'].workers} worker(s).",
+        ],
+    )
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / "lint_throughput.json").write_text(
+        json.dumps(
+            {
+                "trees": list(LINTED_TREES),
+                "min_warm_speedup": MIN_WARM_SPEEDUP,
+                "warm_speedup": speedup,
+                "runs": {
+                    label: {
+                        "seconds": runs[label]["seconds"],
+                        "stats": runs[label]["stats"].to_dict(),
+                    }
+                    for label in ("cold", "warm", "parallel")
+                },
+                "findings": len(cold["report"].findings),
+                "suppressed": cold["report"].suppressed,
+            },
+            indent=2,
+        )
+        + "\n",
+        encoding="utf-8",
+    )
+    # The cold run's full report feeds collect_results.py's trajectory.
+    (RESULTS_DIR / "lint-report.json").write_text(
+        render_json(cold["report"], stats=cold["stats"]) + "\n", encoding="utf-8"
+    )
+    assert speedup >= MIN_WARM_SPEEDUP, (
+        f"warm lint run took {warm['seconds']:.3f}s — only {speedup:.1f}x "
+        f"faster than the {cold['seconds']:.3f}s cold run (required "
+        f">= {MIN_WARM_SPEEDUP}x); the incremental cache is not pulling "
+        "its weight"
+    )

@@ -258,10 +258,12 @@ def solve(
     batch_size: int | None = None,
     seed: int = 0,
     coverage_backend: str | None = None,
+    # repro-lint: disable=knob-drift -- imperative-only: injects a live kernel object (tests/benchmarks); specs name backends by string instead
     coverage_kernel: Any | None = None,
     executor: str | None = None,
     max_workers: int | None = None,
     reduce: str | None = None,
+    # repro-lint: disable=knob-drift -- imperative-only escape hatch for solver-specific kwargs; RunSpecs express these via SolverSpec.options
     extra: Mapping[str, Any] | None = None,
 ) -> StreamingReport:
     """Run any registered solver on a coverage problem and report the outcome.

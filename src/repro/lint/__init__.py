@@ -2,7 +2,9 @@
 
 The test suite defends the paper's guarantees *dynamically* (byte-identity
 across batch sizes, executors and shard merges); this package defends the
-same contracts *statically*, at AST level, before a single test runs:
+same contracts *statically*, at AST level, before a single test runs.
+
+Per-file rules (one module at a time):
 
 * ``no-raw-rng`` — randomness flows through :mod:`repro.utils.rng`;
 * ``picklable-jobs`` — executor callables are module-level, job dataclasses
@@ -13,23 +15,54 @@ same contracts *statically*, at AST level, before a single test runs:
 * ``no-silent-except`` — no handler swallows executor/mmap errors;
 * ``suppression-hygiene`` — suppressions name real rules and say why.
 
+Project rules (whole-program, over the :class:`~repro.lint.project.ProjectIndex`
+the engine assembles from every file):
+
+* ``knob-drift`` — spec fields, ``solve()``/``Session`` kwargs and CLI
+  flags stay in sync, both directions;
+* ``transitive-picklability`` — callables reaching executors resolve to
+  module-level defs through any chain of aliases/imports/factories;
+* ``registry-docs-sync`` — registered names and README tables agree;
+* ``export-hygiene`` — ``__all__`` entries exist, re-exports resolve,
+  exports are used somewhere in the linted tree.
+
 Run it as ``repro lint src benchmarks tests`` (text or ``--format json``),
 list the rules with ``repro lint --list-rules``, and silence a deliberate
 exception inline::
 
     # repro-lint: disable=<rule>[,<rule>] -- justification
 
+The engine scales like the rest of the repo: ``--jobs N`` fans the
+per-file phase over :class:`repro.parallel.ParallelMapper` (byte-identical
+to serial), ``--cache`` re-analyzes only changed files plus their
+import-graph dependents, and ``--changed BASE`` lints just the files git
+reports dirty (plus dependents) for a fast pre-gate.
+
 New rules plug in exactly like solvers and kernels: subclass
-:class:`~repro.lint.rules.Rule`, give it a
-:class:`~repro.lint.rules.RuleMeta`, decorate with
+:class:`~repro.lint.rules.Rule` (or
+:class:`~repro.lint.rules.ProjectRule` for cross-module contracts), give
+it a :class:`~repro.lint.rules.RuleMeta`, decorate with
 :func:`~repro.lint.rules.register_rule`.
 """
 
 from repro.lint import checks  # noqa: F401  (registers the built-in rules)
-from repro.lint.engine import LintContext, collect_files, lint_paths, lint_source
+from repro.lint.cache import LintCache, load_cache
+from repro.lint.engine import (
+    FileAnalysis,
+    FileLintJob,
+    LintContext,
+    LintStats,
+    collect_files,
+    execute_lint_job,
+    lint_paths,
+    lint_paths_with_stats,
+    lint_source,
+)
 from repro.lint.findings import Finding, LintReport
+from repro.lint.project import ModuleFacts, ProjectIndex, collect_facts
 from repro.lint.reporters import render_json, render_text, report_from_json
 from repro.lint.rules import (
+    ProjectRule,
     Rule,
     RuleMeta,
     get_rule,
@@ -41,17 +74,28 @@ from repro.lint.rules import (
 )
 
 __all__ = [
+    "FileAnalysis",
+    "FileLintJob",
     "Finding",
+    "LintCache",
     "LintReport",
     "LintContext",
+    "LintStats",
+    "ModuleFacts",
+    "ProjectIndex",
+    "ProjectRule",
     "Rule",
     "RuleMeta",
+    "collect_facts",
     "collect_files",
+    "execute_lint_job",
     "get_rule",
     "iter_rule_metas",
     "lint_paths",
+    "lint_paths_with_stats",
     "lint_source",
     "list_rules",
+    "load_cache",
     "register_rule",
     "rule_choices",
     "render_json",

@@ -1,0 +1,115 @@
+"""Incremental-lint cache: content-hash keyed per-file results on disk.
+
+One JSON file (``<cache-dir>/cache.json``, default directory
+``.repro-lint-cache/``) maps display paths to serialized
+``FileAnalysis`` payloads — findings, suppression records and the
+:class:`~repro.lint.project.ModuleFacts` the project rules consume — keyed
+by the sha256 of the file's bytes.  The engine re-analyzes a file only when
+its hash changed (or the rule set differs), re-walks its import-graph
+dependents, and re-runs the project rules over the merged index every time,
+so a warm run is byte-identical to a cold one.
+
+The cache is an *optimization*, never a source of truth: a missing,
+corrupt, truncated or version-mismatched cache file (or any single bad
+entry) is silently treated as empty and rebuilt — a stale cache must never
+fail a lint run or change its outcome.  Writes are atomic
+(write-temp-then-rename), so a run killed mid-save leaves the previous
+cache intact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+__all__ = ["LintCache", "load_cache", "CACHE_VERSION", "CACHE_FILENAME"]
+
+#: Schema version stamped into the cache file; a mismatch discards the cache
+#: (it is only an optimization — rebuilding is always correct).
+CACHE_VERSION = 1
+
+#: File name inside the cache directory.
+CACHE_FILENAME = "cache.json"
+
+
+class LintCache:
+    """Per-file analysis payloads keyed by display path.
+
+    ``directory=None`` builds a *disabled* cache: lookups miss, ``save`` is
+    a no-op.  Entries are opaque JSON dicts — the engine owns their shape
+    and validates them on read, so one malformed entry degrades to a cache
+    miss instead of an error.
+    """
+
+    def __init__(
+        self, directory: Path | None, entries: dict[str, Any] | None = None
+    ) -> None:
+        self.directory = directory
+        self.entries: dict[str, Any] = dict(entries or {})
+        #: Why a cache file on disk was discarded, if it was (for stats).
+        self.discard_reason: str | None = None
+
+    @property
+    def enabled(self) -> bool:
+        """Whether this cache is backed by a directory at all."""
+        return self.directory is not None
+
+    def get(self, display_path: str) -> Any | None:
+        """The stored entry for one file, or ``None`` on a miss."""
+        return self.entries.get(display_path)
+
+    def put(self, display_path: str, entry: Any) -> None:
+        """Store/replace the entry for one file (kept in memory until save)."""
+        self.entries[display_path] = entry
+
+    def save(self) -> None:
+        """Atomically persist every entry; disabled caches do nothing."""
+        if self.directory is None:
+            return
+        self.directory.mkdir(parents=True, exist_ok=True)
+        payload = {"version": CACHE_VERSION, "entries": self.entries}
+        target = self.directory / CACHE_FILENAME
+        temporary = self.directory / (CACHE_FILENAME + ".tmp")
+        temporary.write_text(
+            json.dumps(payload, indent=2, sort_keys=True), encoding="utf-8"
+        )
+        os.replace(temporary, target)
+
+
+def load_cache(directory: Path | str | None) -> LintCache:
+    """Load the cache under ``directory`` (``None`` disables caching).
+
+    Any defect — unreadable file, invalid JSON, wrong shape, unknown
+    version — yields an *empty* enabled cache with ``discard_reason`` set,
+    never an error: correctness comes from re-analysis, the cache only
+    saves time.
+    """
+    if directory is None:
+        return LintCache(None)
+    directory = Path(directory)
+    cache = LintCache(directory)
+    target = directory / CACHE_FILENAME
+    try:
+        text = target.read_text(encoding="utf-8")
+    except FileNotFoundError:
+        return cache
+    except OSError as error:
+        cache.discard_reason = f"unreadable cache file: {error}"
+        return cache
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as error:
+        cache.discard_reason = f"corrupt cache JSON: {error}"
+        return cache
+    if not isinstance(payload, dict) or not isinstance(payload.get("entries"), dict):
+        cache.discard_reason = "cache file is not a {version, entries} object"
+        return cache
+    if payload.get("version") != CACHE_VERSION:
+        cache.discard_reason = (
+            f"cache version {payload.get('version')!r} != {CACHE_VERSION}"
+        )
+        return cache
+    cache.entries = payload["entries"]
+    return cache

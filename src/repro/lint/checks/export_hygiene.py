@@ -1,0 +1,124 @@
+"""``export-hygiene`` — ``__all__`` and re-exports describe real, used symbols.
+
+``__all__`` lists and ``__init__`` re-exports are promises about the public
+surface, and nothing at runtime checks them: a phantom ``__all__`` entry
+only explodes under ``from pkg import *`` (which nobody runs until a user
+does), a broken re-export only when the specific name is imported, and a
+dead export never — it just accretes.  This project rule audits all three
+against the :class:`~repro.lint.project.ProjectIndex`:
+
+* a name in ``__all__`` that the module does not actually bind;
+* a ``from <project module> import name`` naming a symbol the target module
+  does not define (and that is not a submodule);
+* an ``__all__`` export of a ``src`` module that no *other* linted module
+  imports or references — checked only when the lint scope includes
+  non-``src`` trees (tests/benchmarks/examples), since "imported nowhere"
+  is only meaningful when the places that would import it are in scope.
+
+Star-importing modules are skipped where the star makes the symbol table
+unknowable.  Deliberately-external API kept for downstream users carries an
+inline suppression naming that intent.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.rules import ProjectRule, RuleMeta, register_rule
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from repro.lint.project import ProjectIndex
+
+
+@register_rule
+class ExportHygieneRule(ProjectRule):
+    """Flag phantom ``__all__`` entries, broken re-exports, dead exports."""
+
+    meta = RuleMeta(
+        name="export-hygiene",
+        summary="__all__ entries exist, re-exports resolve, exports are used",
+        rationale=(
+            "Nothing at runtime validates __all__ or cross-module imports "
+            "until the exact name is touched: a phantom export breaks "
+            "star-imports, a stale re-export breaks the next caller, and "
+            "a never-imported export is dead API the docs still promise. "
+            "The project index knows every module's symbol table, so all "
+            "three are decidable at lint time."
+        ),
+        example_bad='__all__ = ["solve", "Sesion"]  # typo: module defines Session',
+        example_good='__all__ = ["solve", "Session"]',
+    )
+
+    def check_project(self, index: "ProjectIndex") -> Iterator[Finding]:
+        # name -> display paths that reference it (as a load, an attribute
+        # or an import target) anywhere in the linted tree.
+        users: dict[str, set[str]] = {}
+        for facts in index.modules:
+            for name in facts.used_names:
+                users.setdefault(name, set()).add(facts.display_path)
+            for record in facts.imports:
+                if record.name is not None:
+                    users.setdefault(record.name, set()).add(facts.display_path)
+        check_dead = any(not facts.in_src() for facts in index.modules)
+
+        for facts in index.modules:
+            symbols = facts.symbols or {}
+            if facts.dunder_all is not None and not facts.star_import:
+                for name in facts.dunder_all:
+                    if name not in symbols:
+                        yield Finding(
+                            path=facts.display_path,
+                            line=(facts.dunder_all_lines or {}).get(name, 1),
+                            col=0,
+                            rule=self.meta.name,
+                            message=(
+                                f"__all__ names {name!r} but the module does "
+                                "not bind it; star-imports and doc tooling "
+                                "will fail on this entry"
+                            ),
+                        )
+            for record in facts.imports:
+                if record.name is None:
+                    continue
+                owner = index.by_module.get(record.module)
+                if owner is None or owner is facts or owner.star_import:
+                    continue  # external target, or an unknowable symbol table
+                if index.by_module.get(f"{record.module}.{record.name}") is not None:
+                    continue  # importing a submodule, not a symbol
+                if record.name not in (owner.symbols or {}):
+                    yield Finding(
+                        path=facts.display_path,
+                        line=record.line,
+                        col=0,
+                        rule=self.meta.name,
+                        message=(
+                            f"'from {record.module} import {record.name}' "
+                            f"names a symbol {owner.display_path} does not "
+                            "define; the import fails the moment this "
+                            "module loads"
+                        ),
+                    )
+            if not (check_dead and facts.in_src() and facts.dunder_all):
+                continue
+            if facts.star_import:
+                continue
+            for name in facts.dunder_all:
+                if name.startswith("_"):
+                    continue
+                if index.by_module.get(f"{facts.module}.{name}") is not None:
+                    continue  # a submodule listing, not an API symbol
+                using = users.get(name, set()) - {facts.display_path}
+                if not using:
+                    yield Finding(
+                        path=facts.display_path,
+                        line=(facts.dunder_all_lines or {}).get(name, 1),
+                        col=0,
+                        rule=self.meta.name,
+                        message=(
+                            f"{name!r} is exported in __all__ but no other "
+                            "linted module imports or references it; drop "
+                            "the export or suppress with the downstream "
+                            "consumer it exists for"
+                        ),
+                    )

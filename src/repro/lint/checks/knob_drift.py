@@ -1,0 +1,182 @@
+"""``knob-drift`` — every spec knob threads through every user-facing layer.
+
+A knob that exists in :class:`~repro.api.specs.ProblemSpec` but not in
+``solve()``, or in ``solve()`` but not as a CLI flag, is the drift class
+that costs the most review time: the feature works in whichever layer the
+author tested and silently does not exist in the others (PR 8's ``reduce``
+knob had to touch five layers by hand).  This project rule walks the
+assembled :class:`~repro.lint.project.ProjectIndex` and checks both
+directions:
+
+* **forward** — each field of the spec dataclasses must be reachable in
+  each layer that spec feeds: ``ProblemSpec`` through ``solve()`` kwargs,
+  ``Session`` kwargs *and* a CLI ``--flag``; ``SolverSpec`` through
+  ``solve()`` and ``Session``; ``StreamSpec``/``QuerySpec`` through the
+  CLI.  A finding names exactly the missing layer.
+* **reverse** — each keyword-only parameter of ``solve()`` must correspond
+  to some spec field (under the alias table), so the facade cannot grow
+  knobs the declarative spec layer cannot express.
+
+Layer naming is not always literal — ``ProblemSpec.problem`` surfaces as
+``problem_kind=`` (the facade reserves ``problem`` for the instance) and
+``map_workers`` as ``max_workers=`` / ``--workers`` — so an alias table
+maps each (spec, field) to the names each layer accepts.  Spec-only knobs
+(``dataset_args`` has no CLI syntax) carry an inline suppression with the
+justification, keeping every exception visible at the field it exempts.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.project import ModuleFacts
+from repro.lint.rules import ProjectRule, RuleMeta, register_rule
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from repro.lint.project import ProjectIndex
+
+#: Which layers each spec class must reach.  Layers: ``solve`` (the
+#: ``solve()`` facade signature), ``session`` (any ``Session`` method
+#: signature), ``cli`` (an ``add_argument("--flag")`` site).
+_SPEC_LAYERS: dict[str, tuple[str, ...]] = {
+    "ProblemSpec": ("solve", "session", "cli"),
+    "SolverSpec": ("solve", "session"),
+    "StreamSpec": ("cli",),
+    "QuerySpec": ("cli",),
+}
+
+#: (spec class, field) -> layer -> accepted names, where the layer name
+#: differs from the field name.  Unlisted fields default to the field name
+#: itself (``--field-name`` with dashes for the CLI layer).
+_ALIASES: dict[tuple[str, str], dict[str, tuple[str, ...]]] = {
+    # The facade reserves ``problem`` for the instance argument itself.
+    ("ProblemSpec", "problem"): {
+        "solve": ("problem_kind",),
+        "session": ("problem_kind",),
+    },
+    ("QuerySpec", "problem"): {"cli": ("--problem",)},
+    # ``map_workers`` caps the mapper pool; the imperative layers call the
+    # same knob ``max_workers`` (matching concurrent.futures) and the CLI
+    # shortens it to ``--workers``.
+    ("ProblemSpec", "map_workers"): {
+        "solve": ("max_workers",),
+        "session": ("max_workers",),
+        "cli": ("--workers",),
+    },
+    # Dataset bindings surface on the CLI as the generate-family flag.
+    ("ProblemSpec", "dataset"): {"cli": ("--generator",)},
+    # ``SolverSpec.name`` is the facade's ``solver`` argument.
+    ("SolverSpec", "name"): {"solve": ("solver",), "session": ("solver",)},
+}
+
+_LAYER_DESCRIPTION = {
+    "solve": "a solve() keyword",
+    "session": "a Session keyword",
+    "cli": "a CLI flag",
+}
+
+
+def _cli_alias(field: str) -> str:
+    return "--" + field.replace("_", "-")
+
+
+def _accepted(spec: str, field: str, layer: str) -> tuple[str, ...]:
+    aliases = _ALIASES.get((spec, field), {})
+    if layer in aliases:
+        return aliases[layer]
+    return (_cli_alias(field),) if layer == "cli" else (field,)
+
+
+def _session_params(facade: ModuleFacts) -> set[str]:
+    """Union of parameter names across every ``Session`` method."""
+    names: set[str] = set()
+    for qualname, function in (facade.functions or {}).items():
+        if qualname.startswith("Session."):
+            names.update(function.all_params())
+    return names
+
+
+@register_rule
+class KnobDriftRule(ProjectRule):
+    """Cross-check spec fields against solve()/Session/CLI, both ways."""
+
+    meta = RuleMeta(
+        name="knob-drift",
+        summary="spec fields, solve()/Session kwargs and CLI flags stay in sync",
+        rationale=(
+            "Every knob must thread ProblemSpec -> solve() -> Session -> "
+            "CLI; a layer forgotten during review means the feature "
+            "silently does not exist there. This rule proves each spec "
+            "field reachable in each required layer (naming the missing "
+            "one) and each solve() keyword expressible as a spec field, so "
+            "drift is a lint failure instead of a bug report."
+        ),
+        example_bad="class ProblemSpec: reduce: str  # solve() has no reduce=",
+        example_good="def solve(..., *, reduce: str | None = None, ...)",
+    )
+
+    def check_project(self, index: "ProjectIndex") -> Iterator[Finding]:
+        specs = index.find_module("api/specs.py")
+        if specs is None:
+            return  # tree without the spec layer: nothing to cross-check
+        facade = index.find_module("api/facade.py")
+        cli = index.find_module("cli.py")
+        layers: dict[str, set[str]] = {}
+        solve = (facade.functions or {}).get("solve") if facade else None
+        if solve is not None:
+            layers["solve"] = set(solve.all_params())
+        if facade is not None:
+            session = _session_params(facade)
+            if session:
+                layers["session"] = session
+        if cli is not None and cli.cli_flags:
+            layers["cli"] = set(cli.cli_flags)
+
+        spec_classes = specs.dataclasses or {}
+        for spec_name in sorted(_SPEC_LAYERS):
+            spec = spec_classes.get(spec_name)
+            if spec is None:
+                continue
+            for field in spec.fields:
+                for layer in _SPEC_LAYERS[spec_name]:
+                    available = layers.get(layer)
+                    if available is None:
+                        continue  # that layer is not in the linted tree
+                    accepted = _accepted(spec_name, field, layer)
+                    if not any(name in available for name in accepted):
+                        yield Finding(
+                            path=specs.display_path,
+                            line=spec.field_lines.get(field, spec.line),
+                            col=0,
+                            rule=self.meta.name,
+                            message=(
+                                f"{spec_name}.{field} is not reachable as "
+                                f"{_LAYER_DESCRIPTION[layer]} (expected "
+                                f"{' or '.join(repr(n) for n in accepted)}); "
+                                f"thread the knob through the {layer} layer "
+                                "or suppress with the reason it is spec-only"
+                            ),
+                        )
+
+        if solve is None or facade is None:
+            return
+        expressible: set[str] = set()
+        for spec_name, spec in spec_classes.items():
+            for field in spec.fields:
+                expressible.add(field)
+                expressible.update(_accepted(spec_name, field, "solve"))
+        for param in solve.kwonly:
+            if param not in expressible:
+                yield Finding(
+                    path=facade.display_path,
+                    line=solve.param_lines.get(param, solve.line),
+                    col=0,
+                    rule=self.meta.name,
+                    message=(
+                        f"solve() keyword {param!r} corresponds to no spec "
+                        "field; add the field (or an alias) so declarative "
+                        "RunSpecs can express it, or suppress with the "
+                        "reason it is imperative-only"
+                    ),
+                )

@@ -1,0 +1,90 @@
+"""``transitive-picklability`` — fan-out callables pickle through any alias.
+
+The per-file ``picklable-jobs`` rule sees only the immediate argument of a
+``mapper.map(fn, jobs)`` call: a lambda or local def handed over directly.
+The failures that survive review are *indirect* — the callable reaches the
+pool through a module-level alias, a factory that returns a closure, or a
+``*Job`` dataclass field — and only blow up when someone first flips
+``executor="process"``.  This project rule follows the cross-module
+resolver of :class:`~repro.lint.project.ProjectIndex` from every fan-out
+call site and every ``*Job`` constructor/field-default reference, and flags
+references that *provably* resolve to something a process pool cannot
+pickle by reference (a module-level lambda, or a factory whose return value
+is a nested function).  References it cannot resolve — locals, attributes
+of objects, external packages — stay silent: the rule reports violations it
+can prove, never guesses.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.rules import ProjectRule, RuleMeta, register_rule
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from repro.lint.project import ProjectIndex
+
+
+@register_rule
+class TransitivePicklabilityRule(ProjectRule):
+    """Resolve fan-out callables across modules; flag provable closures."""
+
+    meta = RuleMeta(
+        name="transitive-picklability",
+        summary="callables reaching executors resolve to module-level defs",
+        rationale=(
+            "A callable shipped to a process pool pickles by *reference* "
+            "(module + qualname), so a lambda or factory-built closure "
+            "fails only at runtime, only under executor='process'. The "
+            "per-file rule catches direct lambdas; this rule follows "
+            "aliases, imports and factory returns across modules so the "
+            "indirect cases fail in lint instead."
+        ),
+        example_bad="handler = lambda j: run(j)  # other module: pool.map(handler, jobs)",
+        example_good="def handler(job): ...  # module-level, pickles by reference",
+    )
+
+    def check_project(self, index: "ProjectIndex") -> Iterator[Finding]:
+        for facts in index.modules:
+            for ref in facts.mapper_calls:
+                resolution = index.resolve_callable(facts, ref.target)
+                if resolution.is_violation:
+                    yield Finding(
+                        path=facts.display_path,
+                        line=ref.line,
+                        col=ref.col,
+                        rule=self.meta.name,
+                        message=(
+                            f"callable {ref.target!r} handed to {ref.context} "
+                            f"{resolution.detail}"
+                        ),
+                    )
+            for ref in facts.job_refs:
+                if ref.is_lambda:
+                    yield Finding(
+                        path=facts.display_path,
+                        line=ref.line,
+                        col=ref.col,
+                        rule=self.meta.name,
+                        message=(
+                            f"lambda flows into a {ref.job_class} "
+                            f"{ref.via} field; job payloads ship to worker "
+                            "processes, so every callable they carry must "
+                            "be a module-level def"
+                        ),
+                    )
+                    continue
+                resolution = index.resolve_callable(facts, ref.target)
+                if resolution.is_violation:
+                    yield Finding(
+                        path=facts.display_path,
+                        line=ref.line,
+                        col=ref.col,
+                        rule=self.meta.name,
+                        message=(
+                            f"value {ref.target!r} flowing into a "
+                            f"{ref.job_class} {ref.via} field "
+                            f"{resolution.detail}"
+                        ),
+                    )

@@ -42,9 +42,18 @@ def render_text(report: LintReport) -> str:
     return "\n".join(lines)
 
 
-def render_json(report: LintReport) -> str:
-    """Lossless JSON form of the report (sorted keys, stable across runs)."""
+def render_json(report: LintReport, stats: Any | None = None) -> str:
+    """Lossless JSON form of the report (sorted keys, stable across runs).
+
+    ``stats`` (a :class:`~repro.lint.engine.LintStats`, or anything with a
+    ``to_dict``) rides along under a separate ``"stats"`` key when given:
+    the *report* stays byte-identical across cold/warm/parallel runs, while
+    stats legitimately vary, and :func:`report_from_json` ignores the key —
+    no version bump needed.
+    """
     payload: dict[str, Any] = {"version": REPORT_VERSION, "report": report.to_dict()}
+    if stats is not None:
+        payload["stats"] = stats.to_dict() if hasattr(stats, "to_dict") else stats
     return json.dumps(payload, indent=2, sort_keys=True)
 
 

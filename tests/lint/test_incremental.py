@@ -1,0 +1,182 @@
+"""The incremental engine: content-hash cache, dependents, ``--changed``.
+
+The cache is an optimization with a hard contract: a warm run's *report* is
+byte-identical to a cold run's, only the stats differ; any defect in the
+cache (corrupt file, wrong version, one malformed entry) degrades to a
+miss, never an error.  These tests pin both halves — the speedup's
+accounting (what got re-analyzed) and the degradation paths.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import textwrap
+
+import pytest
+
+from repro.lint import lint_paths_with_stats, render_json
+from repro.lint.cache import CACHE_FILENAME, CACHE_VERSION, LintCache, load_cache
+from repro.lint.engine import Suppression
+
+TREE = {
+    "src/app/__init__.py": "",
+    "src/app/a.py": "def alpha():\n    return 1\n",
+    "src/app/b.py": "from app.a import alpha\n\n\ndef beta():\n    return alpha()\n",
+    "src/app/c.py": "def gamma():\n    return 3\n",
+}
+
+
+@pytest.fixture
+def tree(tmp_path, monkeypatch):
+    for rel, text in TREE.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(text), encoding="utf-8")
+    monkeypatch.chdir(tmp_path)
+    return tmp_path
+
+
+def run(cache_dir=None, **kwargs):
+    return lint_paths_with_stats(["src"], cache_dir=cache_dir, **kwargs)
+
+
+class TestWarmRuns:
+    def test_second_run_is_all_cache_hits_and_byte_identical(self, tree):
+        cold_report, cold_stats = run(cache_dir=".cache")
+        assert cold_stats.files_analyzed == 4
+        assert cold_stats.files_from_cache == 0
+        assert cold_stats.cache_hit_rate == 0.0
+
+        warm_report, warm_stats = run(cache_dir=".cache")
+        assert warm_stats.files_analyzed == 0
+        assert warm_stats.files_from_cache == 4
+        assert warm_stats.cache_hit_rate == 1.0
+        assert warm_stats.project_rules_ran  # project phase never comes from cache
+        assert render_json(warm_report) == render_json(cold_report)
+
+    def test_touching_a_leaf_reanalyzes_it_and_its_dependents_only(self, tree):
+        run(cache_dir=".cache")
+        a = tree / "src/app/a.py"
+        a.write_text(a.read_text() + "\n\ndef alpha_prime():\n    return 11\n")
+
+        report, stats = run(cache_dir=".cache")
+        # b.py imports a.py, so it re-walks too; c.py and __init__ stay cached.
+        assert stats.analyzed_paths == ("src/app/a.py", "src/app/b.py")
+        assert stats.files_analyzed == 2
+        assert stats.files_from_cache == 2
+
+        cold_report, _ = run()  # no cache at all
+        assert render_json(report) == render_json(cold_report)
+
+    def test_rule_set_change_invalidates_the_cache(self, tree):
+        run(cache_dir=".cache", rules=["no-raw-rng"])
+        _, stats = run(cache_dir=".cache", rules=["no-raw-rng", "no-silent-except"])
+        assert stats.files_from_cache == 0
+        assert stats.files_analyzed == 4
+
+    def test_same_content_at_new_mtime_still_hits(self, tree):
+        run(cache_dir=".cache")
+        a = tree / "src/app/a.py"
+        a.write_text(a.read_text())  # rewrite identical bytes
+        _, stats = run(cache_dir=".cache")
+        assert stats.files_from_cache == 4  # keyed by content hash, not mtime
+
+
+class TestCacheDegradation:
+    def test_corrupt_cache_file_is_discarded_not_fatal(self, tree):
+        run(cache_dir=".cache")
+        (tree / ".cache" / CACHE_FILENAME).write_text("{ not json", encoding="utf-8")
+        report, stats = run(cache_dir=".cache")
+        assert stats.files_analyzed == 4  # rebuilt from scratch
+        cold_report, _ = run()
+        assert render_json(report) == render_json(cold_report)
+
+    def test_version_mismatch_is_discarded_with_reason(self, tree):
+        run(cache_dir=".cache")
+        target = tree / ".cache" / CACHE_FILENAME
+        payload = json.loads(target.read_text(encoding="utf-8"))
+        payload["version"] = CACHE_VERSION + 999
+        target.write_text(json.dumps(payload), encoding="utf-8")
+        cache = load_cache(tree / ".cache")
+        assert cache.entries == {}
+        assert "version" in (cache.discard_reason or "")
+        _, stats = run(cache_dir=".cache")
+        assert stats.files_analyzed == 4
+
+    def test_one_malformed_entry_is_a_miss_for_that_file_only(self, tree):
+        run(cache_dir=".cache")
+        target = tree / ".cache" / CACHE_FILENAME
+        payload = json.loads(target.read_text(encoding="utf-8"))
+        payload["entries"]["src/app/c.py"] = {"garbage": True}
+        target.write_text(json.dumps(payload), encoding="utf-8")
+        _, stats = run(cache_dir=".cache")
+        assert stats.analyzed_paths == ("src/app/c.py",)
+        assert stats.files_from_cache == 3
+
+    def test_missing_directory_means_cold_run(self, tree):
+        cache = load_cache(tree / "never-created")
+        assert cache.enabled and cache.entries == {} and cache.discard_reason is None
+
+    def test_disabled_cache_never_persists(self, tree):
+        cache = LintCache(None)
+        cache.put("x.py", {"digest": "d"})
+        cache.save()
+        assert not cache.enabled
+        assert not (tree / CACHE_FILENAME).exists()
+
+
+class TestSuppressionRoundTrip:
+    def test_to_dict_from_dict_is_identity(self):
+        suppression = Suppression(
+            line=7,
+            rules=frozenset({"no-raw-rng", "knob-drift"}),
+            justification="test double",
+            standalone=True,
+        )
+        assert Suppression.from_dict(suppression.to_dict()) == suppression
+        assert suppression.to_dict()["rules"] == ["knob-drift", "no-raw-rng"]
+
+
+def git(*argv, cwd):
+    subprocess.run(
+        ["git", *argv], cwd=cwd, check=True, capture_output=True, text=True,
+        env={"GIT_AUTHOR_NAME": "t", "GIT_AUTHOR_EMAIL": "t@t", "HOME": str(cwd),
+             "GIT_COMMITTER_NAME": "t", "GIT_COMMITTER_EMAIL": "t@t",
+             "PATH": "/usr/bin:/bin:/usr/local/bin"},
+    )
+
+
+class TestChangedFastPath:
+    def test_only_dirty_files_and_dependents_get_the_walk(self, tree):
+        git("init", "-q", cwd=tree)
+        git("add", ".", cwd=tree)
+        git("commit", "-q", "-m", "seed", cwd=tree)
+        a = tree / "src/app/a.py"
+        a.write_text(a.read_text() + "\n\ndef alpha_prime():\n    return 11\n")
+
+        report, stats = run(changed_base="HEAD")
+        assert stats.changed_base == "HEAD"
+        assert stats.analyzed_paths == ("src/app/a.py", "src/app/b.py")
+        # with no cache, the whole tree contributes facts (for the import
+        # graph and project rules) before the two selected files get walked
+        assert stats.files_facts_only == 4
+        assert report.files_scanned == 2
+
+    def test_clean_worktree_walks_nothing(self, tree):
+        git("init", "-q", cwd=tree)
+        git("add", ".", cwd=tree)
+        git("commit", "-q", "-m", "seed", cwd=tree)
+        report, stats = run(changed_base="HEAD")
+        assert stats.analyzed_paths == ()
+        assert report.files_scanned == 0
+        assert report.clean
+
+    def test_bad_base_is_a_spec_error(self, tree):
+        from repro.errors import SpecError
+
+        git("init", "-q", cwd=tree)
+        git("add", ".", cwd=tree)
+        git("commit", "-q", "-m", "seed", cwd=tree)
+        with pytest.raises(SpecError, match="--changed could not diff"):
+            run(changed_base="no-such-ref")

@@ -138,6 +138,28 @@ class TestCollectFiles:
         with pytest.raises(FileNotFoundError):
             collect_files([tmp_path / "nowhere"])
 
+    def test_overlapping_arguments_yield_each_file_exactly_once(self, tmp_path):
+        # Regression: a nested dir named alongside its parent (or a file
+        # alongside a dir containing it) must not double-lint anything.
+        sub = tmp_path / "pkg" / "sub"
+        sub.mkdir(parents=True)
+        (tmp_path / "pkg" / "a.py").write_text("x = 1\n")
+        (sub / "b.py").write_text("x = 1\n")
+        files = collect_files(
+            [tmp_path / "pkg", sub, sub / "b.py", tmp_path / "pkg" / "a.py"]
+        )
+        assert [f.name for f in files] == ["a.py", "b.py"]
+        assert len(files) == len(set(files))
+
+    def test_argument_order_does_not_change_the_output(self, tmp_path):
+        (tmp_path / "z.py").write_text("x = 1\n")
+        nested = tmp_path / "deep"
+        nested.mkdir()
+        (nested / "a.py").write_text("x = 1\n")
+        forward = collect_files([tmp_path / "z.py", nested])
+        backward = collect_files([nested, tmp_path / "z.py"])
+        assert forward == backward
+
 
 class TestLintPaths:
     def test_report_counts_and_determinism(self, tmp_path):

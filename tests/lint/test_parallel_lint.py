@@ -1,0 +1,100 @@
+"""Parallel lint must be invisible: same report, byte for byte, as serial.
+
+The engine fans the per-file parse+walk over ``ParallelMapper``; nothing
+about backend choice, worker count or completion order may leak into the
+report.  ``render_json(report)`` is the canonical byte form, so equality of
+those strings is the whole contract.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.lint import lint_paths_with_stats, render_json
+from repro.lint.engine import FileLintJob, execute_lint_job
+
+REPO_SRC = Path(__file__).resolve().parents[2] / "src" / "repro" / "lint"
+
+#: Snippet pool for the property test: clean code, per-file violations,
+#: suppressed violations, and a syntax error — every per-file outcome.
+SNIPPETS = (
+    "def ok():\n    return 1\n",
+    "import random\n\n\ndef roll():\n    return random.random()\n",
+    "import random\n# repro-lint: disable=no-raw-rng -- test fixture\nr = random.random()\n",
+    "def broken(:\n",
+    "try:\n    x = 1\nexcept Exception:\n    pass\n",
+    "__all__ = ['ghost']\n",
+    "from app.elsewhere import something\n",
+)
+
+
+def lint_both_ways(paths, executor, **kwargs):
+    serial_report, serial_stats = lint_paths_with_stats(paths, executor=None)
+    parallel_report, parallel_stats = lint_paths_with_stats(
+        paths, executor=executor, **kwargs
+    )
+    return serial_report, serial_stats, parallel_report, parallel_stats
+
+
+def test_thread_backend_is_byte_identical_on_the_real_tree():
+    serial_report, _, parallel_report, parallel_stats = lint_both_ways(
+        [REPO_SRC], "thread", max_workers=4
+    )
+    assert parallel_stats.executor == "thread"
+    assert parallel_stats.workers > 1
+    assert render_json(parallel_report) == render_json(serial_report)
+
+
+def test_process_backend_is_byte_identical_on_the_real_tree():
+    # Sandboxed environments can force a serial fallback; the contract —
+    # identical bytes — holds either way, so no skip.
+    serial_report, _, parallel_report, parallel_stats = lint_both_ways(
+        [REPO_SRC], "process", max_workers=2
+    )
+    assert parallel_stats.executor in ("process", "serial")
+    assert render_json(parallel_report) == render_json(serial_report)
+
+
+def test_jobs_pickle_and_execute_standalone():
+    import pickle
+
+    source = "import random\nx = random.random()\n"
+    job = FileLintJob(
+        path="src/app/mod.py",
+        display_path="src/app/mod.py",
+        source=source,
+        digest="unused",
+        rule_names=("no-raw-rng",),
+    )
+    clone = pickle.loads(pickle.dumps(job))
+    analysis = execute_lint_job(clone)
+    assert [finding.rule for finding in analysis.findings] == ["no-raw-rng"]
+    assert analysis.facts.module == "app.mod"
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(
+    picks=st.lists(
+        st.sampled_from(range(len(SNIPPETS))), min_size=1, max_size=8
+    )
+)
+def test_parallel_report_equals_serial_for_arbitrary_trees(tmp_path, picks):
+    # Distinct per-example directories: hypothesis reuses tmp_path across
+    # examples, and the engine must not care about leftovers from others.
+    root = tmp_path / ("case-" + "-".join(map(str, picks)))
+    for index, pick in enumerate(picks):
+        target = root / "src" / "app" / f"mod_{index}.py"
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(SNIPPETS[pick]), encoding="utf-8")
+    serial_report, _ = lint_paths_with_stats([root])
+    parallel_report, _ = lint_paths_with_stats(
+        [root], executor="thread", max_workers=3
+    )
+    assert render_json(parallel_report) == render_json(serial_report)
