@@ -59,6 +59,69 @@ def summarize_lint_report(payload: object) -> object:
     return summary
 
 
+def summarize_chrome_trace(payload: object) -> object:
+    """Compress a Chrome trace-event JSON into trajectory headline numbers.
+
+    The raw trace is one event per span — megabytes on a real run and
+    different every time (timestamps).  The trajectory wants the shape:
+    how many spans, which lanes (coordinator + workers), which span names
+    appeared, and the wall extent.  Anything without a ``traceEvents``
+    list passes through untouched.
+    """
+    if not isinstance(payload, dict):
+        return payload
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        return payload
+    spans = [e for e in events if isinstance(e, dict) and e.get("ph") == "X"]
+    lanes = sorted(
+        e.get("args", {}).get("name", "")
+        for e in events
+        if isinstance(e, dict) and e.get("ph") == "M"
+        and e.get("name") == "thread_name"
+    )
+    extent = max((e.get("ts", 0) + e.get("dur", 0) for e in spans), default=0)
+    return {
+        "span_events": len(spans),
+        "lanes": lanes,
+        "span_names": sorted({e.get("name") for e in spans}),
+        "extent_micros": extent,
+    }
+
+
+def summarize_metrics_snapshot(payload: object) -> object:
+    """Flatten a ``repro.obs`` metrics snapshot into headline scalars.
+
+    A snapshot maps instrument name to its typed state; the trajectory
+    keeps counters and gauge levels as-is and reduces histograms to
+    count/mean (full bucket vectors stay in the archived raw artifact).
+    Anything that does not look like a snapshot passes through untouched.
+    """
+    if not isinstance(payload, dict) or not payload:
+        return payload
+    kinds = {"counter", "gauge", "histogram"}
+    if not all(
+        isinstance(state, dict) and state.get("kind") in kinds
+        for state in payload.values()
+    ):
+        return payload
+    summary: dict[str, object] = {}
+    for name in sorted(payload):
+        state = payload[name]
+        if state["kind"] == "counter":
+            summary[name] = state.get("value", 0)
+        elif state["kind"] == "gauge":
+            summary[name] = state.get("value", 0.0)
+            summary[f"{name}.max"] = state.get("max", 0.0)
+        else:
+            count = state.get("count", 0)
+            summary[f"{name}.count"] = count
+            summary[f"{name}.mean"] = (
+                state.get("sum", 0.0) / count if count else 0.0
+            )
+    return summary
+
+
 def collect_results(results_dir: Path) -> dict[str, object]:
     """Parse every results JSON (except the trajectory itself), keyed by stem."""
     artifacts: dict[str, object] = {}
@@ -73,6 +136,8 @@ def collect_results(results_dir: Path) -> dict[str, object]:
             continue
         if path.stem == "lint-report":
             payload = summarize_lint_report(payload)
+        payload = summarize_chrome_trace(payload)
+        payload = summarize_metrics_snapshot(payload)
         artifacts[path.stem] = payload
     return {
         "artifacts": artifacts,

@@ -19,6 +19,7 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Any, Iterable, Mapping, Sequence
 
+from repro import obs
 from repro.analysis.experiments import ExperimentSuite
 from repro.analysis.metrics import approximation_ratio, kcover_reference_value
 from repro.api.registry import ProblemContext, SolverInfo, get_solver
@@ -359,6 +360,28 @@ def solve(
             "pass problem_kind=... or pick a matching solver"
         )
     extra_dict = dict(extra or {})
+    with obs.span("solve", solver=info.name, problem=ctx.problem):
+        report = _run_solver(
+            info, spec, ctx, stream, max_passes, batch_size, extra_dict
+        )
+    if obs.enabled():
+        # Only while tracing: disabled runs stay byte-identical to the
+        # pre-instrumentation library (comparison code strips "obs" the way
+        # it strips SERVE_EXTRA_KEYS).
+        report.extra.setdefault("obs", obs.summary())
+    return report
+
+
+def _run_solver(
+    info: SolverInfo,
+    spec: SolverSpec,
+    ctx: ProblemContext,
+    stream: StreamSpec | EdgeStream | SetStream | None,
+    max_passes: int | None,
+    batch_size: int | None,
+    extra_dict: dict[str, Any],
+) -> StreamingReport:
+    """Dispatch one resolved solver run (the body of :func:`solve`)."""
     if info.kind == "streaming":
         algorithm = info.builder(ctx, **spec.options)
         stream_obj, effective_order = _build_stream(info, algorithm, ctx, stream)
@@ -627,6 +650,19 @@ class Session:
         report = self.serve().query(spec)
         self._record_row(report, label)
         return report
+
+    def metrics(self) -> dict[str, dict[str, Any]]:
+        """Deterministic snapshot of every instrument this session can see.
+
+        Merges the process-global registry (streaming, distributed, kernel
+        and driver telemetry) with the serving store's private registry when
+        the session has built its engine; the ``serve.store.*`` names only
+        exist in store registries, so the merge never aliases two sources.
+        """
+        store_registries = []
+        if self._serve_engine is not None:
+            store_registries.append(self._serve_engine.store.metrics)
+        return obs.global_metrics().snapshot(extra=store_registries)
 
     def _record_row(self, report: StreamingReport, label: str | None) -> None:
         """Append one report to the suite with the session-level metrics."""

@@ -10,8 +10,9 @@ workflows without writing any Python:
 * ``generate`` — generate a synthetic workload and write it as an edge list
   (``--list`` prints the dataset registry instead).
 * ``sketch`` — build the sketch of an edge-list file and report its size.
-* ``distributed`` — run the two-round MapReduce-style k-cover; columnar
-  ``--edges`` directories are sharded off the memory-mapped columns.
+* ``distributed`` (alias ``run``) — run the two-round MapReduce-style
+  k-cover; columnar ``--edges`` directories are sharded off the
+  memory-mapped columns.
 * ``serve`` — build the sketch once and drive a concurrent k-sweep query
   load against it (:mod:`repro.serve`), reporting p50/p99 latency, QPS and
   cache statistics.
@@ -27,6 +28,13 @@ the :mod:`repro.datasets` dataset registry — algorithms and workloads
 registered by downstream code show up here automatically.  Commands print a
 small aligned table and exit with a non-zero status on invalid input, so the
 CLI is scriptable in pipelines.
+
+Solver commands additionally take ``--trace FILE`` (Chrome trace-event JSON
+of the run's spans, loadable in Perfetto / ``chrome://tracing``) and
+``--metrics FILE`` (instrument snapshot; ``.prom``/``.txt`` renders the
+Prometheus text exposition, anything else JSON).  Either flag switches the
+:mod:`repro.obs` tracer on for the run; without them the instrumentation
+stays on its no-op path.
 """
 
 from __future__ import annotations
@@ -36,6 +44,7 @@ import sys
 from pathlib import Path
 from typing import Sequence
 
+from repro import obs
 from repro.api import StreamSpec, iter_solvers, solve
 from repro.coverage.bipartite import BipartiteGraph
 from repro.coverage.io import open_columnar, read_edge_list, write_columnar, write_edge_list
@@ -75,6 +84,16 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--density", type=float, default=0.05)
         p.add_argument("--seed", type=int, default=0)
 
+    def add_obs_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--trace", type=Path, default=None,
+                       help="write a Chrome trace-event JSON of the run's "
+                            "spans to this file (open in Perfetto or "
+                            "chrome://tracing); also enables tracing")
+        p.add_argument("--metrics", type=Path, default=None,
+                       help="write the metrics snapshot to this file "
+                            "(.prom/.txt: Prometheus text exposition, "
+                            "otherwise JSON); also enables tracing")
+
     def add_stream_options(p: argparse.ArgumentParser) -> None:
         p.add_argument("--batch-size", type=int, default=None,
                        help="drive the stream in columnar batches of this many "
@@ -88,6 +107,7 @@ def build_parser() -> argparse.ArgumentParser:
     kcover = sub.add_parser("kcover", help="single-pass streaming k-cover (Algorithm 3)")
     add_instance_options(kcover)
     add_stream_options(kcover)
+    add_obs_options(kcover)
     kcover.add_argument("--k", type=int, default=10)
     kcover.add_argument("--epsilon", type=float, default=0.2)
     kcover.add_argument("--scale", type=float, default=0.1,
@@ -98,6 +118,7 @@ def build_parser() -> argparse.ArgumentParser:
     setcover = sub.add_parser("setcover", help="multi-pass streaming set cover (Algorithm 6)")
     add_instance_options(setcover)
     add_stream_options(setcover)
+    add_obs_options(setcover)
     setcover.add_argument("--k", type=int, default=10)
     setcover.add_argument("--epsilon", type=float, default=0.5)
     setcover.add_argument("--rounds", type=int, default=3)
@@ -106,6 +127,7 @@ def build_parser() -> argparse.ArgumentParser:
     outliers = sub.add_parser("outliers", help="set cover with λ outliers (Algorithm 5)")
     add_instance_options(outliers)
     add_stream_options(outliers)
+    add_obs_options(outliers)
     outliers.add_argument("--k", type=int, default=10)
     outliers.add_argument("--epsilon", type=float, default=0.5)
     outliers.add_argument("--outlier-fraction", type=float, default=0.1)
@@ -129,9 +151,13 @@ def build_parser() -> argparse.ArgumentParser:
     sketch.add_argument("--scale", type=float, default=0.1)
 
     distributed = sub.add_parser(
-        "distributed", help="two-round MapReduce-style k-cover via composable sketches"
+        "distributed",
+        aliases=["run"],
+        help="two-round MapReduce-style k-cover via composable sketches "
+             "(alias: run)",
     )
     add_instance_options(distributed)
+    add_obs_options(distributed)
     distributed.add_argument("--k", type=int, default=10)
     distributed.add_argument("--epsilon", type=float, default=0.2)
     distributed.add_argument("--scale", type=float, default=0.1)
@@ -172,6 +198,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_instance_options(serve)
     add_stream_options(serve)
+    add_obs_options(serve)
     serve.add_argument("--k", type=int, default=10,
                        help="queries sweep k over 1..k (distinct budgets build "
                             "their own cache entries; colliding ones share)")
@@ -190,6 +217,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_instance_options(query)
     add_stream_options(query)
+    add_obs_options(query)
     query.add_argument("--problem", choices=("k_cover", "set_cover", "set_cover_outliers"),
                        default="k_cover")
     query.add_argument("--k", type=int, default=10,
@@ -470,12 +498,16 @@ def _cmd_lint(args: argparse.Namespace, out) -> int:
 def _serve_engine(args: argparse.Namespace):
     from repro.serve import QueryEngine
 
-    return QueryEngine(
+    engine = QueryEngine(
         _load_graph(args),
         seed=args.seed,
         batch_size=args.batch_size,
         coverage_backend=args.coverage_backend,
     )
+    # Remembered on the namespace so --metrics can fold the store's private
+    # registry (hits/misses/builds/evictions) into the exported snapshot.
+    args.serve_store = engine.store
+    return engine
 
 
 def _cmd_serve(args: argparse.Namespace, out) -> int:
@@ -554,11 +586,40 @@ _COMMANDS = {
     "generate": _cmd_generate,
     "sketch": _cmd_sketch,
     "distributed": _cmd_distributed,
+    "run": _cmd_distributed,
     "serve": _cmd_serve,
     "query": _cmd_query,
     "list-solvers": _cmd_list_solvers,
     "lint": _cmd_lint,
 }
+
+
+def _dispatch_with_obs(args: argparse.Namespace, out) -> int:
+    """Run one command, exporting a trace and/or metrics when asked.
+
+    Either flag turns the tracer on for the run; the global metrics registry
+    is reset first so the artifacts describe exactly this invocation.
+    """
+    command = _COMMANDS[args.command]
+    trace_path = getattr(args, "trace", None)
+    metrics_path = getattr(args, "metrics", None)
+    if trace_path is None and metrics_path is None:
+        return command(args, out)
+    obs.global_metrics().reset()
+    tracer = obs.Tracer()
+    with obs.tracing(tracer):
+        code = command(args, out)
+    if trace_path is not None:
+        obs.write_trace(trace_path, tracer.records())
+        print(f"trace written to {trace_path}", file=out)
+    if metrics_path is not None:
+        store = getattr(args, "serve_store", None)
+        extra = (store.metrics,) if store is not None else ()
+        obs.write_metrics(
+            metrics_path, obs.global_metrics().snapshot(extra=extra)
+        )
+        print(f"metrics written to {metrics_path}", file=out)
+    return code
 
 
 def main(argv: Sequence[str] | None = None, out=None) -> int:
@@ -567,7 +628,7 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
-        return _COMMANDS[args.command](args, out)
+        return _dispatch_with_obs(args, out)
     except (ValueError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

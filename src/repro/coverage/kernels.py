@@ -27,12 +27,15 @@ identical on every query (property-tested).
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np
 
+from repro import obs
 from repro.errors import SpecError
+from repro.obs import clock
 from repro.utils.registry import NamedRegistry
 
 __all__ = [
@@ -44,6 +47,7 @@ __all__ = [
     "canonical_backend_name",
     "list_kernel_backends",
     "kernel_backend_choices",
+    "uninstrumented_backend",
 ]
 
 #: Lookup table with the popcount of every byte value (fallback path).
@@ -120,6 +124,38 @@ _REGISTRY: NamedRegistry[KernelBackend] = NamedRegistry(
     "coverage kernel backend", SpecError, "repro.coverage.list_kernel_backends()"
 )
 
+#: Kernel-primitive timings, observed only while tracing is enabled; the
+#: disabled path through :func:`_timed_kernel_op` is one enabled() check.
+_PACK_SECONDS = obs.global_metrics().histogram(
+    "kernel.pack_seconds", help="per-call packing time of bitset rows"
+)
+_POPCOUNT_SECONDS = obs.global_metrics().histogram(
+    "kernel.popcount_seconds", help="per-call popcount reduction time"
+)
+
+
+def _timed_kernel_op(
+    fn: Callable[..., "np.ndarray | int"], histogram: "obs.Histogram"
+) -> Callable[..., "np.ndarray | int"]:
+    """Wrap a pack/popcount primitive with an enabled-gated timer.
+
+    ``functools.wraps`` keeps the raw callable reachable as ``__wrapped__``
+    (the overhead benchmark builds its no-obs baseline from it via
+    :func:`uninstrumented_backend`).
+    """
+
+    @functools.wraps(fn)
+    def wrapper(*args: object, **kwargs: object) -> "np.ndarray | int":
+        if not obs.enabled():
+            return fn(*args, **kwargs)
+        start = clock.perf_counter()
+        try:
+            return fn(*args, **kwargs)
+        finally:
+            histogram.observe(clock.perf_counter() - start)
+
+    return wrapper
+
 
 def register_kernel_backend(backend: KernelBackend) -> KernelBackend:
     """Register a backend under its name; duplicates raise :class:`SpecError`."""
@@ -163,8 +199,8 @@ register_kernel_backend(
         dtype=np.dtype(np.uint8),
         elements_per_lane=8,
         summary="uint8 lanes via np.packbits (8 elements per lane)",
-        pack=_pack_bytes,
-        popcount=_popcount_bytes,
+        pack=_timed_kernel_op(_pack_bytes, _PACK_SECONDS),
+        popcount=_timed_kernel_op(_popcount_bytes, _POPCOUNT_SECONDS),
     )
 )
 
@@ -174,10 +210,29 @@ register_kernel_backend(
         dtype=np.dtype(np.uint64),
         elements_per_lane=64,
         summary="uint64 lanes (64 elements per lane, 8x fewer lanes than bytes)",
-        pack=_pack_words,
-        popcount=_popcount_words,
+        pack=_timed_kernel_op(_pack_words, _PACK_SECONDS),
+        popcount=_timed_kernel_op(_popcount_words, _POPCOUNT_SECONDS),
     )
 )
+
+
+def uninstrumented_backend(name: str) -> KernelBackend:
+    """A registered backend with the raw (never-timed) pack/popcount.
+
+    The obs overhead benchmark measures the instrumentation's disabled path
+    against a truly untouched kernel; unwrapping ``__wrapped__`` recovers
+    the primitives exactly as registered before :func:`_timed_kernel_op`.
+    """
+    backend = get_kernel_backend(name)
+    return KernelBackend(
+        name=backend.name,
+        dtype=backend.dtype,
+        elements_per_lane=backend.elements_per_lane,
+        summary=backend.summary,
+        pack=getattr(backend.pack, "__wrapped__", backend.pack),
+        popcount=getattr(backend.popcount, "__wrapped__", backend.popcount),
+    )
+
 
 def kernel_backend_choices() -> tuple[str, ...]:
     """Valid values for user-facing backend options (CLI, specs)."""

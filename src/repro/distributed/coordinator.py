@@ -55,6 +55,7 @@ from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.coverage.bipartite import BipartiteGraph
 from repro.core.hashing import UniformHash
 from repro.core.params import SketchParams
@@ -88,6 +89,22 @@ __all__ = [
 #: them and merges once; ``streaming`` merges pairwise as they arrive,
 #: keeping O(log machines) resident.  Both produce byte-identical runs.
 REDUCE_MODES = ("barrier", "streaming")
+
+#: Reduce telemetry (process-global; the per-run truth stays in the report).
+#: Created once at import so :func:`repro.obs.MetricsRegistry.reset` between
+#: runs zeroes these handles in place instead of orphaning them.
+_MERGES = obs.global_metrics().counter(
+    "distributed.merges", help="pairwise sketch merges run by any reduce"
+)
+_FOLD_HEIGHT = obs.global_metrics().histogram(
+    "distributed.fold_height",
+    buckets=obs.SIZE_BUCKETS,
+    help="merge-tree subtree height at each streaming fold",
+)
+_RESIDENT = obs.global_metrics().gauge(
+    "distributed.resident_sketches",
+    help="machine sketches held by the coordinator right now (max = peak)",
+)
 
 
 def _sketch_columns(sketch: CoverageSketch) -> tuple[np.ndarray, np.ndarray]:
@@ -269,6 +286,7 @@ class StreamingMergeTree:
         self._added += 1
         self.resident += 1
         self.peak_resident = max(self.peak_resident, self.resident)
+        _RESIDENT.set(self.resident)
         while node.height < len(self._slots) and self._slots[node.height] is not None:
             other = self._slots[node.height]
             self._slots[node.height] = None
@@ -279,9 +297,11 @@ class StreamingMergeTree:
 
     def _merge_pair(self, left: _MergeNode, right: _MergeNode) -> _MergeNode:
         """Merge two subtrees, propagating the carried truncation flags."""
-        merged = _merge_sketches(
-            [left.sketch, right.sketch], self.params, hash_seed=self.hash_seed
-        )
+        height = max(left.height, right.height) + 1
+        with obs.span("reduce.fold", height=height):
+            merged = _merge_sketches(
+                [left.sketch, right.sketch], self.params, hash_seed=self.hash_seed
+            )
         carried = frozenset(merged.truncated_elements) | frozenset(
             element
             for element in (left.carried | right.carried)
@@ -289,9 +309,10 @@ class StreamingMergeTree:
         )
         self.merge_count += 1
         self.resident -= 1
-        return _MergeNode(
-            height=max(left.height, right.height) + 1, sketch=merged, carried=carried
-        )
+        _MERGES.inc()
+        _FOLD_HEIGHT.observe(height)
+        _RESIDENT.set(self.resident)
+        return _MergeNode(height=height, sketch=merged, carried=carried)
 
     def result(self) -> CoverageSketch:
         """Drain the remaining subtrees into the final merged sketch."""
@@ -305,10 +326,12 @@ class StreamingMergeTree:
         if self.merge_count == 0:
             # A single machine never pairs up, but the barrier merge still
             # runs one admission pass over that lone sketch — match it.
-            merged = _merge_sketches(
-                [node.sketch], self.params, hash_seed=self.hash_seed
-            )
+            with obs.span("reduce.merge", machines=1):
+                merged = _merge_sketches(
+                    [node.sketch], self.params, hash_seed=self.hash_seed
+                )
             self.merge_count += 1
+            _MERGES.inc()
             return merged
         return replace(node.sketch, truncated_elements=node.carried)
 
@@ -539,7 +562,8 @@ class DistributedKCover:
         the parallel one.
         """
         for machine_id, builder in enumerate(builders):
-            sketch = builder.sketch()
+            with obs.span("map.machine", machine=machine_id):
+                sketch = builder.sketch()
             yield MachineSketch(
                 machine_id=machine_id,
                 sketch=sketch,
@@ -732,9 +756,13 @@ class DistributedKCover:
                 ms.machine_id: (ms.edges_processed, ms.edges_stored)
                 for ms in gathered
             }
-            merged = merge_machine_sketches(
-                gathered, self.params, hash_seed=self.seed
-            )
+            _RESIDENT.set(len(gathered))
+            with obs.span("reduce.merge", machines=len(gathered)):
+                merged = merge_machine_sketches(
+                    gathered, self.params, hash_seed=self.seed
+                )
+            _MERGES.inc()
+            _RESIDENT.set(1)
             peak_resident, merge_count = len(gathered), 1
         machine_ids = sorted(stats)
         machine_stored_edges = [stats[i][1] for i in machine_ids]
@@ -744,8 +772,9 @@ class DistributedKCover:
 
         from repro.coverage.bitset import kernel_for
 
-        kernel = kernel_for(merged.graph, self.coverage_backend)
-        solution = greedy_k_cover(merged.graph, self.k, kernel=kernel).selected
+        with obs.span("distributed.greedy", k=self.k):
+            kernel = kernel_for(merged.graph, self.coverage_backend)
+            solution = greedy_k_cover(merged.graph, self.k, kernel=kernel).selected
         return DistributedRunReport(
             solution=solution,
             coverage_estimate=merged.estimate_coverage(solution),

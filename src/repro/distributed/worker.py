@@ -46,6 +46,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.core.hashing import UniformHash
 from repro.core.params import SketchParams
 from repro.core.sketch import CoverageSketch
@@ -309,5 +310,12 @@ MapJob = MachineShardJob | ColumnarSliceJob | ShardRecomputeJob
 
 
 def execute_map_job(job: MapJob) -> MachineSketch:
-    """Run one map job (top-level, so process pools can pickle it by name)."""
-    return job.run()
+    """Run one map job (top-level, so process pools can pickle it by name).
+
+    The span is a no-op unless the job runs under a tracer — either the
+    coordinator's (serial/thread executors) or the per-job capture the
+    instrumented :class:`~repro.parallel.ParallelMapper` installs, whose
+    records ride back with the result and stitch into one coherent trace.
+    """
+    with obs.span("map.machine", machine=job.machine_id):
+        return job.run()

@@ -15,6 +15,7 @@ from repro.lint.checks import (  # noqa: F401  (imported for registration)
     knob_drift,
     picklable_jobs,
     raw_rng,
+    raw_timing,
     registry_docs,
     registry_names,
     silent_except,
@@ -29,6 +30,7 @@ __all__ = [
     "knob_drift",
     "picklable_jobs",
     "raw_rng",
+    "raw_timing",
     "registry_docs",
     "registry_names",
     "silent_except",

@@ -52,12 +52,12 @@ import os
 import re
 import subprocess
 import threading
-import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Iterable, Mapping, Sequence
 
 from repro.errors import SpecError
+from repro.obs import clock
 from repro.lint.cache import LintCache, load_cache
 from repro.lint.findings import Finding, LintReport
 from repro.lint.project import ModuleFacts, ProjectIndex, collect_facts, module_name_for
@@ -683,7 +683,7 @@ def lint_paths_with_stats(
     the rule walk, every other file contributes facts only, and
     ``files_scanned`` counts just the walked files.
     """
-    started = time.perf_counter()
+    started = clock.perf_counter()
     rule_names = tuple(_normalize_rule_names(rules))
     instances = _resolve_rules(rule_names)  # validates (did-you-mean hints)
     file_rule_canon = tuple(
@@ -811,7 +811,7 @@ def lint_paths_with_stats(
         files_from_cache=sum(1 for name in scanned if name not in fresh),
         files_facts_only=len(facts_only_jobs),
         analyzed_paths=tuple(selected),
-        wall_seconds=time.perf_counter() - started,
+        wall_seconds=clock.perf_counter() - started,
         executor=executed_backend,
         workers=executed_workers,
         project_rules=project_rule_names,

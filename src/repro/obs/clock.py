@@ -1,0 +1,87 @@
+"""The library's one doorway to wall-clock time.
+
+Every timing read in ``src/repro`` goes through :func:`perf_counter` /
+:func:`wall_time` instead of the :mod:`time` module directly (the
+``raw-timing`` lint rule enforces it), for one reason: tests can install a
+:class:`FakeClock` and make latency histograms, span durations and report
+timings *deterministic*.  The indirection is a module-global callable, so
+the cost over a direct ``time.perf_counter()`` call is one extra global
+load — invisible next to the clock read itself.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Callable, Iterator
+
+import time
+
+__all__ = ["FakeClock", "fake_clock", "perf_counter", "wall_time"]
+
+
+def _real_perf_counter() -> float:
+    # repro-lint: disable=raw-timing -- this module IS the clock indirection; the real monotonic source lives here
+    return time.perf_counter()
+
+
+def _real_wall_time() -> float:
+    # repro-lint: disable=raw-timing -- the one real epoch-time read behind wall_time(); everything else fakes through it
+    return time.time()
+
+
+_perf: Callable[[], float] = _real_perf_counter
+_wall: Callable[[], float] = _real_wall_time
+
+
+def perf_counter() -> float:
+    """Monotonic seconds (``time.perf_counter`` unless a fake is installed)."""
+    return _perf()
+
+
+def wall_time() -> float:
+    """Seconds since the epoch (``time.time`` unless a fake is installed)."""
+    return _wall()
+
+
+class FakeClock:
+    """Deterministic clock: starts at ``start``, advances ``tick`` per read.
+
+    >>> clock = FakeClock(start=10.0, tick=0.5)
+    >>> clock(), clock()
+    (10.0, 10.5)
+    """
+
+    __slots__ = ("now", "tick")
+
+    def __init__(self, start: float = 0.0, tick: float = 0.0) -> None:
+        self.now = float(start)
+        self.tick = float(tick)
+
+    def __call__(self) -> float:
+        value = self.now
+        self.now += self.tick
+        return value
+
+    def advance(self, seconds: float) -> None:
+        """Move the clock forward without consuming a read."""
+        self.now += seconds
+
+
+@contextmanager
+def fake_clock(
+    clock: FakeClock | None = None, *, start: float = 0.0, tick: float = 0.0
+) -> Iterator[FakeClock]:
+    """Route both time sources through one :class:`FakeClock` for the scope.
+
+    Not thread-safe by design: it swaps the process-global sources, so use
+    it only in single-threaded test sections.
+    """
+    global _perf, _wall
+    installed = clock if clock is not None else FakeClock(start=start, tick=tick)
+    saved = (_perf, _wall)
+    _perf = installed
+    _wall = installed
+    try:
+        yield installed
+    finally:
+        _perf, _wall = saved

@@ -1,0 +1,180 @@
+"""Exporters: Chrome trace-event JSON, text span tree, Prometheus text.
+
+All three render from plain snapshots (:class:`~repro.obs.trace.SpanRecord`
+lists and :meth:`~repro.obs.metrics.MetricsRegistry.snapshot` dicts), never
+from live tracers, so exporting is pure and deterministic given the data.
+
+* :func:`chrome_trace` — the ``traceEvents`` JSON object Perfetto and
+  ``chrome://tracing`` load; one complete (``"ph": "X"``) event per span,
+  one thread row per execution lane, microsecond timestamps.
+* :func:`render_span_tree` — an indented text tree with durations, for
+  terminals and log files.
+* :func:`render_prometheus` — ``# TYPE``/``# HELP`` text exposition;
+  histogram buckets become cumulative ``_bucket{le=...}`` series.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+from repro.obs.trace import ROOT_PARENT, SpanRecord
+
+__all__ = [
+    "chrome_trace",
+    "render_span_tree",
+    "render_prometheus",
+    "write_trace",
+    "write_metrics",
+]
+
+#: The single process row every span lands under in the Chrome trace.
+_TRACE_PID = 1
+
+
+def _lane_ids(records: Sequence[SpanRecord]) -> dict[str, int]:
+    """Stable lane -> tid mapping: ``main`` first, the rest sorted."""
+    lanes = sorted({record.lane for record in records})
+    if "main" in lanes:
+        lanes.remove("main")
+        lanes.insert(0, "main")
+    return {lane: index for index, lane in enumerate(lanes)}
+
+
+def chrome_trace(records: Sequence[SpanRecord]) -> dict[str, Any]:
+    """The Chrome trace-event JSON object for one run's spans."""
+    lanes = _lane_ids(records)
+    events: list[dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": _TRACE_PID,
+            "tid": 0,
+            "args": {"name": "repro"},
+        }
+    ]
+    for lane, tid in lanes.items():
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": _TRACE_PID,
+                "tid": tid,
+                "args": {"name": lane},
+            }
+        )
+    ordered = sorted(records, key=lambda r: (r.start, r.span_id))
+    for record in ordered:
+        events.append(
+            {
+                "name": record.name,
+                "ph": "X",
+                "pid": _TRACE_PID,
+                "tid": lanes[record.lane],
+                "ts": round(record.start * 1e6, 3),
+                "dur": round(record.duration * 1e6, 3),
+                "args": record.attrs_dict(),
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def render_span_tree(records: Sequence[SpanRecord]) -> str:
+    """Indented text rendering of the span forest, children by start time."""
+    children: dict[int, list[SpanRecord]] = {}
+    ids = {record.span_id for record in records}
+    for record in records:
+        parent = record.parent_id if record.parent_id in ids else ROOT_PARENT
+        children.setdefault(parent, []).append(record)
+
+    lines: list[str] = []
+
+    def _render(parent: int, depth: int) -> None:
+        ordered = sorted(
+            children.get(parent, ()), key=lambda r: (r.start, r.span_id)
+        )
+        for record in ordered:
+            attrs = record.attrs_dict()
+            suffix = (
+                "  {" + ", ".join(f"{k}={v!r}" for k, v in attrs.items()) + "}"
+                if attrs
+                else ""
+            )
+            lines.append(
+                f"{'  ' * depth}{record.name}  "
+                f"{record.duration * 1e3:.3f}ms  [{record.lane}]{suffix}"
+            )
+            _render(record.span_id, depth + 1)
+
+    _render(ROOT_PARENT, 0)
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _prometheus_name(name: str) -> str:
+    return "repro_" + name.replace(".", "_").replace("-", "_")
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, float) and value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def render_prometheus(snapshot: Mapping[str, Mapping[str, Any]]) -> str:
+    """Prometheus text exposition of one metrics snapshot."""
+    lines: list[str] = []
+    for name in sorted(snapshot):
+        state = snapshot[name]
+        metric = _prometheus_name(name)
+        kind = state.get("kind", "gauge")
+        lines.append(f"# TYPE {metric} {kind}")
+        if kind == "histogram":
+            cumulative = 0
+            for bound, count in state.get("buckets", []):
+                cumulative += count
+                lines.append(
+                    f'{metric}_bucket{{le="{_format_value(float(bound))}"}} '
+                    f"{cumulative}"
+                )
+            cumulative += state.get("overflow", 0)
+            lines.append(f'{metric}_bucket{{le="+Inf"}} {cumulative}')
+            lines.append(f"{metric}_sum {_format_value(state.get('sum', 0.0))}")
+            lines.append(f"{metric}_count {state.get('count', 0)}")
+        elif kind == "gauge":
+            lines.append(f"{metric} {_format_value(state.get('value', 0.0))}")
+            lines.append(
+                f"# TYPE {metric}_max gauge\n"
+                f"{metric}_max {_format_value(state.get('max', 0.0))}"
+            )
+        else:
+            lines.append(f"{metric} {state.get('value', 0)}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_trace(path: str | Path, records: Sequence[SpanRecord]) -> Path:
+    """Write the Chrome trace JSON for ``records`` to ``path``."""
+    target = Path(path)
+    target.write_text(
+        json.dumps(chrome_trace(records), indent=2) + "\n", encoding="utf-8"
+    )
+    return target
+
+
+def write_metrics(
+    path: str | Path, snapshot: Mapping[str, Mapping[str, Any]]
+) -> Path:
+    """Write a metrics snapshot to ``path``.
+
+    The format follows the suffix: ``.prom``/``.txt`` get the Prometheus
+    text exposition, anything else the JSON snapshot.
+    """
+    target = Path(path)
+    if target.suffix in (".prom", ".txt"):
+        target.write_text(render_prometheus(snapshot), encoding="utf-8")
+    else:
+        target.write_text(
+            json.dumps(snapshot, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+    return target

@@ -1,0 +1,318 @@
+"""Named instruments: counters, gauges and fixed-bucket histograms.
+
+The registry replaces the ad-hoc accounting that used to live in each
+subsystem (the sketch store's hand-rolled hit/miss ints, the query driver's
+raw latency lists): a component asks its :class:`MetricsRegistry` for an
+instrument by dotted name and records into it; exporters snapshot the whole
+registry at once.  Instruments are thread-safe (the serving driver observes
+one histogram from eight client threads) and deterministic to snapshot —
+no timestamps, no host names — so identical runs export identical metrics.
+
+Two registries matter in practice: the process-global one
+(:func:`repro.obs.global_metrics`) that library-wide telemetry lands in,
+and per-component private registries where counts must stay per-instance
+(each :class:`~repro.serve.store.SketchStore` owns one, so two stores never
+blend their hit rates).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from bisect import bisect_left
+from typing import Any, Iterable, Sequence
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "LATENCY_BUCKETS",
+    "SIZE_BUCKETS",
+    "percentile",
+]
+
+#: Upper bounds (seconds) for timing histograms: 1µs .. ~100s, four buckets
+#: per decade.  Fixed at import so every process buckets identically.
+LATENCY_BUCKETS: tuple[float, ...] = tuple(
+    round(mantissa * 10.0**exponent, 12)
+    for exponent in range(-6, 3)
+    for mantissa in (1.0, 2.0, 5.0, 7.5)
+)
+
+#: Upper bounds for count-valued histograms (batch sizes, fold depths):
+#: powers of two up to ~1M.
+SIZE_BUCKETS: tuple[float, ...] = tuple(float(2**exponent) for exponent in range(21))
+
+
+def percentile(sample: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (``q`` in [0, 100]) of a non-empty sample."""
+    if not sample:
+        raise ValueError("percentile of an empty sample")
+    ordered = sorted(sample)
+    rank = max(1, min(len(ordered), math.ceil(q / 100.0 * len(ordered))))
+    return ordered[rank - 1]
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    kind = "counter"
+    __slots__ = ("name", "help", "_lock", "_value")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (must be >= 0) to the count."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease (got {amount})")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def reset(self) -> None:
+        """Zero the count (keeps the instrument registered)."""
+        with self._lock:
+            self._value = 0
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"kind": self.kind, "value": self._value}
+
+
+class Gauge:
+    """A point-in-time level; remembers the maximum it ever held."""
+
+    kind = "gauge"
+    __slots__ = ("name", "help", "_lock", "_value", "_max")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._lock = threading.Lock()
+        self._value = 0.0
+        self._max = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+            if value > self._max:
+                self._max = value
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    @property
+    def max_seen(self) -> float:
+        return self._max
+
+    def reset(self) -> None:
+        """Zero the level and the high-water mark."""
+        with self._lock:
+            self._value = 0.0
+            self._max = 0.0
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"kind": self.kind, "value": self._value, "max": self._max}
+
+
+class Histogram:
+    """Fixed-bucket distribution of observed values.
+
+    Buckets are cumulative upper bounds (Prometheus-style); an implicit
+    ``+Inf`` bucket catches the tail.  With ``track_samples=True`` the raw
+    observations are also retained so :meth:`quantile` is exact — the
+    serving driver uses that for its p50/p99 contract, where a bucket
+    upper bound would be too coarse to gate on.
+    """
+
+    kind = "histogram"
+    __slots__ = (
+        "name",
+        "help",
+        "buckets",
+        "_lock",
+        "_counts",
+        "_sum",
+        "_count",
+        "_samples",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        buckets: Sequence[float] = LATENCY_BUCKETS,
+        help: str = "",
+        track_samples: bool = False,
+    ) -> None:
+        if not buckets:
+            raise ValueError(f"histogram {name} needs at least one bucket bound")
+        bounds = tuple(float(bound) for bound in buckets)
+        if list(bounds) != sorted(set(bounds)):
+            raise ValueError(f"histogram {name} bucket bounds must strictly increase")
+        self.name = name
+        self.help = help
+        self.buckets = bounds
+        self._lock = threading.Lock()
+        self._counts = [0] * (len(bounds) + 1)
+        self._sum = 0.0
+        self._count = 0
+        self._samples: list[float] | None = [] if track_samples else None
+
+    def observe(self, value: float) -> None:
+        index = bisect_left(self.buckets, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+            if self._samples is not None:
+                self._samples.append(value)
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def total(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    @property
+    def samples(self) -> list[float]:
+        """The retained raw observations (empty unless ``track_samples``)."""
+        with self._lock:
+            return list(self._samples) if self._samples is not None else []
+
+    def quantile(self, q: float) -> float:
+        """The ``q``-th percentile: exact when samples are retained,
+        otherwise the upper bound of the bucket holding that rank."""
+        with self._lock:
+            if self._count == 0:
+                raise ValueError(f"quantile of empty histogram {self.name}")
+            if self._samples is not None:
+                return percentile(self._samples, q)
+            rank = max(1, math.ceil(q / 100.0 * self._count))
+            seen = 0
+            for index, bucket_count in enumerate(self._counts):
+                seen += bucket_count
+                if seen >= rank:
+                    if index < len(self.buckets):
+                        return self.buckets[index]
+                    return math.inf
+            raise AssertionError("histogram counts out of sync")  # pragma: no cover
+
+    def reset(self) -> None:
+        """Zero every bucket (keeps bounds and sample tracking mode)."""
+        with self._lock:
+            self._counts = [0] * (len(self.buckets) + 1)
+            self._sum = 0.0
+            self._count = 0
+            if self._samples is not None:
+                self._samples = []
+
+    def snapshot(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "kind": self.kind,
+                "count": self._count,
+                "sum": self._sum,
+                "buckets": [
+                    [bound, count]
+                    for bound, count in zip(self.buckets, self._counts)
+                ],
+                "overflow": self._counts[-1],
+            }
+
+
+class MetricsRegistry:
+    """Get-or-create home for named instruments.
+
+    Asking twice for the same name returns the same instrument; asking for
+    an existing name as a different kind raises, so two subsystems cannot
+    silently alias one metric.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: dict[str, Any] = {}
+
+    def _get_or_create(self, name: str, factory: Any, kind: str) -> Any:
+        with self._lock:
+            instrument = self._instruments.get(name)
+            if instrument is None:
+                instrument = self._instruments[name] = factory()
+            elif instrument.kind != kind:
+                raise ValueError(
+                    f"instrument {name!r} already registered as "
+                    f"{instrument.kind}, not {kind}"
+                )
+            return instrument
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(name, lambda: Counter(name, help), "counter")
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(name, lambda: Gauge(name, help), "gauge")
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Sequence[float] = LATENCY_BUCKETS,
+        help: str = "",
+        track_samples: bool = False,
+    ) -> Histogram:
+        return self._get_or_create(
+            name,
+            lambda: Histogram(
+                name, buckets=buckets, help=help, track_samples=track_samples
+            ),
+            "histogram",
+        )
+
+    def get(self, name: str) -> Any:
+        """The instrument registered under ``name`` (``None`` if absent)."""
+        with self._lock:
+            return self._instruments.get(name)
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._instruments)
+
+    def instruments(self) -> list[Any]:
+        """Every registered instrument, sorted by name."""
+        with self._lock:
+            return [self._instruments[name] for name in sorted(self._instruments)]
+
+    def reset(self) -> None:
+        """Zero every instrument *in place*.
+
+        Handles held by instrumented modules stay valid — resetting between
+        CLI runs must not orphan the module-level instruments they cached.
+        """
+        for instrument in self.instruments():
+            instrument.reset()
+
+    def snapshot(
+        self, extra: Iterable["MetricsRegistry"] = ()
+    ) -> dict[str, dict[str, Any]]:
+        """Deterministic name -> state mapping, merging ``extra`` registries.
+
+        A name present in several registries keeps the first snapshot taken
+        (self wins), matching the "private registries shadow global names"
+        layering the store relies on.
+        """
+        merged: dict[str, dict[str, Any]] = {}
+        for registry in (self, *extra):
+            for instrument in registry.instruments():
+                merged.setdefault(instrument.name, instrument.snapshot())
+        return {name: merged[name] for name in sorted(merged)}

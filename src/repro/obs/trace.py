@@ -1,0 +1,208 @@
+"""Span tracer: thread-local nesting, cross-process stitching.
+
+A :class:`Tracer` collects finished :class:`SpanRecord`\\ s.  Open spans
+nest through a per-thread stack, so concurrent client threads each build
+their own subtree without locking each other; finished records append under
+one lock.  All times are seconds relative to the tracer's *epoch* (its
+creation instant), which is what makes stitching possible: a worker
+process's capture starts its own epoch at job entry, ships its records home
+as plain picklable data, and :meth:`Tracer.adopt` re-anchors them under the
+coordinator's current span — offset so the worker subtree ends at the
+moment its result arrived, the only instant both clocks agree on.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
+
+from repro.obs import clock
+
+__all__ = ["SpanRecord", "Span", "Tracer", "span_tree"]
+
+#: ``parent_id`` of a root span (no enclosing span on its thread).
+ROOT_PARENT = -1
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One finished span — plain data so process workers can pickle it home.
+
+    ``start``/``duration`` are seconds; ``start`` is relative to the owning
+    tracer's epoch.  ``lane`` names the logical execution lane (``"main"``,
+    ``"machine-3"``) and becomes the thread row in the Chrome trace.
+    """
+
+    span_id: int
+    parent_id: int
+    name: str
+    start: float
+    duration: float
+    lane: str
+    attrs: tuple[tuple[str, Any], ...]
+
+    def attrs_dict(self) -> dict[str, Any]:
+        return dict(self.attrs)
+
+
+class Span:
+    """An open span; context manager returned by :meth:`Tracer.span`."""
+
+    __slots__ = ("_tracer", "name", "_attrs", "_span_id", "_parent_id", "_start")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict[str, Any]) -> None:
+        self._tracer = tracer
+        self.name = name
+        self._attrs = attrs
+        self._span_id = -1
+        self._parent_id = ROOT_PARENT
+        self._start = 0.0
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach attributes to the open span (e.g. a result count)."""
+        self._attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        tracer = self._tracer
+        stack = tracer._thread_stack()
+        self._parent_id = stack[-1] if stack else ROOT_PARENT
+        self._span_id = tracer._allocate_id()
+        stack.append(self._span_id)
+        self._start = clock.perf_counter() - tracer.epoch
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        tracer = self._tracer
+        duration = clock.perf_counter() - tracer.epoch - self._start
+        tracer._thread_stack().pop()
+        tracer._append(
+            SpanRecord(
+                span_id=self._span_id,
+                parent_id=self._parent_id,
+                name=self.name,
+                start=self._start,
+                duration=duration,
+                lane=tracer.lane,
+                attrs=tuple(sorted(self._attrs.items())),
+            )
+        )
+        return False
+
+
+class Tracer:
+    """Collects spans for one process (or one captured worker job)."""
+
+    def __init__(self, lane: str = "main") -> None:
+        self.lane = lane
+        self.epoch = clock.perf_counter()
+        self._lock = threading.Lock()
+        self._records: list[SpanRecord] = []
+        self._next_id = 0
+        self._local = threading.local()
+
+    def span(self, name: str, **attrs: Any) -> Span:
+        return Span(self, name, attrs)
+
+    def _thread_stack(self) -> list[int]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _allocate_id(self) -> int:
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+            return span_id
+
+    def _append(self, record: SpanRecord) -> None:
+        with self._lock:
+            self._records.append(record)
+
+    def current_parent(self) -> int:
+        """The calling thread's innermost open span id (adoption anchor)."""
+        stack = self._thread_stack()
+        return stack[-1] if stack else ROOT_PARENT
+
+    def records(self) -> list[SpanRecord]:
+        """Finished spans, ordered by ``(start, span_id)``."""
+        with self._lock:
+            return sorted(self._records, key=lambda r: (r.start, r.span_id))
+
+    def adopt(
+        self,
+        records: Iterable[SpanRecord],
+        *,
+        parent_id: int | None = None,
+        lane: str | None = None,
+    ) -> int:
+        """Re-anchor a worker capture's records under this tracer.
+
+        Foreign ids are remapped to fresh local ids; foreign roots hang off
+        ``parent_id`` (default: the calling thread's current span).  Times
+        shift so the foreign subtree *ends* now — arrival is the one instant
+        the coordinator can place on its own clock.  Returns the number of
+        adopted records.
+        """
+        foreign = sorted(records, key=lambda r: (r.start, r.span_id))
+        if not foreign:
+            return 0
+        anchor = parent_id if parent_id is not None else self.current_parent()
+        extent = max(record.start + record.duration for record in foreign)
+        offset = (clock.perf_counter() - self.epoch) - extent
+        id_map: dict[int, int] = {}
+        for record in foreign:
+            id_map[record.span_id] = self._allocate_id()
+        for record in foreign:
+            parent = (
+                id_map[record.parent_id]
+                if record.parent_id in id_map
+                else anchor
+            )
+            self._append(
+                SpanRecord(
+                    span_id=id_map[record.span_id],
+                    parent_id=parent,
+                    name=record.name,
+                    start=record.start + offset,
+                    duration=record.duration,
+                    lane=lane if lane is not None else record.lane,
+                    attrs=record.attrs,
+                )
+            )
+        return len(foreign)
+
+
+def span_tree(records: Sequence[SpanRecord]) -> list[dict[str, Any]]:
+    """Nest records into a deterministic tree of plain dicts.
+
+    The shape — names, attributes and parent/child structure — is
+    independent of timing and of which executor produced the spans, so the
+    property tests can assert a process-pool run stitches to exactly the
+    serial tree.  Siblings sort by ``(name, attrs)``; times are omitted.
+    """
+    children: dict[int, list[SpanRecord]] = {}
+    ids = {record.span_id for record in records}
+    for record in records:
+        parent = record.parent_id if record.parent_id in ids else ROOT_PARENT
+        children.setdefault(parent, []).append(record)
+
+    def _build(parent: int) -> list[dict[str, Any]]:
+        nodes = []
+        ordered = sorted(
+            children.get(parent, ()),
+            key=lambda r: (r.name, tuple((k, repr(v)) for k, v in r.attrs)),
+        )
+        for record in ordered:
+            nodes.append(
+                {
+                    "name": record.name,
+                    "attrs": record.attrs_dict(),
+                    "children": _build(record.span_id),
+                }
+            )
+        return nodes
+
+    return _build(ROOT_PARENT)

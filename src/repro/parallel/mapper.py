@@ -31,8 +31,12 @@ from __future__ import annotations
 
 from concurrent.futures import BrokenExecutor, Executor, Future, as_completed
 from contextlib import contextmanager
+from dataclasses import dataclass
+from functools import partial
 from typing import Any, Callable, Iterable, Iterator, TypeVar
 
+from repro import obs
+from repro.obs import clock
 from repro.parallel.executors import ExecutorBackend, resolve_executor, usable_cpus
 from repro.utils.validation import check_positive_int
 
@@ -40,6 +44,44 @@ __all__ = ["ParallelMapper", "as_mapper"]
 
 Job = TypeVar("Job")
 Result = TypeVar("Result")
+
+
+@dataclass(frozen=True)
+class _InstrumentedOutcome:
+    """What an instrumented job ships back beside its result.
+
+    ``started`` is the worker's ``perf_counter`` at job entry — on this
+    platform the monotonic clock is system-wide, so the coordinator can
+    subtract its submit instant to get queue wait (clamped at zero where
+    clocks are not comparable).  ``spans`` are the worker-side
+    :class:`~repro.obs.trace.SpanRecord`\\ s, plain data riding home for
+    :func:`repro.obs.adopt` to stitch under the coordinator's span.
+    """
+
+    value: Any
+    started: float
+    execute_seconds: float
+    spans: tuple
+
+
+def _run_instrumented(
+    fn: Callable[[Job], Result], indexed_job: tuple[int, Job]
+) -> _InstrumentedOutcome:
+    """Run one job under a span capture, timing it on the worker's clock.
+
+    Module-level on purpose (the ``picklable-jobs`` contract): this is what
+    actually crosses into process-pool workers when tracing is on.
+    """
+    index, job = indexed_job
+    started = clock.perf_counter()
+    with obs.capture(lane=f"worker-{index}") as captured:
+        value = fn(job)
+    return _InstrumentedOutcome(
+        value=value,
+        started=started,
+        execute_seconds=clock.perf_counter() - started,
+        spans=tuple(captured.records()),
+    )
 
 
 class ParallelMapper:
@@ -173,6 +215,43 @@ class ParallelMapper:
     def map(self, fn: Callable[[Job], Result], jobs: Iterable[Job]) -> list[Result]:
         """Apply ``fn`` to every job; results come back in input order.
 
+        With tracing enabled (:func:`repro.obs.enabled`) each job runs under
+        a worker-side span capture and ships its spans and timings back with
+        its result; the coordinator stitches the spans under its open span
+        and records queue-wait/execute histograms.  Disabled, this dispatch
+        costs one attribute load and the plain path below runs unchanged.
+        """
+        jobs = list(jobs)
+        if not obs.enabled():
+            return self._map_plain(fn, jobs)
+        submitted = clock.perf_counter()
+        outcomes = self._map_plain(
+            partial(_run_instrumented, fn), list(enumerate(jobs))
+        )
+        return [
+            self._absorb_outcome(outcome, submitted) for outcome in outcomes
+        ]
+
+    def _absorb_outcome(
+        self, outcome: _InstrumentedOutcome, submitted: float
+    ) -> Any:
+        """Record one instrumented job's telemetry; return its real result."""
+        metrics = obs.global_metrics()
+        metrics.counter("parallel.jobs").inc()
+        metrics.histogram("parallel.queue_wait_seconds").observe(
+            max(0.0, outcome.started - submitted)
+        )
+        metrics.histogram("parallel.execute_seconds").observe(
+            outcome.execute_seconds
+        )
+        obs.adopt(outcome.spans)
+        return outcome.value
+
+    def _map_plain(
+        self, fn: Callable[[Job], Result], jobs: list[Job]
+    ) -> list[Result]:
+        """The uninstrumented ordered gather (the disabled-path hot loop).
+
         The serial backend (and any degenerate pool of one worker) runs the
         plain loop.  Parallel backends submit every job up front and gather
         by future — submission order, not completion order — so the returned
@@ -229,6 +308,25 @@ class ParallelMapper:
         self, fn: Callable[[Job], Result], jobs: Iterable[Job]
     ) -> Iterator[tuple[int, Result]]:
         """Yield ``(index, result)`` pairs as jobs complete.
+
+        Instrumented exactly like :meth:`map` when tracing is on (worker
+        span capture rides back per job, queue-wait/execute histograms on
+        arrival); disabled, the plain as-completed path runs unchanged.
+        """
+        jobs = list(jobs)
+        if not obs.enabled():
+            yield from self._map_unordered_plain(fn, jobs)
+            return
+        submitted = clock.perf_counter()
+        for index, outcome in self._map_unordered_plain(
+            partial(_run_instrumented, fn), list(enumerate(jobs))
+        ):
+            yield index, self._absorb_outcome(outcome, submitted)
+
+    def _map_unordered_plain(
+        self, fn: Callable[[Job], Result], jobs: list[Job]
+    ) -> Iterator[tuple[int, Result]]:
+        """The uninstrumented as-completed gather.
 
         The *set* of pairs equals ``list(enumerate(self.map(fn, jobs)))``;
         only the order is scheduling-dependent (the serial backend yields in

@@ -15,13 +15,13 @@ hot path is dominated by NumPy kernel reductions, which release the GIL.
 
 from __future__ import annotations
 
-import math
-import time
-from dataclasses import dataclass
-from typing import Any, Iterable, Mapping, Sequence
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
 
+from repro import obs
 from repro.api.specs import QuerySpec
 from repro.errors import SpecError
+from repro.obs import Histogram, clock, percentile
 from repro.parallel import ParallelMapper
 from repro.streaming.runner import StreamingReport
 
@@ -35,6 +35,12 @@ __all__ = [
 
 #: Executor backends that keep every client on the shared engine.
 _SHARED_MEMORY_EXECUTORS = ("serial", "thread")
+
+#: Process-lifetime latency distribution across every driven batch; the
+#: per-batch exact distribution lives on each :class:`LoadReport`.
+_QUERY_SECONDS = obs.global_metrics().histogram(
+    "serve.query_seconds", help="per-query serving latency across driven batches"
+)
 
 
 @dataclass
@@ -52,18 +58,9 @@ def run_query_job(job: QueryJob) -> tuple[StreamingReport, float]:
     ``ParallelMapper.map``, and jobs must stay importable descriptions of
     work (see the ``picklable-jobs`` lint contract).
     """
-    start = time.perf_counter()
+    start = clock.perf_counter()
     report = job.engine.query(job.spec)
-    return report, time.perf_counter() - start
-
-
-def percentile(latencies: Sequence[float], q: float) -> float:
-    """Nearest-rank percentile (``q`` in [0, 100]) of a non-empty sample."""
-    if not latencies:
-        raise ValueError("percentile of an empty sample")
-    ordered = sorted(latencies)
-    rank = max(1, min(len(ordered), math.ceil(q / 100.0 * len(ordered))))
-    return ordered[rank - 1]
+    return report, clock.perf_counter() - start
 
 
 @dataclass
@@ -74,6 +71,10 @@ class LoadReport:
     input-order results), so callers can line answers up with their specs.
     ``executor``/``workers`` record what actually ran — a sandbox that
     cannot spawn threads degrades to the serial loop and says so.
+
+    The latency summaries (p50/p99/mean) are read off a sample-tracking
+    :class:`~repro.obs.Histogram` built from ``latencies``, so the report
+    and the metrics exporters agree on one definition of each statistic.
     """
 
     clients: int
@@ -82,26 +83,36 @@ class LoadReport:
     latencies: list[float]
     reports: list[StreamingReport]
     wall_seconds: float
+    latency: Histogram = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        self.latency = Histogram(
+            "serve.query_seconds",
+            help="per-query serving latency of this batch",
+            track_samples=True,
+        )
+        for value in self.latencies:
+            self.latency.observe(value)
 
     @property
     def num_queries(self) -> int:
         """How many requests the batch contained."""
-        return len(self.latencies)
+        return self.latency.count
 
     @property
     def p50(self) -> float:
-        """Median per-query latency (seconds)."""
-        return percentile(self.latencies, 50)
+        """Median per-query latency (seconds, exact nearest-rank)."""
+        return self.latency.quantile(50)
 
     @property
     def p99(self) -> float:
-        """99th-percentile per-query latency (seconds)."""
-        return percentile(self.latencies, 99)
+        """99th-percentile per-query latency (seconds, exact nearest-rank)."""
+        return self.latency.quantile(99)
 
     @property
     def mean_latency(self) -> float:
         """Mean per-query latency (seconds)."""
-        return sum(self.latencies) / len(self.latencies)
+        return self.latency.mean
 
     @property
     def qps(self) -> float:
@@ -149,15 +160,19 @@ def drive_queries(
     ]
     jobs = [QueryJob(engine=engine, spec=spec) for spec in resolved]
     mapper = ParallelMapper(executor, max_workers=clients)
-    start = time.perf_counter()
-    outcomes = mapper.map(run_query_job, jobs)
-    wall = time.perf_counter() - start
+    start = clock.perf_counter()
+    with obs.span("serve.drive", clients=clients, queries=len(jobs)):
+        outcomes = mapper.map(run_query_job, jobs)
+    wall = clock.perf_counter() - start
+    latencies = [latency for _, latency in outcomes]
+    for latency in latencies:
+        _QUERY_SECONDS.observe(latency)
     executed_backend, executed_workers = mapper.last_execution
     return LoadReport(
         clients=clients,
         executor=executed_backend,
         workers=executed_workers,
-        latencies=[latency for _, latency in outcomes],
+        latencies=latencies,
         reports=[report for report, _ in outcomes],
         wall_seconds=wall,
     )

@@ -42,11 +42,11 @@ this, including after cache eviction and re-admission).
 from __future__ import annotations
 
 import json
-import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Mapping
 
+from repro import obs
 from repro.api import ProblemContext, get_solver
 from repro.api.specs import QuerySpec
 from repro.coverage.bipartite import BipartiteGraph
@@ -55,6 +55,7 @@ from repro.coverage.instance import CoverageInstance
 from repro.coverage.io import ColumnarEdges, open_columnar
 from repro.core.sketch import CoverageSketch
 from repro.errors import SpecError
+from repro.obs import clock
 from repro.offline.greedy import greedy_k_cover
 from repro.serve.fingerprint import fingerprint_problem
 from repro.serve.store import SketchKey, SketchStore
@@ -223,12 +224,13 @@ class QueryEngine:
             if spec.coverage_backend is not None
             else self.coverage_backend
         )
-        start = time.perf_counter()
-        if spec.problem == "k_cover":
-            return self._query_kcover(spec, backend, start)
-        if spec.problem == "set_cover":
-            return self._query_setcover(spec, backend, start)
-        return self._query_outliers(spec, backend, start)
+        start = clock.perf_counter()
+        with obs.span("serve.query", problem=spec.problem):
+            if spec.problem == "k_cover":
+                return self._query_kcover(spec, backend, start)
+            if spec.problem == "set_cover":
+                return self._query_setcover(spec, backend, start)
+            return self._query_outliers(spec, backend, start)
 
     def describe(self) -> dict[str, Any]:
         """Diagnostics for the CLI and reports."""
@@ -398,7 +400,7 @@ class QueryEngine:
         coverage = self._graph.coverage(solution)
         total = self._graph.num_elements
         timings = dict(base.timings)
-        timings["solve"] = time.perf_counter() - start
+        timings["solve"] = clock.perf_counter() - start
         extra = dict(base.extra)
         extra["served"] = True
         extra["cache_hit"] = bool(hit)

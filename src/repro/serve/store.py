@@ -23,6 +23,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Callable
 
+from repro.obs import MetricsRegistry
 from repro.utils.validation import check_positive_int
 
 __all__ = ["SketchKey", "SketchStore"]
@@ -71,10 +72,28 @@ class SketchStore:
         self.capacity = capacity
         self._entries: "OrderedDict[SketchKey, Any]" = OrderedDict()
         self._lock = threading.Lock()
-        self._hits = 0
-        self._misses = 0
-        self._builds = 0
-        self._evictions = 0
+        # Per-store registry, not the process-global one: two stores must
+        # never blend their hit rates.  Exporters merge it into a snapshot
+        # via MetricsRegistry.snapshot(extra=...).
+        self.metrics = MetricsRegistry()
+        self._hits = self.metrics.counter(
+            "serve.store.hits", help="cache lookups answered by a resident entry"
+        )
+        self._misses = self.metrics.counter(
+            "serve.store.misses", help="cache lookups that required a build"
+        )
+        self._builds = self.metrics.counter(
+            "serve.store.builds", help="sketch builds performed on misses"
+        )
+        self._evictions = self.metrics.counter(
+            "serve.store.evictions", help="entries dropped by LRU, evict() or clear()"
+        )
+        self._resident = self.metrics.gauge(
+            "serve.store.entries", help="entries currently resident"
+        )
+        self.metrics.gauge(
+            "serve.store.capacity", help="configured entry capacity"
+        ).set(capacity)
 
     def get_or_build(
         self, key: SketchKey, build: Callable[[], Any]
@@ -84,15 +103,16 @@ class SketchStore:
             entry = self._entries.get(key)
             if entry is not None:
                 self._entries.move_to_end(key)
-                self._hits += 1
+                self._hits.inc()
                 return entry, True
-            self._misses += 1
+            self._misses.inc()
             entry = build()
-            self._builds += 1
+            self._builds.inc()
             self._entries[key] = entry
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
-                self._evictions += 1
+                self._evictions.inc()
+            self._resident.set(len(self._entries))
             return entry, False
 
     def evict(self, key: SketchKey) -> bool:
@@ -100,7 +120,8 @@ class SketchStore:
         with self._lock:
             if key in self._entries:
                 del self._entries[key]
-                self._evictions += 1
+                self._evictions.inc()
+                self._resident.set(len(self._entries))
                 return True
             return False
 
@@ -109,7 +130,8 @@ class SketchStore:
         with self._lock:
             count = len(self._entries)
             self._entries.clear()
-            self._evictions += count
+            self._evictions.inc(count)
+            self._resident.set(0)
             return count
 
     def keys(self) -> tuple[SketchKey, ...]:
@@ -122,13 +144,13 @@ class SketchStore:
             return len(self._entries)
 
     def stats(self) -> dict[str, int]:
-        """Lifetime counters for reports and the CLI."""
+        """Lifetime counters for reports and the CLI (read off the registry)."""
         with self._lock:
             return {
                 "entries": len(self._entries),
                 "capacity": self.capacity,
-                "hits": self._hits,
-                "misses": self._misses,
-                "builds": self._builds,
-                "evictions": self._evictions,
+                "hits": self._hits.value,
+                "misses": self._misses.value,
+                "builds": self._builds.value,
+                "evictions": self._evictions.value,
             }

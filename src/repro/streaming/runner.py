@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Protocol, runtime_checkable
 
+from repro import obs
 from repro.coverage.bipartite import BipartiteGraph
 from repro.errors import PassBudgetExceeded, ReproError
 from repro.streaming.batches import EventBatch
@@ -36,6 +37,24 @@ __all__ = [
     "StreamingRunner",
     "process_event_batch",
 ]
+
+#: Stream-drive telemetry, recorded only while tracing is enabled so the
+#: batch loop stays the untouched hot path otherwise.  Import-time handles:
+#: a registry reset zeroes them in place.
+_PASSES = obs.global_metrics().counter(
+    "streaming.passes", help="stream passes driven (all runs)"
+)
+_EVENTS = obs.global_metrics().counter(
+    "streaming.events", help="stream events fed to algorithms"
+)
+_BATCHES = obs.global_metrics().counter(
+    "streaming.batches", help="columnar batches fed through process_batch"
+)
+_BATCH_SIZE = obs.global_metrics().histogram(
+    "streaming.batch_size",
+    buckets=obs.SIZE_BUCKETS,
+    help="events per columnar batch",
+)
 
 
 @runtime_checkable
@@ -185,7 +204,11 @@ class StreamingRunner:
         events = 0
         pass_index = 0
         while True:
-            with stopwatch.section("stream"):
+            observing = obs.enabled()
+            events_before = events
+            with stopwatch.section("stream"), obs.span(
+                "stream.pass", index=pass_index, algorithm=algorithm.name
+            ):
                 algorithm.start_pass(pass_index)
                 if batch_size is None:
                     for event in driver.new_pass():
@@ -195,7 +218,13 @@ class StreamingRunner:
                     for batch in driver.new_batch_pass(batch_size):
                         process_event_batch(algorithm, batch)
                         events += len(batch)
+                        if observing:
+                            _BATCHES.inc()
+                            _BATCH_SIZE.observe(len(batch))
                 algorithm.finish_pass(pass_index)
+            if observing:
+                _PASSES.inc()
+                _EVENTS.inc(events - events_before)
             pass_index += 1
             if driver.passes_used != pass_index:
                 raise ReproError(
@@ -206,7 +235,9 @@ class StreamingRunner:
                 break
             if driver.remaining_passes() == 0:
                 raise PassBudgetExceeded(pass_index + 1, driver.max_passes)
-        with stopwatch.section("solve"):
+        with stopwatch.section("solve"), obs.span(
+            "stream.solve", algorithm=algorithm.name
+        ):
             solution = tuple(dict.fromkeys(int(s) for s in algorithm.result()))
         coverage = self._reference.coverage(solution)
         total_elements = self._reference.num_elements

@@ -7,10 +7,11 @@ experiment records wall-clock timings through :class:`Timer` /
 
 from __future__ import annotations
 
-import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Iterator
+
+from repro.obs import clock
 
 __all__ = ["Timer", "timed", "Stopwatch"]
 
@@ -33,12 +34,12 @@ class Timer:
     _start: float | None = field(default=None, repr=False)
 
     def __enter__(self) -> "Timer":
-        self._start = time.perf_counter()
+        self._start = clock.perf_counter()
         return self
 
     def __exit__(self, *exc_info: object) -> None:
         assert self._start is not None
-        self.elapsed += time.perf_counter() - self._start
+        self.elapsed += clock.perf_counter() - self._start
         self.activations += 1
         self._start = None
 

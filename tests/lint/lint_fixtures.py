@@ -75,6 +75,63 @@ SUPPRESSED_RAW_RNG = clean(
 
 
 # --------------------------------------------------------------------- #
+# raw-timing
+# --------------------------------------------------------------------- #
+BAD_RAW_TIMING = clean(
+    """
+    import time
+
+    def measure(fn):
+        start = time.perf_counter()
+        fn()
+        return time.perf_counter() - start
+    """
+)
+
+BAD_RAW_TIMING_WALL = clean(
+    """
+    import time
+
+    def stamp():
+        return time.time()
+    """
+)
+
+BAD_RAW_TIMING_IMPORT_FROM = clean(
+    """
+    from time import monotonic
+
+    def measure():
+        return monotonic()
+    """
+)
+
+GOOD_RAW_TIMING = clean(
+    """
+    import time
+
+    from repro.obs import clock
+
+    def measure(fn):
+        start = clock.perf_counter()
+        fn()
+        time.sleep(0.0)
+        return clock.perf_counter() - start
+    """
+)
+
+SUPPRESSED_RAW_TIMING = clean(
+    """
+    import time
+
+    def measure():
+        # repro-lint: disable=raw-timing -- calibrates the fake clock against the real one
+        return time.perf_counter()
+    """
+)
+
+
+# --------------------------------------------------------------------- #
 # picklable-jobs
 # --------------------------------------------------------------------- #
 BAD_PICKLABLE_LAMBDA = clean(

@@ -64,6 +64,40 @@ class TestNoRawRng:
         assert "spawn_rng" in finding.message
 
 
+class TestRawTiming:
+    @pytest.mark.parametrize(
+        "source, count",
+        [
+            (fx.BAD_RAW_TIMING, 2),
+            (fx.BAD_RAW_TIMING_WALL, 1),
+            (fx.BAD_RAW_TIMING_IMPORT_FROM, 1),
+        ],
+        ids=["perf-counter", "wall-time", "import-from"],
+    )
+    def test_bad_variants_flagged(self, source, count):
+        assert_flags(source, "raw-timing", count=count)
+
+    def test_clock_indirection_clean(self):
+        # time.sleep stays legal; only clock *reads* must go through obs.
+        assert_clean(fx.GOOD_RAW_TIMING, "raw-timing")
+
+    @pytest.mark.parametrize(
+        "display_path",
+        ["benchmarks/bench_example.py", "tests/streaming/test_example.py"],
+        ids=["benchmarks", "tests"],
+    )
+    def test_non_library_code_exempt(self, display_path):
+        # Benchmarks and tests measure the real world on purpose.
+        assert_clean(fx.BAD_RAW_TIMING, "raw-timing", display_path)
+
+    def test_suppression_honoured(self):
+        assert_suppressed(fx.SUPPRESSED_RAW_TIMING, "raw-timing")
+
+    def test_finding_message_points_at_clock(self):
+        (finding,) = assert_flags(fx.BAD_RAW_TIMING_WALL, "raw-timing")
+        assert "repro.obs.clock" in finding.message
+
+
 class TestPicklableJobs:
     @pytest.mark.parametrize(
         "source",

@@ -1,0 +1,19 @@
+"""Shared obs-test hygiene: every test starts and ends with tracing off.
+
+The switch is process-global state; a test that enabled tracing and died
+mid-assert must not leak an installed tracer into the next test (or into
+other test modules running in the same process).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def obs_switch_off():
+    obs.disable()
+    yield
+    obs.disable()

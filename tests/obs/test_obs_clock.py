@@ -1,0 +1,52 @@
+"""The fakeable clock indirection every library timing read goes through."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.clock import FakeClock, fake_clock, perf_counter, wall_time
+
+
+class TestFakeClock:
+    def test_reads_advance_by_tick(self):
+        clock = FakeClock(start=10.0, tick=0.5)
+        assert (clock(), clock()) == (10.0, 10.5)
+
+    def test_advance_moves_time_without_a_read(self):
+        clock = FakeClock(start=1.0, tick=0.0)
+        clock.advance(2.5)
+        assert clock() == 3.5
+
+    def test_zero_tick_clock_is_frozen(self):
+        clock = FakeClock(start=7.0)
+        assert clock() == clock() == 7.0
+
+
+class TestFakeClockContext:
+    def test_routes_both_sources_through_one_clock(self):
+        with fake_clock(start=5.0, tick=1.0):
+            # perf_counter and wall_time consume reads from the same fake.
+            assert perf_counter() == 5.0
+            assert wall_time() == 6.0
+            assert perf_counter() == 7.0
+
+    def test_accepts_a_preconfigured_instance(self):
+        mine = FakeClock(start=100.0, tick=0.25)
+        with fake_clock(mine) as installed:
+            assert installed is mine
+            assert perf_counter() == 100.0
+        assert mine.now == 100.25  # the read consumed one tick
+
+    def test_restores_the_real_sources_on_exit(self):
+        with fake_clock(start=0.0):
+            assert perf_counter() == 0.0
+        # Back on the real clocks: monotonic moves, wall time is epoch-scale.
+        first = perf_counter()
+        assert perf_counter() >= first
+        assert wall_time() > 1e9
+
+    def test_restores_even_when_the_body_raises(self):
+        with pytest.raises(RuntimeError):
+            with fake_clock(start=3.0):
+                raise RuntimeError("boom")
+        assert wall_time() > 1e9

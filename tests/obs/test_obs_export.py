@@ -1,0 +1,117 @@
+"""Exporters: Chrome trace JSON, text tree and Prometheus exposition."""
+
+from __future__ import annotations
+
+import json
+
+from repro import obs
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    chrome_trace,
+    render_prometheus,
+    render_span_tree,
+    write_metrics,
+    write_trace,
+)
+from repro.obs.clock import fake_clock
+
+
+def _sample_records():
+    with fake_clock(tick=1.0):
+        tracer = Tracer()
+        with obs.tracing(tracer):
+            with obs.span("solve", problem="k_cover"):
+                with obs.capture(lane="machine-0") as captured:
+                    with obs.span("map.machine", machine=0):
+                        pass
+                tracer.adopt(captured.records(), lane="worker-0")
+    return tracer.records()
+
+
+def _sample_snapshot():
+    registry = MetricsRegistry()
+    registry.counter("serve.store.hits").inc(3)
+    gauge = registry.gauge("store.entries")
+    gauge.set(5)
+    gauge.set(2)
+    histogram = registry.histogram("query_seconds", buckets=(0.1, 1.0))
+    for value in (0.05, 0.5, 2.0):
+        histogram.observe(value)
+    return registry.snapshot()
+
+
+class TestChromeTrace:
+    def test_events_cover_metadata_and_every_span(self):
+        payload = chrome_trace(_sample_records())
+        events = payload["traceEvents"]
+        meta = [e for e in events if e["ph"] == "M"]
+        spans = [e for e in events if e["ph"] == "X"]
+        assert {e["name"] for e in meta} == {"process_name", "thread_name"}
+        assert sorted(e["name"] for e in spans) == ["map.machine", "solve"]
+        assert payload["displayTimeUnit"] == "ms"
+
+    def test_main_lane_gets_thread_zero(self):
+        events = chrome_trace(_sample_records())["traceEvents"]
+        lanes = {
+            e["args"]["name"]: e["tid"] for e in events if e["name"] == "thread_name"
+        }
+        assert lanes["main"] == 0
+        assert lanes["worker-0"] == 1
+
+    def test_timestamps_are_microseconds(self):
+        events = chrome_trace(_sample_records())["traceEvents"]
+        solve = next(e for e in events if e["name"] == "solve")
+        # fake clock ticks are whole seconds, so ts/dur are whole millions.
+        assert solve["ts"] % 1e6 == 0
+        assert solve["dur"] >= 1e6
+        assert solve["args"] == {"problem": "k_cover"}
+
+
+class TestTextTree:
+    def test_renders_nesting_durations_and_lanes(self):
+        text = render_span_tree(_sample_records())
+        lines = text.splitlines()
+        assert lines[0].startswith("solve")
+        assert "[main]" in lines[0] and "{problem='k_cover'}" in lines[0]
+        assert lines[1].startswith("  map.machine")
+        assert "[worker-0]" in lines[1]
+        assert "1000.000ms" in lines[1]
+
+    def test_empty_forest_renders_empty(self):
+        assert render_span_tree([]) == ""
+
+
+class TestPrometheus:
+    def test_exposition_covers_every_instrument_kind(self):
+        text = render_prometheus(_sample_snapshot())
+        assert "# TYPE repro_serve_store_hits counter" in text
+        assert "repro_serve_store_hits 3" in text
+        assert "repro_store_entries 2" in text
+        assert "repro_store_entries_max 5" in text
+        assert 'repro_query_seconds_bucket{le="0.1"} 1' in text
+        assert 'repro_query_seconds_bucket{le="1"} 2' in text
+        assert 'repro_query_seconds_bucket{le="+Inf"} 3' in text
+        assert "repro_query_seconds_sum 2.55" in text
+        assert "repro_query_seconds_count 3" in text
+
+    def test_exposition_is_deterministic(self):
+        assert render_prometheus(_sample_snapshot()) == render_prometheus(
+            _sample_snapshot()
+        )
+
+
+class TestFileWriters:
+    def test_write_trace_produces_loadable_json(self, tmp_path):
+        target = write_trace(tmp_path / "trace.json", _sample_records())
+        payload = json.loads(target.read_text())
+        assert any(e["ph"] == "X" for e in payload["traceEvents"])
+
+    def test_write_metrics_json_by_default(self, tmp_path):
+        target = write_metrics(tmp_path / "metrics.json", _sample_snapshot())
+        payload = json.loads(target.read_text())
+        assert payload["serve.store.hits"] == {"kind": "counter", "value": 3}
+
+    def test_write_metrics_prometheus_for_prom_suffix(self, tmp_path):
+        target = write_metrics(tmp_path / "metrics.prom", _sample_snapshot())
+        assert target.read_text().startswith("# TYPE ")

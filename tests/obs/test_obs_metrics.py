@@ -1,0 +1,175 @@
+"""Instrument semantics: counters, gauges, histograms and their registry."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.obs import (
+    LATENCY_BUCKETS,
+    SIZE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    percentile,
+)
+
+
+class TestPercentile:
+    def test_nearest_rank_on_small_samples(self):
+        sample = [5.0, 1.0, 3.0, 2.0, 4.0]
+        assert percentile(sample, 50) == 3.0
+        assert percentile(sample, 99) == 5.0
+        assert percentile(sample, 0) == 1.0
+
+    def test_single_observation_is_every_percentile(self):
+        assert percentile([42.0], 1) == percentile([42.0], 99) == 42.0
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+
+class TestCounter:
+    def test_increments_accumulate(self):
+        counter = Counter("hits")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        assert counter.snapshot() == {"kind": "counter", "value": 5}
+
+    def test_cannot_decrease(self):
+        with pytest.raises(ValueError):
+            Counter("hits").inc(-1)
+
+    def test_reset_zeroes_in_place(self):
+        counter = Counter("hits")
+        counter.inc(3)
+        counter.reset()
+        assert counter.value == 0
+
+
+class TestGauge:
+    def test_tracks_level_and_high_water_mark(self):
+        gauge = Gauge("resident")
+        gauge.set(4)
+        gauge.set(9)
+        gauge.set(2)
+        assert gauge.value == 2
+        assert gauge.max_seen == 9
+        assert gauge.snapshot() == {"kind": "gauge", "value": 2, "max": 9}
+
+    def test_reset_clears_the_mark_too(self):
+        gauge = Gauge("resident")
+        gauge.set(9)
+        gauge.reset()
+        assert gauge.value == 0.0
+        assert gauge.max_seen == 0.0
+
+
+class TestHistogram:
+    def test_bucket_assignment_and_totals(self):
+        histogram = Histogram("lat", buckets=(1.0, 10.0))
+        for value in (0.5, 5.0, 50.0):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.total == 55.5
+        assert histogram.mean == 18.5
+        snap = histogram.snapshot()
+        assert snap["buckets"] == [[1.0, 1], [10.0, 1]]
+        assert snap["overflow"] == 1
+
+    def test_quantile_from_bucket_bounds(self):
+        histogram = Histogram("lat", buckets=(1.0, 10.0, 100.0))
+        for value in (0.5, 0.6, 5.0, 50.0):
+            histogram.observe(value)
+        assert histogram.quantile(50) == 1.0  # rank 2 lands in the first bucket
+        assert histogram.quantile(99) == 100.0
+
+    def test_quantile_exact_with_retained_samples(self):
+        histogram = Histogram("lat", buckets=(100.0,), track_samples=True)
+        for value in (3.0, 1.0, 2.0):
+            histogram.observe(value)
+        assert histogram.samples == [3.0, 1.0, 2.0]
+        assert histogram.quantile(50) == 2.0
+        assert histogram.quantile(99) == 3.0
+
+    def test_overflow_quantile_is_infinite(self):
+        histogram = Histogram("lat", buckets=(1.0,))
+        histogram.observe(5.0)
+        assert histogram.quantile(99) == math.inf
+
+    def test_empty_quantile_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("lat").quantile(50)
+
+    def test_reset_keeps_bounds_and_sampling_mode(self):
+        histogram = Histogram("lat", buckets=(1.0,), track_samples=True)
+        histogram.observe(0.5)
+        histogram.reset()
+        assert histogram.count == 0
+        assert histogram.samples == []
+        histogram.observe(0.25)
+        assert histogram.samples == [0.25]
+
+    def test_malformed_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("lat", buckets=())
+        with pytest.raises(ValueError):
+            Histogram("lat", buckets=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("lat", buckets=(2.0, 1.0))
+
+
+class TestSharedBuckets:
+    def test_latency_buckets_strictly_increase_across_decades(self):
+        assert list(LATENCY_BUCKETS) == sorted(set(LATENCY_BUCKETS))
+        assert LATENCY_BUCKETS[0] == 1e-6
+        assert LATENCY_BUCKETS[-1] >= 100.0
+
+    def test_size_buckets_are_powers_of_two(self):
+        assert list(SIZE_BUCKETS) == [float(2**e) for e in range(len(SIZE_BUCKETS))]
+        assert SIZE_BUCKETS[-1] >= 1e6
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_the_same_instrument(self):
+        registry = MetricsRegistry()
+        first = registry.counter("hits", help="cache hits")
+        assert registry.counter("hits") is first
+        assert registry.get("hits") is first
+        assert registry.get("absent") is None
+
+    def test_kind_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("hits")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("hits")
+
+    def test_names_and_instruments_sorted(self):
+        registry = MetricsRegistry()
+        registry.gauge("b")
+        registry.counter("a")
+        assert registry.names() == ["a", "b"]
+        assert [i.name for i in registry.instruments()] == ["a", "b"]
+
+    def test_reset_zeroes_without_orphaning_handles(self):
+        registry = MetricsRegistry()
+        handle = registry.counter("hits")
+        handle.inc(7)
+        registry.reset()
+        # The module-level handle keeps recording into the same instrument.
+        handle.inc()
+        assert registry.get("hits").value == 1
+
+    def test_snapshot_merges_extra_registries_self_wins(self):
+        main, private = MetricsRegistry(), MetricsRegistry()
+        main.counter("shared").inc(1)
+        private.counter("shared").inc(99)
+        private.counter("private.only").inc(2)
+        snap = main.snapshot(extra=(private,))
+        assert snap["shared"]["value"] == 1
+        assert snap["private.only"]["value"] == 2
+        assert list(snap) == sorted(snap)
